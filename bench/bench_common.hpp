@@ -1,0 +1,87 @@
+// Shared helpers for the benchmark harness: figure sweeps over the paper's
+// size range, speedup computation against the OpenCV baseline, and table
+// emission.
+#pragma once
+
+#include "core/table_printer.hpp"
+#include "model/cost_model.hpp"
+#include "model/timing.hpp"
+#include "sat/sat.hpp"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace satgpu::bench {
+
+/// The paper evaluates 1k x 1k .. 16k x 16k square matrices (Sec. VI-A).
+[[nodiscard]] inline std::vector<std::int64_t> paper_sizes(
+    std::int64_t max_k = 16)
+{
+    std::vector<std::int64_t> s;
+    for (std::int64_t k = 1; k <= max_k; ++k)
+        s.push_back(k * 1024);
+    return s;
+}
+
+struct SeriesPoint {
+    std::int64_t size = 0;
+    double time_us = 0;
+    double speedup_vs_opencv = 0;
+};
+
+/// Estimated execution time of one algorithm at one size on one GPU.
+[[nodiscard]] inline double estimated_us(model::CostModel& cm,
+                                         const model::GpuSpec& gpu,
+                                         sat::Algorithm algo, DtypePair dt,
+                                         std::int64_t n,
+                                         const sat::Options& opt = {})
+{
+    const auto launches = cm.predict(algo, dt, n, n, opt);
+    return model::estimate_total_us(gpu, launches);
+}
+
+/// One figure panel: execution time + speedup-vs-OpenCV for a set of
+/// algorithms over the size sweep.
+inline void print_figure_panel(std::ostream& os, const model::GpuSpec& gpu,
+                               DtypePair dt,
+                               const std::vector<sat::Algorithm>& algos,
+                               const std::vector<std::int64_t>& sizes,
+                               std::string_view panel_name)
+{
+    model::CostModel cm;
+
+    os << "\n== " << panel_name << "  [" << gpu.name << ", "
+       << pair_name(dt) << "] ==\n";
+
+    std::vector<std::string> headers{"size"};
+    for (auto a : algos)
+        headers.emplace_back(std::string(sat::to_string(a)) + " (us)");
+    for (auto a : algos)
+        if (a != sat::Algorithm::kOpencvLike)
+            headers.emplace_back(std::string(sat::to_string(a)) +
+                                 " speedup");
+    TablePrinter table(std::move(headers));
+
+    for (const auto n : sizes) {
+        std::vector<double> times;
+        times.reserve(algos.size());
+        for (auto a : algos)
+            times.push_back(estimated_us(cm, gpu, a, dt, n));
+        double opencv = 0;
+        for (std::size_t i = 0; i < algos.size(); ++i)
+            if (algos[i] == sat::Algorithm::kOpencvLike)
+                opencv = times[i];
+
+        std::vector<std::string> row{std::to_string(n / 1024) + "k"};
+        for (double t : times)
+            row.push_back(TablePrinter::fmt(t, 1));
+        for (std::size_t i = 0; i < algos.size(); ++i)
+            if (algos[i] != sat::Algorithm::kOpencvLike)
+                row.push_back(TablePrinter::fmt(opencv / times[i], 2));
+        table.add_row(std::move(row));
+    }
+    table.print(os);
+}
+
+} // namespace satgpu::bench

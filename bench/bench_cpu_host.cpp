@@ -1,0 +1,98 @@
+// Host-side wall-clock benchmarks (google-benchmark): the CPU reference
+// SATs and the functional-simulation throughput of the GPU kernels.  These
+// are the only MEASURED times in the harness; everything labelled P100/V100
+// elsewhere comes from the analytic model.
+#include "core/random_fill.hpp"
+#include "sat/sat.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace satgpu;
+
+template <typename Tout, typename Tin>
+void bm_cpu_serial(benchmark::State& state)
+{
+    const auto n = state.range(0);
+    Matrix<Tin> img(n, n);
+    fill_random(img, 1);
+    for (auto _ : state) {
+        auto out = sat::sat_serial<Tout>(img);
+        benchmark::DoNotOptimize(out.flat().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+
+template <typename Tout, typename Tin>
+void bm_cpu_two_pass(benchmark::State& state)
+{
+    const auto n = state.range(0);
+    Matrix<Tin> img(n, n);
+    fill_random(img, 2);
+    for (auto _ : state) {
+        auto out = sat::sat_two_pass<Tout>(img);
+        benchmark::DoNotOptimize(out.flat().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+
+template <typename Tout, typename Tin>
+void bm_cpu_parallel(benchmark::State& state)
+{
+    const auto n = state.range(0);
+    Matrix<Tin> img(n, n);
+    fill_random(img, 3);
+    for (auto _ : state) {
+        auto out = sat::sat_parallel<Tout>(img);
+        benchmark::DoNotOptimize(out.flat().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+
+void bm_simulator_brlt(benchmark::State& state)
+{
+    const auto n = state.range(0);
+    Matrix<float> img(n, n);
+    fill_random(img, 4);
+    for (auto _ : state) {
+        simt::Engine eng({.record_history = false});
+        auto res = sat::compute_sat<float>(
+            eng, img, {sat::Algorithm::kBrltScanRow});
+        benchmark::DoNotOptimize(res.table.flat().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+    state.SetLabel("simulated lanes/s");
+}
+
+void bm_rect_sum_queries(benchmark::State& state)
+{
+    Matrix<std::uint8_t> img(1024, 1024);
+    fill_random(img, 5);
+    const auto table = sat::sat_serial<std::uint32_t>(img);
+    std::uint64_t q = 0;
+    for (auto _ : state) {
+        const std::int64_t y0 = static_cast<std::int64_t>(q * 37 % 500);
+        const std::int64_t x0 = static_cast<std::int64_t>(q * 53 % 500);
+        benchmark::DoNotOptimize(
+            sat::rect_sum(table, y0, x0, y0 + 400, x0 + 400));
+        ++q;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(bm_cpu_serial<std::uint32_t, std::uint8_t>)
+    ->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_cpu_serial<float, float>)
+    ->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_cpu_two_pass<std::uint32_t, std::uint8_t>)
+    ->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_cpu_parallel<std::uint32_t, std::uint8_t>)
+    ->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_simulator_brlt)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_rect_sum_queries);
+
+BENCHMARK_MAIN();

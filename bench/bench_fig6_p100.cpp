@@ -1,0 +1,38 @@
+// Figure 6: SAT execution time and speedup over OpenCV on Tesla P100,
+// sizes 1k..16k.
+//
+// Panels (matching the paper's layout):
+//   (a,b) 8u -> 32-bit  : ours vs OpenCV (8u shuffle path) vs NPP
+//   (c,d) 32f32f        : ours vs OpenCV generic (NPP has no 32f input)
+//   (e,f) 64f64f        : ours vs OpenCV generic
+// The "(us)" columns are panel (b)/(d)/(f) execution times; the "speedup"
+// columns are panels (a)/(c)/(e) with OpenCV as the baseline.
+#include "bench_common.hpp"
+
+int main()
+{
+    using namespace satgpu;
+    using sat::Algorithm;
+    const auto& gpu = model::tesla_p100();
+    const auto sizes = bench::paper_sizes();
+
+    const std::vector<Algorithm> with_npp{
+        Algorithm::kBrltScanRow, Algorithm::kScanRowBrlt,
+        Algorithm::kScanRowColumn, Algorithm::kOpencvLike,
+        Algorithm::kNppLike};
+    const std::vector<Algorithm> no_npp{
+        Algorithm::kBrltScanRow, Algorithm::kScanRowBrlt,
+        Algorithm::kScanRowColumn, Algorithm::kOpencvLike};
+
+    std::cout << "Figure 6: SAT on Tesla P100 (simulated timing model)\n";
+    bench::print_figure_panel(std::cout, gpu,
+                              make_pair_of<u8, u32>(), with_npp, sizes,
+                              "Fig. 6(a,b) 8u32u");
+    bench::print_figure_panel(std::cout, gpu,
+                              make_pair_of<f32, f32>(), no_npp, sizes,
+                              "Fig. 6(c,d) 32f32f");
+    bench::print_figure_panel(std::cout, gpu,
+                              make_pair_of<f64, f64>(), no_npp, sizes,
+                              "Fig. 6(e,f) 64f64f");
+    return 0;
+}

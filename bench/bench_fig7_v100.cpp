@@ -1,0 +1,31 @@
+// Figure 7: SAT execution time and speedup over OpenCV on Tesla V100,
+// sizes 1k..16k.  Same panels as Figure 6 (see bench_fig6_p100.cpp).
+#include "bench_common.hpp"
+
+int main()
+{
+    using namespace satgpu;
+    using sat::Algorithm;
+    const auto& gpu = model::tesla_v100();
+    const auto sizes = bench::paper_sizes();
+
+    const std::vector<Algorithm> with_npp{
+        Algorithm::kBrltScanRow, Algorithm::kScanRowBrlt,
+        Algorithm::kScanRowColumn, Algorithm::kOpencvLike,
+        Algorithm::kNppLike};
+    const std::vector<Algorithm> no_npp{
+        Algorithm::kBrltScanRow, Algorithm::kScanRowBrlt,
+        Algorithm::kScanRowColumn, Algorithm::kOpencvLike};
+
+    std::cout << "Figure 7: SAT on Tesla V100 (simulated timing model)\n";
+    bench::print_figure_panel(std::cout, gpu,
+                              make_pair_of<u8, u32>(), with_npp, sizes,
+                              "Fig. 7(a,b) 8u32u");
+    bench::print_figure_panel(std::cout, gpu,
+                              make_pair_of<f32, f32>(), no_npp, sizes,
+                              "Fig. 7(c,d) 32f32f");
+    bench::print_figure_panel(std::cout, gpu,
+                              make_pair_of<f64, f64>(), no_npp, sizes,
+                              "Fig. 7(e,f) 64f64f");
+    return 0;
+}

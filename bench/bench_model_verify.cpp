@@ -1,0 +1,105 @@
+// Section V model verification: the closed-form single-warp quantities
+// (op counts, Eqs. 3-5 latency estimates, Eqs. 10-13 throughput times) and
+// the inequalities (Eqs. 6, 14, 15) on both GPUs -- plus a cross-check that
+// the SIMULATOR's measured per-tile counters equal the paper's formulas.
+#include "core/table_printer.hpp"
+#include "model/gpu_specs.hpp"
+#include "model/paper_model.hpp"
+#include "sat/brlt.hpp"
+#include "scan/serial_scan.hpp"
+#include "scan/warp_scan.hpp"
+#include "simt/engine.hpp"
+
+#include <iostream>
+
+namespace {
+
+using namespace satgpu;
+
+/// Measure one 32x32 tile's ops in the simulator for each method.
+simt::PerfCounters measure_tile(const char* what)
+{
+    simt::PerfCounters c;
+    simt::CounterScope scope(c);
+    std::array<simt::LaneVec<float>, 32> regs;
+    for (auto& r : regs)
+        r = simt::LaneVec<float>::broadcast(1.0f);
+
+    if (std::string_view(what) == "serial")
+        scan::serial_scan_registers(regs);
+    else if (std::string_view(what) == "kogge-stone")
+        for (auto& r : regs)
+            r = scan::kogge_stone_scan(r);
+    else if (std::string_view(what) == "ladner-fischer")
+        for (auto& r : regs)
+            r = scan::ladner_fischer_scan(r);
+    return c;
+}
+
+} // namespace
+
+int main()
+{
+    std::cout << "Section V performance model verification\n";
+
+    std::cout << "\n-- Single 32x32 tile: paper formulas vs simulator "
+                 "counters --\n\n";
+    TablePrinter ops({"method", "adds (paper)", "adds (sim)",
+                      "shuffles (paper)", "shuffles (sim)", "ANDs (paper)",
+                      "ANDs (sim)"});
+    using C = model::TileOpCounts;
+    const auto serial = measure_tile("serial");
+    const auto ks = measure_tile("kogge-stone");
+    const auto lf = measure_tile("ladner-fischer");
+    ops.add_row({"serial column scan", TablePrinter::fmt_int(C::scan_col_adds),
+                 TablePrinter::fmt_int(static_cast<std::int64_t>(serial.lane_add)),
+                 "0", TablePrinter::fmt_int(static_cast<std::int64_t>(serial.warp_shfl)),
+                 "0", "0"});
+    ops.add_row({"Kogge-Stone rows", TablePrinter::fmt_int(C::kogge_stone_adds),
+                 TablePrinter::fmt_int(static_cast<std::int64_t>(ks.lane_add)),
+                 TablePrinter::fmt_int(C::scan_row_shfl),
+                 TablePrinter::fmt_int(static_cast<std::int64_t>(ks.warp_shfl)),
+                 "0", "0"});
+    ops.add_row({"Ladner-Fischer rows", TablePrinter::fmt_int(C::lf_adds),
+                 TablePrinter::fmt_int(static_cast<std::int64_t>(lf.lane_add)),
+                 TablePrinter::fmt_int(C::scan_row_shfl),
+                 TablePrinter::fmt_int(static_cast<std::int64_t>(lf.warp_shfl)),
+                 TablePrinter::fmt_int(C::lf_ands),
+                 TablePrinter::fmt_int(static_cast<std::int64_t>(lf.lane_bool))});
+    ops.print(std::cout);
+
+    for (const auto* g : {&model::tesla_p100(), &model::tesla_v100()}) {
+        std::cout << "\n-- " << g->name << " --\n\n";
+        TablePrinter lat({"quantity", "value"});
+        lat.add_row({"Eq.3  L_transpose (cycles)",
+                     TablePrinter::fmt(model::eq3_transpose_latency_cycles(*g), 0)});
+        lat.add_row({"Eq.4  L_scan_row (cycles)",
+                     TablePrinter::fmt(model::eq4_scan_row_latency_cycles(*g), 0)});
+        lat.add_row({"Eq.5  L_scan_col (cycles)",
+                     TablePrinter::fmt(model::eq5_scan_col_latency_cycles(*g), 0)});
+        lat.add_row({"Eq.10 T_trans 32f (ns)",
+                     TablePrinter::fmt(model::eq10_transpose_time_us(*g, 4) * 1e3, 3)});
+        lat.add_row({"Eq.11 T_scan_col_add (ns)",
+                     TablePrinter::fmt(model::eq11_scan_col_add_time_us(*g) * 1e3, 3)});
+        lat.add_row({"Eq.12 T_shuffle (ns)",
+                     TablePrinter::fmt(model::eq12_shuffle_time_us(*g) * 1e3, 3)});
+        lat.add_row({"Eq.13 T_KS_add (ns)",
+                     TablePrinter::fmt(model::eq13_kogge_stone_add_time_us(*g) * 1e3, 3)});
+        lat.print(std::cout);
+
+        std::cout << '\n';
+        TablePrinter ineq({"inequality", "lhs", "rhs", "verdict"});
+        const model::Inequality qs[] = {
+            model::eq6_latency_inequality(*g),
+            model::eq14_throughput_inequality(*g, 4),
+            model::eq15_throughput_inequality(*g, 4),
+            model::eq14_throughput_inequality(*g, 8),
+        };
+        for (const auto& q : qs)
+            ineq.add_row({q.name, TablePrinter::fmt(q.lhs, 4),
+                          TablePrinter::fmt(q.rhs, 4),
+                          q.holds() ? "holds" : "VIOLATED"});
+        ineq.print(std::cout);
+    }
+    return 0;
+}

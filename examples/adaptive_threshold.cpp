@@ -1,0 +1,129 @@
+// Bradley-Roth adaptive thresholding via integral images [7] -- document
+// binarization that survives uneven illumination, one of the paper's
+// motivating real-time vision workloads.
+//
+// A synthetic "document" (dark glyph strokes on paper) is corrupted with a
+// strong illumination gradient.  A global threshold destroys half the page;
+// the SAT-based local mean threshold recovers it.  Output is rendered as
+// ASCII art.
+#include "core/random_fill.hpp"
+#include "sat/sat.hpp"
+
+#include <cmath>
+#include <iostream>
+
+namespace {
+
+using namespace satgpu;
+
+constexpr std::int64_t kH = 96, kW = 192;
+
+/// Paper-white page, dark horizontal "text" strokes, plus a left-to-right
+/// illumination falloff.
+Matrix<u8> make_document()
+{
+    Matrix<u8> img(kH, kW);
+    for (std::int64_t y = 0; y < kH; ++y)
+        for (std::int64_t x = 0; x < kW; ++x) {
+            const bool stroke =
+                (y % 12 >= 4 && y % 12 <= 6) && (x % 17) > 2;
+            double v = stroke ? 60.0 : 220.0;
+            v *= 0.25 + 0.75 * (1.0 - static_cast<double>(x) / kW);
+            img(y, x) = static_cast<u8>(std::clamp(v, 0.0, 255.0));
+        }
+    return img;
+}
+
+Matrix<u8> threshold_global(const Matrix<u8>& img, int t)
+{
+    Matrix<u8> out(img.height(), img.width());
+    for (std::int64_t y = 0; y < img.height(); ++y)
+        for (std::int64_t x = 0; x < img.width(); ++x)
+            out(y, x) = img(y, x) < t ? 1 : 0;
+    return out;
+}
+
+/// Bradley-Roth: pixel is ink when it is `frac` darker than the mean of the
+/// surrounding window -- four SAT lookups per pixel.
+Matrix<u8> threshold_adaptive(const Matrix<u8>& img, const Matrix<u32>& table,
+                              std::int64_t r, double frac)
+{
+    Matrix<u8> out(img.height(), img.width());
+    for (std::int64_t y = 0; y < img.height(); ++y)
+        for (std::int64_t x = 0; x < img.width(); ++x) {
+            const std::int64_t y0 = std::max<std::int64_t>(0, y - r);
+            const std::int64_t x0 = std::max<std::int64_t>(0, x - r);
+            const std::int64_t y1 = std::min(img.height() - 1, y + r);
+            const std::int64_t x1 = std::min(img.width() - 1, x + r);
+            const double area =
+                static_cast<double>((y1 - y0 + 1) * (x1 - x0 + 1));
+            const double mean =
+                static_cast<double>(sat::rect_sum(table, y0, x0, y1, x1)) /
+                area;
+            out(y, x) = static_cast<double>(img(y, x)) < mean * frac ? 1 : 0;
+        }
+    return out;
+}
+
+void render(std::string_view title, const Matrix<u8>& mask)
+{
+    std::cout << title << '\n';
+    for (std::int64_t y = 0; y < mask.height(); y += 4) {
+        for (std::int64_t x = 0; x < mask.width(); x += 2)
+            std::cout << (mask(y, x) ? '#' : '.');
+        std::cout << '\n';
+    }
+    std::cout << '\n';
+}
+
+struct Quality {
+    double stroke_recall;    // ink pixels classified as ink
+    double paper_specificity; // paper pixels classified as paper
+};
+
+Quality score(const Matrix<u8>& mask)
+{
+    std::int64_t ink_hit = 0, ink_total = 0, paper_hit = 0, paper_total = 0;
+    for (std::int64_t y = 0; y < kH; ++y)
+        for (std::int64_t x = 0; x < kW; ++x) {
+            const bool stroke =
+                (y % 12 >= 4 && y % 12 <= 6) && (x % 17) > 2;
+            if (stroke) {
+                ++ink_total;
+                ink_hit += mask(y, x);
+            } else {
+                ++paper_total;
+                paper_hit += mask(y, x) == 0 ? 1 : 0;
+            }
+        }
+    return {static_cast<double>(ink_hit) / static_cast<double>(ink_total),
+            static_cast<double>(paper_hit) /
+                static_cast<double>(paper_total)};
+}
+
+} // namespace
+
+int main()
+{
+    const auto doc = make_document();
+
+    simt::Engine engine;
+    const auto table =
+        sat::compute_sat<u32>(engine, doc, {sat::Algorithm::kBrltScanRow})
+            .table;
+
+    const auto global = threshold_global(doc, 110);
+    const auto adaptive = threshold_adaptive(doc, table, 12, 0.80);
+
+    render("Global threshold (the dark page side floods to ink):", global);
+    render("SAT-based adaptive threshold (Bradley-Roth):", adaptive);
+    const auto g = score(global);
+    const auto a = score(adaptive);
+    std::cout << "global:   stroke recall " << g.stroke_recall * 100
+              << "%, paper specificity " << g.paper_specificity * 100
+              << "%\n";
+    std::cout << "adaptive: stroke recall " << a.stroke_recall * 100
+              << "%, paper specificity " << a.paper_specificity * 100
+              << "%\n";
+    return 0;
+}

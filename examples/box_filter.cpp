@@ -1,0 +1,88 @@
+// Box filter via Summed Area Tables -- Crow's original use case [1] and the
+// staple "blur in O(1) per pixel regardless of radius" trick.
+//
+// Builds a synthetic image, blurs it with radii 1..32 through the SAT, and
+// cross-checks a direct sliding-window sum.  The SAT route does 4 lookups
+// per pixel; the direct route does (2r+1)^2 adds per pixel.
+#include "core/random_fill.hpp"
+#include "core/stopwatch.hpp"
+#include "sat/sat.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+namespace {
+
+using namespace satgpu;
+
+/// Mean over the clamped (2r+1)-square window, from the inclusive SAT.
+Matrix<f32> box_blur_sat(const Matrix<u32>& table, std::int64_t r)
+{
+    const std::int64_t h = table.height(), w = table.width();
+    Matrix<f32> out(h, w);
+    for (std::int64_t y = 0; y < h; ++y)
+        for (std::int64_t x = 0; x < w; ++x) {
+            const std::int64_t y0 = std::max<std::int64_t>(0, y - r);
+            const std::int64_t x0 = std::max<std::int64_t>(0, x - r);
+            const std::int64_t y1 = std::min(h - 1, y + r);
+            const std::int64_t x1 = std::min(w - 1, x + r);
+            const auto sum = sat::rect_sum(table, y0, x0, y1, x1);
+            const auto area =
+                static_cast<f32>((y1 - y0 + 1) * (x1 - x0 + 1));
+            out(y, x) = static_cast<f32>(sum) / area;
+        }
+    return out;
+}
+
+/// Direct O(r^2)-per-pixel window mean, the correctness oracle.
+Matrix<f32> box_blur_direct(const Matrix<u8>& img, std::int64_t r)
+{
+    const std::int64_t h = img.height(), w = img.width();
+    Matrix<f32> out(h, w);
+    for (std::int64_t y = 0; y < h; ++y)
+        for (std::int64_t x = 0; x < w; ++x) {
+            double sum = 0;
+            std::int64_t count = 0;
+            for (std::int64_t dy = -r; dy <= r; ++dy)
+                for (std::int64_t dx = -r; dx <= r; ++dx)
+                    if (img.in_bounds(y + dy, x + dx)) {
+                        sum += img(y + dy, x + dx);
+                        ++count;
+                    }
+            out(y, x) = static_cast<f32>(sum / static_cast<double>(count));
+        }
+    return out;
+}
+
+} // namespace
+
+int main()
+{
+    Matrix<u8> image(384, 384);
+    fill_random(image, 7, u8{0}, u8{255});
+
+    // One SAT on the simulated GPU serves every radius.
+    simt::Engine engine;
+    Stopwatch sat_watch;
+    const auto table =
+        sat::compute_sat<u32>(engine, image, {sat::Algorithm::kBrltScanRow})
+            .table;
+    std::cout << "SAT build (functional GPU simulation): "
+              << sat_watch.elapsed_ms() << " ms\n\n";
+    std::cout << "radius  SAT blur (ms)  direct blur (ms)  max |diff|\n";
+    std::cout << "---------------------------------------------------\n";
+
+    for (const std::int64_t r : {1, 4, 16, 32}) {
+        Stopwatch t1;
+        const auto fast = box_blur_sat(table, r);
+        const double sat_ms = t1.elapsed_ms();
+        Stopwatch t2;
+        const auto slow = box_blur_direct(image, r);
+        const double direct_ms = t2.elapsed_ms();
+        std::cout << "  " << r << "\t  " << sat_ms << "\t " << direct_ms
+                  << "\t   " << max_abs_diff(fast, slow) << '\n';
+    }
+    std::cout << "\nThe SAT route is radius-independent; the direct route "
+                 "grows as (2r+1)^2.\n";
+    return 0;
+}

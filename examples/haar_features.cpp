@@ -1,0 +1,92 @@
+// Haar-like feature evaluation with integral images, the core of the
+// Viola-Jones real-time face-detection cascade [2] that made SATs a
+// household primitive in vision.
+//
+// Evaluates two-rectangle (edge) and three-rectangle (line) features over a
+// synthetic image containing a bright-over-dark edge, and shows that the
+// feature responses peak exactly on the structure -- each feature costing
+// only 6-8 SAT lookups regardless of its size.
+#include "core/random_fill.hpp"
+#include "sat/sat.hpp"
+
+#include <iostream>
+
+namespace {
+
+using namespace satgpu;
+
+constexpr std::int64_t kN = 128;
+
+/// Two-rectangle vertical edge feature: bright top half minus dark bottom
+/// half of a (2h x w) window anchored at (y, x).
+std::int64_t edge_feature(const Matrix<i32>& table, std::int64_t y,
+                          std::int64_t x, std::int64_t h, std::int64_t w)
+{
+    const auto top = sat::rect_sum(table, y, x, y + h - 1, x + w - 1);
+    const auto bottom =
+        sat::rect_sum(table, y + h, x, y + 2 * h - 1, x + w - 1);
+    return top - bottom;
+}
+
+/// Three-rectangle line feature: centre band minus flanking bands of a
+/// (3h x w) window.
+std::int64_t line_feature(const Matrix<i32>& table, std::int64_t y,
+                          std::int64_t x, std::int64_t h, std::int64_t w)
+{
+    const auto a = sat::rect_sum(table, y, x, y + h - 1, x + w - 1);
+    const auto b = sat::rect_sum(table, y + h, x, y + 2 * h - 1, x + w - 1);
+    const auto c =
+        sat::rect_sum(table, y + 2 * h, x, y + 3 * h - 1, x + w - 1);
+    return 2 * b - a - c;
+}
+
+} // namespace
+
+int main()
+{
+    // Bright region above row 64, dark below; a bright band at rows 88..95.
+    Matrix<u8> img(kN, kN);
+    fill_random(img, 3, u8{0}, u8{20}); // noise floor
+    for (std::int64_t y = 0; y < kN; ++y)
+        for (std::int64_t x = 0; x < kN; ++x) {
+            if (y < 64)
+                img(y, x) = static_cast<u8>(img(y, x) + 180);
+            if (y >= 88 && y < 96)
+                img(y, x) = static_cast<u8>(img(y, x) + 200);
+        }
+
+    simt::Engine engine;
+    const auto table =
+        sat::compute_sat<i32>(engine, img, {sat::Algorithm::kBrltScanRow})
+            .table;
+
+    // Sweep the edge feature down the image; it must peak at the 64-row
+    // boundary (window straddling the edge).
+    std::int64_t best_edge_y = -1, best_edge = 0;
+    for (std::int64_t y = 0; y + 32 <= kN; ++y) {
+        const auto f = edge_feature(table, y, 16, 16, 96);
+        if (f > best_edge) {
+            best_edge = f;
+            best_edge_y = y;
+        }
+    }
+    std::cout << "edge feature peaks with its top half at y = "
+              << best_edge_y << " (edge at 48..64 -> expect 48)\n";
+
+    // Sweep the line feature; it must peak centred on the 88..95 band.
+    std::int64_t best_line_y = -1, best_line = 0;
+    for (std::int64_t y = 0; y + 24 <= kN; ++y) {
+        const auto f = line_feature(table, y, 16, 8, 96);
+        if (f > best_line) {
+            best_line = f;
+            best_line_y = y;
+        }
+    }
+    std::cout << "line feature peaks with its centre band at y = "
+              << best_line_y + 8 << " (band at 88..96 -> expect 88)\n";
+
+    const bool ok = best_edge_y == 48 && best_line_y + 8 == 88;
+    std::cout << (ok ? "both features localize the structure\n"
+                     : "MISMATCH\n");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Naive GPU scan-scan baseline (the pre-optimization decomposition of
+// Bilgic et al. [17] without any caching): one thread serially scans one
+// ROW (warp accesses stride by the row pitch -> fully uncoalesced), then
+// one thread serially scans one COLUMN (coalesced).  Serves as the sanity
+// floor in the speedup plots and as the simplest possible correct kernel
+// pair for testing the engine.
+#pragma once
+
+#include "sat/launch_params.hpp"
+#include "sat/tile_io.hpp"
+#include "simt/engine.hpp"
+
+namespace satgpu::baselines {
+
+using simt::LaneVec;
+
+/// Thread-per-row serial scan: lane l of each warp owns row base+l.
+template <typename Tout, typename Tsrc>
+simt::KernelTask naive_row_warp(simt::WarpCtx& w,
+                                const simt::DeviceBuffer<Tsrc>& in,
+                                std::int64_t height, std::int64_t width,
+                                simt::DeviceBuffer<Tout>& out)
+{
+    const std::int64_t row0 =
+        w.block_idx().y * w.block_dim().x + std::int64_t{w.warp_id()} *
+                                                simt::kWarpSize;
+    simt::LaneMask m = 0;
+    for (int l = 0; l < simt::kWarpSize; ++l)
+        if (row0 + l < height)
+            m |= (1u << l);
+    if (m == 0)
+        co_return;
+
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    LaneVec<Tout> carry{};
+    for (std::int64_t x = 0; x < width; ++x) {
+        const auto idx = (lane + row0) * width + x; // stride = width
+        const auto v = in.load(idx, m).template cast<Tout>();
+        carry = simt::vadd(carry, v);
+        out.store(idx, carry, m);
+    }
+}
+
+/// Thread-per-column serial scan: identical to OpenCV's vertical pass.
+template <typename Tout>
+simt::KernelTask naive_col_warp(simt::WarpCtx& w,
+                                simt::DeviceBuffer<Tout>& data,
+                                std::int64_t height, std::int64_t width)
+{
+    const std::int64_t col0 =
+        w.block_idx().x * w.block_dim().x + std::int64_t{w.warp_id()} *
+                                                simt::kWarpSize;
+    const auto m = sat::cols_in_range(col0, width);
+    if (m == 0)
+        co_return;
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    LaneVec<Tout> carry{};
+    for (std::int64_t y = 0; y < height; ++y) {
+        const auto idx = lane + (y * width + col0);
+        carry = simt::vadd(carry, data.load(idx, m));
+        data.store(idx, carry, m);
+    }
+}
+
+template <typename Tout, typename Tsrc>
+simt::LaunchStats launch_naive_rows(simt::Engine& eng,
+                                    const simt::DeviceBuffer<Tsrc>& in,
+                                    std::int64_t height, std::int64_t width,
+                                    simt::DeviceBuffer<Tout>& out)
+{
+    const simt::LaunchConfig cfg{{1, sat::ceil_div(height, 256), 1},
+                                 {256, 1, 1}};
+    return eng.launch({"naive_rows", 12, 0}, cfg, [&](simt::WarpCtx& w) {
+        return naive_row_warp<Tout, Tsrc>(w, in, height, width, out);
+    });
+}
+
+template <typename Tout>
+simt::LaunchStats launch_naive_cols(simt::Engine& eng,
+                                    simt::DeviceBuffer<Tout>& data,
+                                    std::int64_t height, std::int64_t width)
+{
+    const simt::LaunchConfig cfg{{sat::ceil_div(width, 256), 1, 1},
+                                 {256, 1, 1}};
+    return eng.launch({"naive_cols", 12, 0}, cfg, [&](simt::WarpCtx& w) {
+        return naive_col_warp<Tout>(w, data, height, width);
+    });
+}
+
+} // namespace satgpu::baselines

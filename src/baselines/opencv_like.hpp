@@ -1,0 +1,189 @@
+// OpenCV-3.4.1-style scan-scan SAT (paper Sec. VI-B2).
+//
+// Two kernels, mirroring cv::cuda::integral's structure:
+//  * horizontal_pass (generic T): one 256-thread block per row; each
+//    256-column chunk is scanned with per-warp Kogge-Stone scans stitched
+//    through shared memory, with a running row carry across chunks.
+//  * horisontal_pass_8u_shfl (8u input only): one warp per row; each thread
+//    loads 16 pixels as a uint4, serial-scans them in registers, and a
+//    single warp scan stitches the thread totals -- OpenCV's specialized
+//    fast path that the paper highlights.
+//  * vertical_pass: one thread per column walking down the rows (coalesced
+//    across the warp), the same for all types.
+#pragma once
+
+#include "sat/launch_params.hpp"
+#include "sat/tile_io.hpp"
+#include "scan/block_scan.hpp"
+#include "scan/warp_scan.hpp"
+#include "simt/engine.hpp"
+
+namespace satgpu::baselines {
+
+using sat::ceil_div;
+using sat::cols_in_range;
+using simt::kWarpSize;
+using simt::LaneVec;
+
+/// Generic horizontal pass: block (256,1,1), grid (1,H,1).
+template <typename Tout, typename Tsrc>
+simt::KernelTask opencv_horizontal_warp(simt::WarpCtx& w,
+                                        const simt::DeviceBuffer<Tsrc>& in,
+                                        std::int64_t height,
+                                        std::int64_t width,
+                                        simt::DeviceBuffer<Tout>& out)
+{
+    const std::int64_t row = w.block_idx().y;
+    const std::int64_t chunk_w =
+        std::int64_t{w.warps_per_block()} * kWarpSize;
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    LaneVec<Tout> carry{};
+    (void)height;
+
+    for (std::int64_t c0 = 0; c0 < width; c0 += chunk_w) {
+        const std::int64_t col0 = c0 + std::int64_t{w.warp_id()} * kWarpSize;
+        const auto m = cols_in_range(col0, width);
+        auto v = in.load(lane + (row * width + col0), m)
+                     .template cast<Tout>();
+        LaneVec<Tout> chunk_total;
+        co_await scan::block_inclusive_scan(w, v, chunk_total);
+        v = simt::vadd(v, carry);
+        out.store(lane + (row * width + col0), v, m);
+        carry = simt::vadd(carry, chunk_total);
+    }
+}
+
+/// OpenCV's 8u fast path: one warp per row, uint4 (16-pixel) loads,
+/// in-thread serial scan + one warp scan per 512-pixel chunk.
+template <typename Tout>
+simt::KernelTask opencv_horizontal_8u_warp(simt::WarpCtx& w,
+                                           const simt::DeviceBuffer<std::uint8_t>& in,
+                                           std::int64_t height,
+                                           std::int64_t width,
+                                           simt::DeviceBuffer<Tout>& out)
+{
+    constexpr int kPix = 16; // pixels per thread (one uint4)
+    const std::int64_t row =
+        w.block_idx().y * w.warps_per_block() + w.warp_id();
+    if (row >= height)
+        co_return; // warp-independent kernel: no barriers
+
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    const std::int64_t chunk_w = kWarpSize * kPix; // 512 pixels
+    LaneVec<Tout> carry{};
+
+    std::int64_t c0 = 0;
+    for (; c0 + chunk_w <= width; c0 += chunk_w) {
+        const auto base = lane * kPix + (row * width + c0);
+        const auto pix = in.template load_vec<kPix>(base);
+
+        // In-thread serial scan of the 16 pixels (15 adds per lane).
+        std::array<LaneVec<Tout>, kPix> v;
+        v[0] = pix[0].template cast<Tout>();
+        for (int k = 1; k < kPix; ++k)
+            v[static_cast<std::size_t>(k)] =
+                simt::vadd(v[static_cast<std::size_t>(k - 1)],
+                           pix[static_cast<std::size_t>(k)]
+                               .template cast<Tout>());
+
+        // Warp scan of thread totals -> exclusive offsets per thread.
+        const auto inclusive = scan::kogge_stone_scan(v[kPix - 1]);
+        auto exclusive = simt::shfl_up(inclusive, 1);
+        exclusive.set(0, Tout{});
+        const auto offset = simt::vadd(exclusive, carry);
+        for (auto& reg : v)
+            reg = simt::vadd(reg, offset);
+        carry = simt::vadd(carry, simt::shfl(inclusive, kWarpSize - 1));
+
+        // Store as four 128-bit vectors per thread (int4 stores).
+        const auto out_base = lane * kPix + (row * width + c0);
+        for (int g = 0; g < kPix / 4; ++g) {
+            const std::array<LaneVec<Tout>, 4> grp{
+                v[static_cast<std::size_t>(g * 4 + 0)],
+                v[static_cast<std::size_t>(g * 4 + 1)],
+                v[static_cast<std::size_t>(g * 4 + 2)],
+                v[static_cast<std::size_t>(g * 4 + 3)]};
+            out.template store_vec<4>(out_base + std::int64_t{g} * 4, grp);
+        }
+    }
+    // Ragged tail: plain 32-element groups with masked accesses.
+    for (; c0 < width; c0 += kWarpSize) {
+        const auto m = cols_in_range(c0, width);
+        auto v = in.load(lane + (row * width + c0), m)
+                     .template cast<Tout>();
+        v = scan::kogge_stone_scan(v);
+        v = simt::vadd(v, carry);
+        carry = simt::shfl(v, kWarpSize - 1);
+        out.store(lane + (row * width + c0), v, m);
+    }
+}
+
+/// Vertical pass: thread-per-column serial walk, coalesced across the warp.
+template <typename Tout>
+simt::KernelTask opencv_vertical_warp(simt::WarpCtx& w,
+                                      simt::DeviceBuffer<Tout>& data,
+                                      std::int64_t height, std::int64_t width)
+{
+    const std::int64_t col0 =
+        w.block_idx().x * w.block_dim().x + std::int64_t{w.warp_id()} *
+                                                kWarpSize;
+    const auto m = cols_in_range(col0, width);
+    if (m == 0)
+        co_return;
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    LaneVec<Tout> carry{};
+    for (std::int64_t y = 0; y < height; ++y) {
+        const auto idx = lane + (y * width + col0);
+        const auto v = data.load(idx, m);
+        carry = simt::vadd(carry, v);
+        data.store(idx, carry, m);
+    }
+}
+
+// ---------------------------------------------------------------- launches
+
+template <typename Tout, typename Tsrc>
+simt::LaunchStats launch_opencv_horizontal(simt::Engine& eng,
+                                           const simt::DeviceBuffer<Tsrc>& in,
+                                           std::int64_t height,
+                                           std::int64_t width,
+                                           simt::DeviceBuffer<Tout>& out)
+{
+    const simt::LaunchConfig cfg{{1, height, 1}, {256, 1, 1}};
+    const simt::KernelInfo info{
+        "opencv_horisontal_pass", 24,
+        static_cast<std::int64_t>(8 * sizeof(Tout))};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        return opencv_horizontal_warp<Tout, Tsrc>(w, in, height, width, out);
+    });
+}
+
+template <typename Tout>
+simt::LaunchStats launch_opencv_horizontal_8u(
+    simt::Engine& eng, const simt::DeviceBuffer<std::uint8_t>& in,
+    std::int64_t height, std::int64_t width, simt::DeviceBuffer<Tout>& out)
+{
+    const int rows_per_block = 4; // 128-thread blocks, one warp per row
+    const simt::LaunchConfig cfg{
+        {1, ceil_div(height, rows_per_block), 1},
+        {rows_per_block * kWarpSize, 1, 1}};
+    const simt::KernelInfo info{"opencv_horisontal_pass_8u_shfl", 40, 0};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        return opencv_horizontal_8u_warp<Tout>(w, in, height, width, out);
+    });
+}
+
+template <typename Tout>
+simt::LaunchStats launch_opencv_vertical(simt::Engine& eng,
+                                         simt::DeviceBuffer<Tout>& data,
+                                         std::int64_t height,
+                                         std::int64_t width)
+{
+    const simt::LaunchConfig cfg{{ceil_div(width, 256), 1, 1}, {256, 1, 1}};
+    const simt::KernelInfo info{"opencv_vertical_pass", 16, 0};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        return opencv_vertical_warp<Tout>(w, data, height, width);
+    });
+}
+
+} // namespace satgpu::baselines

@@ -1,0 +1,69 @@
+// Scan-transpose-scan (Bilgic et al. [17], Oro et al. [10]): the
+// conventional four-kernel SAT pipeline the paper's BRLT kernels improve
+// on.  Row scan -> EXPLICIT transpose through global memory -> row scan ->
+// transpose back.  The transpose kernel is the classic shared-memory tiled
+// one (32x33 staging, coalesced on both sides); the row scans reuse the
+// warp-per-row kernel of Sec. IV-C1.  Compared with ScanRow-BRLT this
+// moves the whole matrix through global memory TWICE more, which is
+// exactly the traffic BRLT eliminates.
+#pragma once
+
+#include "sat/scanrowcolumn.hpp"
+
+namespace satgpu::baselines {
+
+/// Tiled matrix transpose: out (width x height) = in^T.  One 32-warp block
+/// per 32x32 tile; staging through a padded shared-memory tile keeps both
+/// the loads and the transposed stores coalesced.
+template <typename T>
+simt::KernelTask transpose_warp(simt::WarpCtx& w,
+                                const simt::DeviceBuffer<T>& in,
+                                std::int64_t height, std::int64_t width,
+                                simt::DeviceBuffer<T>& out)
+{
+    using sat::cols_in_range;
+    using simt::kWarpSize;
+
+    const std::int64_t row0 = w.block_idx().y * kWarpSize;
+    const std::int64_t col0 = w.block_idx().x * kWarpSize;
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    auto tile = w.smem_alloc<T>("transpose.tile", 32 * 33);
+
+    // Warp w stages row w of the tile (coalesced load, conflict-free store).
+    const std::int64_t src_row = row0 + w.warp_id();
+    if (src_row < height) {
+        const auto m = cols_in_range(col0, width);
+        const auto v = in.load(lane + (src_row * width + col0), m);
+        tile.store(lane + std::int64_t{w.warp_id()} * 33, v, m);
+    }
+    co_await w.sync();
+
+    // Warp w drains column w (33-stride: conflict-free) into output row
+    // col0 + w (coalesced store).
+    const std::int64_t dst_row = col0 + w.warp_id();
+    if (dst_row < width) {
+        const auto m = cols_in_range(row0, height); // lanes = source rows
+        const auto v = tile.load(lane * 33 + w.warp_id(), m);
+        out.store(lane + (dst_row * height + row0), v, m);
+    }
+}
+
+template <typename T>
+simt::LaunchStats launch_transpose(simt::Engine& eng,
+                                   const simt::DeviceBuffer<T>& in,
+                                   std::int64_t height, std::int64_t width,
+                                   simt::DeviceBuffer<T>& out)
+{
+    const simt::LaunchConfig cfg{
+        {sat::ceil_div(width, simt::kWarpSize),
+         sat::ceil_div(height, simt::kWarpSize), 1},
+        {32 * simt::kWarpSize, 1, 1}};
+    const simt::KernelInfo info{
+        "gmem_transpose", 16,
+        32 * 33 * static_cast<std::int64_t>(sizeof(T))};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        return transpose_warp<T>(w, in, height, width, out);
+    });
+}
+
+} // namespace satgpu::baselines

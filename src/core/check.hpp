@@ -1,0 +1,37 @@
+// Lightweight precondition / invariant checking.
+//
+// Follows the C++ Core Guidelines (I.6/I.8) spirit: preconditions are
+// expressed at the API boundary and violations terminate loudly.  The checks
+// stay enabled in release builds; everything in this project is either a
+// simulator (where silent corruption would invalidate measurements) or a test
+// harness, so the cost is acceptable and measured hot loops avoid the macro.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+#include <string_view>
+
+namespace satgpu {
+
+[[noreturn]] inline void
+check_failed(std::string_view expr, std::string_view msg,
+             const std::source_location loc = std::source_location::current())
+{
+    std::fprintf(stderr, "satgpu check failed: %.*s\n  %.*s\n  at %s:%u (%s)\n",
+                 static_cast<int>(expr.size()), expr.data(),
+                 static_cast<int>(msg.size()), msg.data(), loc.file_name(),
+                 loc.line(), loc.function_name());
+    std::abort();
+}
+
+} // namespace satgpu
+
+#define SATGPU_CHECK(cond, msg)                                                \
+    do {                                                                       \
+        if (!(cond)) [[unlikely]]                                              \
+            ::satgpu::check_failed(#cond, (msg));                              \
+    } while (0)
+
+#define SATGPU_EXPECTS(cond) SATGPU_CHECK(cond, "precondition violated")
+#define SATGPU_ENSURES(cond) SATGPU_CHECK(cond, "postcondition violated")

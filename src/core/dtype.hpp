@@ -1,0 +1,75 @@
+// Data-type vocabulary of the paper (Sec. III-D).
+//
+//   8u  = unsigned 8-bit, 32s = signed 32-bit, 32u = unsigned 32-bit,
+//   32f = float, 64f = double.  "TaTb" names an (input, output) pair,
+//   e.g. 8u32s reads unsigned chars and accumulates into int32.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace satgpu {
+
+using u8 = std::uint8_t;
+using i32 = std::int32_t;
+using u32 = std::uint32_t;
+using f32 = float;
+using f64 = double;
+
+enum class Dtype : std::uint8_t { u8_, i32_, u32_, f32_, f64_ };
+
+template <typename T> struct dtype_of;
+template <> struct dtype_of<u8> { static constexpr Dtype value = Dtype::u8_; };
+template <> struct dtype_of<i32> { static constexpr Dtype value = Dtype::i32_; };
+template <> struct dtype_of<u32> { static constexpr Dtype value = Dtype::u32_; };
+template <> struct dtype_of<f32> { static constexpr Dtype value = Dtype::f32_; };
+template <> struct dtype_of<f64> { static constexpr Dtype value = Dtype::f64_; };
+
+[[nodiscard]] constexpr std::string_view dtype_name(Dtype t) noexcept
+{
+    switch (t) {
+    case Dtype::u8_: return "8u";
+    case Dtype::i32_: return "32s";
+    case Dtype::u32_: return "32u";
+    case Dtype::f32_: return "32f";
+    case Dtype::f64_: return "64f";
+    }
+    return "?";
+}
+
+[[nodiscard]] constexpr std::size_t dtype_size(Dtype t) noexcept
+{
+    switch (t) {
+    case Dtype::u8_: return 1;
+    case Dtype::i32_:
+    case Dtype::u32_:
+    case Dtype::f32_: return 4;
+    case Dtype::f64_: return 8;
+    }
+    return 0;
+}
+
+/// An (input, output) type pair in the paper's TaTb notation.
+struct DtypePair {
+    Dtype in;
+    Dtype out;
+
+    friend constexpr bool operator==(DtypePair, DtypePair) = default;
+};
+
+template <typename Tin, typename Tout>
+[[nodiscard]] constexpr DtypePair make_pair_of() noexcept
+{
+    return {dtype_of<Tin>::value, dtype_of<Tout>::value};
+}
+
+/// "8u32s", "32f32f", ... (matches the paper's figure labels).
+[[nodiscard]] inline std::string pair_name(DtypePair p)
+{
+    std::string s{dtype_name(p.in)};
+    s += dtype_name(p.out);
+    return s;
+}
+
+} // namespace satgpu

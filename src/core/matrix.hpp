@@ -1,0 +1,133 @@
+// Row-major 2-D matrix used as the host/device image container.
+//
+// The paper's convention (Sec. III-A) is followed throughout the project:
+// a matrix has height H (rows, indexed by y) and width W (columns, indexed
+// by x); element (x, y) lives at row y, column x.
+#pragma once
+
+#include "core/check.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace satgpu {
+
+/// Row-major H x W matrix with value semantics.
+template <typename T>
+class Matrix {
+public:
+    using value_type = T;
+
+    Matrix() = default;
+
+    Matrix(std::int64_t height, std::int64_t width, T fill = T{})
+        : height_(height), width_(width),
+          data_(checked_size(height, width), fill)
+    {
+    }
+
+    [[nodiscard]] std::int64_t height() const noexcept { return height_; }
+    [[nodiscard]] std::int64_t width() const noexcept { return width_; }
+    [[nodiscard]] std::int64_t size() const noexcept
+    {
+        return height_ * width_;
+    }
+    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+    [[nodiscard]] T& at(std::int64_t y, std::int64_t x)
+    {
+        SATGPU_EXPECTS(in_bounds(y, x));
+        return data_[static_cast<std::size_t>(y * width_ + x)];
+    }
+    [[nodiscard]] const T& at(std::int64_t y, std::int64_t x) const
+    {
+        SATGPU_EXPECTS(in_bounds(y, x));
+        return data_[static_cast<std::size_t>(y * width_ + x)];
+    }
+
+    /// Unchecked access for hot loops (callers validate bounds once).
+    [[nodiscard]] T& operator()(std::int64_t y, std::int64_t x) noexcept
+    {
+        return data_[static_cast<std::size_t>(y * width_ + x)];
+    }
+    [[nodiscard]] const T& operator()(std::int64_t y,
+                                      std::int64_t x) const noexcept
+    {
+        return data_[static_cast<std::size_t>(y * width_ + x)];
+    }
+
+    [[nodiscard]] std::span<T> row(std::int64_t y)
+    {
+        SATGPU_EXPECTS(y >= 0 && y < height_);
+        return {data_.data() + y * width_, static_cast<std::size_t>(width_)};
+    }
+    [[nodiscard]] std::span<const T> row(std::int64_t y) const
+    {
+        SATGPU_EXPECTS(y >= 0 && y < height_);
+        return {data_.data() + y * width_, static_cast<std::size_t>(width_)};
+    }
+
+    [[nodiscard]] std::span<T> flat() noexcept { return data_; }
+    [[nodiscard]] std::span<const T> flat() const noexcept { return data_; }
+
+    [[nodiscard]] bool in_bounds(std::int64_t y, std::int64_t x) const noexcept
+    {
+        return y >= 0 && y < height_ && x >= 0 && x < width_;
+    }
+
+    friend bool operator==(const Matrix& a, const Matrix& b) = default;
+
+private:
+    static std::size_t checked_size(std::int64_t h, std::int64_t w)
+    {
+        SATGPU_EXPECTS(h >= 0 && w >= 0);
+        return static_cast<std::size_t>(h) * static_cast<std::size_t>(w);
+    }
+
+    std::int64_t height_ = 0;
+    std::int64_t width_ = 0;
+    std::vector<T> data_;
+};
+
+/// Plain O(H*W) transpose, used as a test oracle for BRLT and the
+/// scan-transpose-scan pipelines.
+template <typename T>
+[[nodiscard]] Matrix<T> transpose(const Matrix<T>& m)
+{
+    Matrix<T> out(m.width(), m.height());
+    for (std::int64_t y = 0; y < m.height(); ++y)
+        for (std::int64_t x = 0; x < m.width(); ++x)
+            out(x, y) = m(y, x);
+    return out;
+}
+
+/// Elementwise conversion between matrix value types (e.g. 8u input to a
+/// 32-bit accumulator image).
+template <typename Dst, typename Src>
+[[nodiscard]] Matrix<Dst> convert(const Matrix<Src>& m)
+{
+    Matrix<Dst> out(m.height(), m.width());
+    std::transform(m.flat().begin(), m.flat().end(), out.flat().begin(),
+                   [](Src v) { return static_cast<Dst>(v); });
+    return out;
+}
+
+/// Maximum absolute difference between two same-shaped matrices, as a
+/// `double`.  Used for approximate comparisons of floating-point SATs.
+template <typename T>
+[[nodiscard]] double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b)
+{
+    SATGPU_EXPECTS(a.height() == b.height() && a.width() == b.width());
+    double worst = 0.0;
+    for (std::int64_t i = 0; i < a.size(); ++i) {
+        const double d = std::abs(static_cast<double>(a.flat()[static_cast<std::size_t>(i)]) -
+                                  static_cast<double>(b.flat()[static_cast<std::size_t>(i)]));
+        worst = std::max(worst, d);
+    }
+    return worst;
+}
+
+} // namespace satgpu

@@ -1,0 +1,68 @@
+// Minimal binary PGM (P5) writer/reader so the examples can emit actual
+// images (blurred photos, binarized documents, wavelet quadrants) that a
+// human can open.
+#pragma once
+
+#include "core/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <string>
+
+namespace satgpu {
+
+/// Write an 8-bit grayscale matrix as binary PGM.  Returns false on I/O
+/// failure.
+inline bool write_pgm(const std::string& path, const Matrix<std::uint8_t>& m)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f << "P5\n" << m.width() << ' ' << m.height() << "\n255\n";
+    f.write(reinterpret_cast<const char*>(m.flat().data()),
+            static_cast<std::streamsize>(m.size()));
+    return static_cast<bool>(f);
+}
+
+/// Linearly rescale any numeric matrix into 0..255 and write it.
+template <typename T>
+bool write_pgm_normalized(const std::string& path, const Matrix<T>& m)
+{
+    double lo = 0, hi = 0;
+    if (m.size() > 0) {
+        lo = hi = static_cast<double>(m.flat()[0]);
+        for (const auto v : m.flat()) {
+            lo = std::min(lo, static_cast<double>(v));
+            hi = std::max(hi, static_cast<double>(v));
+        }
+    }
+    const double scale = hi > lo ? 255.0 / (hi - lo) : 0.0;
+    Matrix<std::uint8_t> out(m.height(), m.width());
+    for (std::int64_t i = 0; i < m.size(); ++i)
+        out.flat()[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+            std::lround(
+                (static_cast<double>(m.flat()[static_cast<std::size_t>(i)]) -
+                 lo) *
+                scale));
+    return write_pgm(path, out);
+}
+
+/// Read a binary PGM (P5, maxval 255).  Returns an empty matrix on failure.
+inline Matrix<std::uint8_t> read_pgm(const std::string& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    std::string magic;
+    std::int64_t w = 0, h = 0;
+    int maxval = 0;
+    f >> magic >> w >> h >> maxval;
+    if (!f || magic != "P5" || maxval != 255 || w <= 0 || h <= 0)
+        return {};
+    f.get(); // the single whitespace after the header
+    Matrix<std::uint8_t> m(h, w);
+    f.read(reinterpret_cast<char*>(m.flat().data()),
+           static_cast<std::streamsize>(m.size()));
+    return f ? std::move(m) : Matrix<std::uint8_t>{};
+}
+
+} // namespace satgpu

@@ -1,0 +1,68 @@
+// Deterministic test/benchmark input generation.
+//
+// All fills are seeded so every run (and every algorithm under comparison)
+// sees the same input.  Values are kept small by default so that integer SATs
+// of 16k x 16k inputs do not overflow 32-bit accumulators and float SATs stay
+// exactly representable, mirroring the paper's note that overflow handling is
+// out of scope (Sec. VI-A).
+#pragma once
+
+#include "core/matrix.hpp"
+
+#include <cstdint>
+#include <random>
+#include <type_traits>
+
+namespace satgpu {
+
+/// Uniform random fill in [lo, hi] (integers) or [lo, hi) (floats).
+template <typename T>
+void fill_random(Matrix<T>& m, std::uint64_t seed, T lo, T hi)
+{
+    std::mt19937_64 rng(seed);
+    if constexpr (std::is_integral_v<T>) {
+        // uniform_int_distribution is not specified for 8-bit types.
+        std::uniform_int_distribution<std::int64_t> dist(
+            static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi));
+        for (T& v : m.flat())
+            v = static_cast<T>(dist(rng));
+    } else {
+        std::uniform_real_distribution<double> dist(static_cast<double>(lo),
+                                                    static_cast<double>(hi));
+        for (T& v : m.flat())
+            v = static_cast<T>(dist(rng));
+    }
+}
+
+/// Default fill: small non-negative INTEGER values (also for float/double
+/// matrices, where integer-valued data keeps every partial sum exactly
+/// representable, so different scan orders agree bitwise).  Values <= 15
+/// keep a 16k x 16k total below 2^32 for 32-bit accumulators.
+template <typename T>
+void fill_random(Matrix<T>& m, std::uint64_t seed = 42)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> dist(0, 15);
+    for (T& v : m.flat())
+        v = static_cast<T>(dist(rng));
+}
+
+/// Fill with a known closed-form pattern: m(y, x) = (x + 2y) % 7.
+/// Useful for tests that want reproducible failures printed as indices.
+template <typename T>
+void fill_pattern(Matrix<T>& m)
+{
+    for (std::int64_t y = 0; y < m.height(); ++y)
+        for (std::int64_t x = 0; x < m.width(); ++x)
+            m(y, x) = static_cast<T>((x + 2 * y) % 7);
+}
+
+/// All-ones fill; the SAT of ones is (x+1)*(y+1), a handy analytic oracle.
+template <typename T>
+void fill_ones(Matrix<T>& m)
+{
+    for (T& v : m.flat())
+        v = T{1};
+}
+
+} // namespace satgpu

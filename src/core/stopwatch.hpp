@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for host-side measurements (bench_cpu_host and the
+// examples).  Simulated-GPU times come from model/timing, not from here.
+#pragma once
+
+#include <chrono>
+
+namespace satgpu {
+
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    [[nodiscard]] double elapsed_seconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+    [[nodiscard]] double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace satgpu

@@ -1,0 +1,39 @@
+// Console table / CSV emission for the benchmark harness.
+//
+// Every bench binary prints the same rows the paper's tables and figure
+// series report; TablePrinter keeps them aligned and optionally mirrors the
+// rows to a CSV file for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace satgpu {
+
+class TablePrinter {
+public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /// Append one row; cells are already formatted.
+    void add_row(std::vector<std::string> cells);
+
+    /// Render the aligned table (with a rule under the header) to `os`.
+    void print(std::ostream& os) const;
+
+    /// Write headers + rows as CSV.
+    void write_csv(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+    // Cell formatting helpers used across the bench binaries.
+    static std::string fmt(double v, int precision = 3);
+    static std::string fmt_int(std::int64_t v);
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace satgpu

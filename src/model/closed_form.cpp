@@ -1,0 +1,181 @@
+#include "model/closed_form.hpp"
+
+#include "core/check.hpp"
+
+namespace satgpu::model {
+
+namespace {
+
+constexpr std::int64_t kTile = 32;    // warp tile edge
+constexpr std::int64_t kChunk = 1024; // elements per warp row chunk
+
+/// 32-byte sectors touched by one warp-wide access of `b` bytes per lane
+/// (contiguous, aligned): 32*b/32 = b, floored at one sector.
+constexpr std::uint64_t sectors_per_access(std::size_t b)
+{
+    return b < 1 ? 1 : static_cast<std::uint64_t>(b);
+}
+
+/// Shared-memory transactions per conflict-free access of a `b`-byte type
+/// (8-byte types split into two half-warp transactions).
+constexpr std::uint64_t smem_tpw(std::size_t b)
+{
+    return b <= 4 ? 1 : b / 4;
+}
+
+struct Terms {
+    std::int64_t tiles;       // 32x32 tiles over the source
+    std::int64_t chunk_units; // (block, 1024-column chunk) pairs
+    std::int64_t blocks;
+    std::int64_t wc; // warps per block
+};
+
+Terms pass_terms(const ProblemShape& s, std::int64_t wc)
+{
+    SATGPU_EXPECTS(s.height % kTile == 0 &&
+                   s.width % (wc * kTile) == 0);
+    Terms t;
+    t.wc = wc;
+    t.blocks = s.height / kTile;
+    t.tiles = (s.height / kTile) * (s.width / kTile);
+    t.chunk_units = t.blocks * (s.width / (wc * kTile));
+    return t;
+}
+
+/// Fig. 3c block carry, per (block, chunk) unit.
+void add_block_carry(simt::PerfCounters& c, const Terms& t, std::size_t so)
+{
+    const auto cu = static_cast<std::uint64_t>(t.chunk_units);
+    const auto wc = static_cast<std::uint64_t>(t.wc);
+    const auto tpw = smem_tpw(so);
+    c.smem_st_req += (2 * wc - 1) * cu;
+    c.smem_ld_req += (3 * wc - 1) * cu;
+    c.smem_st_trans += (2 * wc - 1) * cu * tpw;
+    c.smem_ld_trans += (3 * wc - 1) * cu * tpw;
+    c.smem_bytes_st += (2 * wc - 1) * cu * 32 * so;
+    c.smem_bytes_ld += (3 * wc - 1) * cu * 32 * so;
+    c.lane_add += (wc - 1) * 32 * cu; // warp 0's serial cross-warp scan
+    c.barriers += 3 * cu;
+}
+
+void add_tile_gmem(simt::PerfCounters& c, const Terms& t, std::size_t si,
+                   std::size_t so)
+{
+    const auto tiles = static_cast<std::uint64_t>(t.tiles);
+    c.gmem_ld_req += 32 * tiles;
+    c.gmem_st_req += 32 * tiles;
+    c.gmem_ld_sectors += 32 * sectors_per_access(si) * tiles;
+    c.gmem_st_sectors += 32 * sectors_per_access(so) * tiles;
+    c.gmem_bytes_ld += 1024 * si * tiles;
+    c.gmem_bytes_st += 1024 * so * tiles;
+}
+
+} // namespace
+
+simt::PerfCounters closed_form_brlt_pass(const ProblemShape& s,
+                                         bool parallel_scan)
+{
+    const std::int64_t wc = s.sizeof_out <= 4 ? 32 : 16;
+    const Terms t = pass_terms(s, wc);
+    const auto tiles = static_cast<std::uint64_t>(t.tiles);
+    const auto tpw = smem_tpw(s.sizeof_out);
+
+    simt::PerfCounters c;
+    add_tile_gmem(c, t, s.sizeof_in, s.sizeof_out);
+
+    // BRLT staging: 32 row stores + 32 column loads per tile, conflict free.
+    c.smem_st_req += 32 * tiles;
+    c.smem_ld_req += 32 * tiles;
+    c.smem_st_trans += 32 * tiles * tpw;
+    c.smem_ld_trans += 32 * tiles * tpw;
+    c.smem_bytes_st += 1024 * s.sizeof_out * tiles;
+    c.smem_bytes_ld += 1024 * s.sizeof_out * tiles;
+    // BRLT barrier rounds: ceil(wc / S) per (block, chunk).
+    const std::int64_t S = 32 / static_cast<std::int64_t>(s.sizeof_out);
+    c.barriers += static_cast<std::uint64_t>((wc + S - 1) / S) *
+                  static_cast<std::uint64_t>(t.chunk_units);
+
+    if (parallel_scan) {
+        // ScanRow-BRLT: Kogge-Stone rows + total gather + offset broadcast.
+        c.warp_shfl += 224 * tiles; // 160 scan + 32 gather + 32 broadcast
+        c.lane_add += 5216 * tiles; // 4128 scan + 1024 offsets + 64 carries
+        c.lane_select += 1024 * tiles;
+    } else {
+        // BRLT-ScanRow: intra-thread serial scan.
+        c.lane_add += 2080 * tiles; // 992 scan + 1024 offsets + 64 carries
+    }
+
+    add_block_carry(c, t, s.sizeof_out);
+    c.blocks = static_cast<std::uint64_t>(t.blocks);
+    c.warps = static_cast<std::uint64_t>(t.blocks * wc);
+    return c;
+}
+
+simt::PerfCounters closed_form_scanrow(const ProblemShape& s)
+{
+    const std::int64_t wc = 128 / static_cast<std::int64_t>(s.sizeof_out);
+    SATGPU_EXPECTS(s.height % wc == 0 && s.width % kChunk == 0);
+    const auto row_chunks = static_cast<std::uint64_t>(
+        s.height * (s.width / kChunk));
+
+    simt::PerfCounters c;
+    c.gmem_ld_req = 32 * row_chunks;
+    c.gmem_st_req = 32 * row_chunks;
+    c.gmem_ld_sectors = 32 * sectors_per_access(s.sizeof_in) * row_chunks;
+    c.gmem_st_sectors = 32 * sectors_per_access(s.sizeof_out) * row_chunks;
+    c.gmem_bytes_ld = 1024 * s.sizeof_in * row_chunks;
+    c.gmem_bytes_st = 1024 * s.sizeof_out * row_chunks;
+    // Per chunk: 32 x (Kogge-Stone + carry add + carry broadcast).
+    c.warp_shfl = (160 + 32) * row_chunks;
+    c.lane_add = (4128 + 1024) * row_chunks;
+    c.blocks = static_cast<std::uint64_t>(s.height / wc);
+    c.warps = static_cast<std::uint64_t>(s.height);
+    return c;
+}
+
+simt::PerfCounters closed_form_scancolumn(const ProblemShape& s)
+{
+    const std::int64_t wc = s.sizeof_out <= 4 ? 32 : 16;
+    SATGPU_EXPECTS(s.width % kTile == 0 && s.height % (wc * kTile) == 0);
+    const auto tiles = static_cast<std::uint64_t>(
+        (s.height / kTile) * (s.width / kTile));
+    const std::int64_t strip_units =
+        (s.width / kTile) * (s.height / (wc * kTile));
+
+    simt::PerfCounters c;
+    Terms t;
+    t.tiles = static_cast<std::int64_t>(tiles);
+    t.chunk_units = strip_units;
+    t.blocks = s.width / kTile;
+    t.wc = wc;
+    add_tile_gmem(c, t, s.sizeof_out, s.sizeof_out);
+    c.lane_add += 2080 * tiles; // serial scan + offsets, as in BRLT-ScanRow
+    add_block_carry(c, t, s.sizeof_out);
+    c.blocks = static_cast<std::uint64_t>(t.blocks);
+    c.warps = static_cast<std::uint64_t>(t.blocks * wc);
+    return c;
+}
+
+std::vector<simt::PerfCounters>
+closed_form_algorithm(sat::Algorithm algo, const ProblemShape& s)
+{
+    const ProblemShape pass2{s.width, s.height, s.sizeof_out, s.sizeof_out};
+    switch (algo) {
+    case sat::Algorithm::kBrltScanRow:
+        return {closed_form_brlt_pass(s, false),
+                closed_form_brlt_pass(pass2, false)};
+    case sat::Algorithm::kScanRowBrlt:
+        return {closed_form_brlt_pass(s, true),
+                closed_form_brlt_pass(pass2, true)};
+    case sat::Algorithm::kScanRowColumn:
+        return {closed_form_scanrow(s),
+                closed_form_scancolumn(
+                    ProblemShape{s.height, s.width, s.sizeof_out,
+                                 s.sizeof_out})};
+    default:
+        SATGPU_CHECK(false,
+                     "closed forms cover the three proposed algorithms");
+    }
+}
+
+} // namespace satgpu::model

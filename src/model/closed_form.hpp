@@ -1,0 +1,49 @@
+// Closed-form event-count formulas for the paper's three SAT algorithms.
+//
+// Where cost_model.hpp measures a calibration run and scales, this module
+// derives every counter analytically from the kernel structure -- the
+// per-tile costs of Sec. V-B extended to whole-matrix totals, including the
+// Fig. 3c block-carry and the chunk loops.  The tests assert exact equality
+// against the simulator for multiple sizes, so these formulas double as
+// executable documentation of what each kernel does per 32x32 tile:
+//
+//                        BRLT-ScanRow   ScanRow-BRLT   ScanRow  ScanColumn
+//   smem transactions       64+carry       64+carry        0      carry
+//   warp shuffles               0             224         192        0
+//   lane adds                 2080           5216        5152      2080
+//
+// Valid for H, W multiples of the 1024-wide chunk (the benchmark regime).
+#pragma once
+
+#include "core/dtype.hpp"
+#include "sat/sat.hpp"
+#include "simt/perf_counters.hpp"
+
+namespace satgpu::model {
+
+struct ProblemShape {
+    std::int64_t height = 0;
+    std::int64_t width = 0;
+    std::size_t sizeof_in = 1;  // bytes per input element
+    std::size_t sizeof_out = 4; // bytes per accumulator element
+};
+
+/// Counters of ONE transposing pass (BRLT-ScanRow or ScanRow-BRLT flavour)
+/// over a `shape.height x shape.width` source.
+[[nodiscard]] simt::PerfCounters
+closed_form_brlt_pass(const ProblemShape& shape, bool parallel_scan);
+
+/// Counters of the ScanRow kernel (Sec. IV-C1).
+[[nodiscard]] simt::PerfCounters
+closed_form_scanrow(const ProblemShape& shape);
+
+/// Counters of the ScanColumn kernel (Sec. IV-C2).
+[[nodiscard]] simt::PerfCounters
+closed_form_scancolumn(const ProblemShape& shape);
+
+/// Full-algorithm counters (both kernels), for the three proposed
+/// algorithms only.
+[[nodiscard]] std::vector<simt::PerfCounters>
+closed_form_algorithm(sat::Algorithm algo, const ProblemShape& shape);
+
+} // namespace satgpu::model

@@ -1,0 +1,165 @@
+#include "model/cost_model.hpp"
+
+#include "core/random_fill.hpp"
+#include "sat/launch_params.hpp"
+
+#include <cmath>
+
+namespace satgpu::model {
+
+namespace {
+
+using sat::Algorithm;
+using sat::ceil_div;
+using simt::kWarpSize;
+
+template <typename Tin, typename Tout>
+std::vector<simt::LaunchStats> run_calibration(Algorithm algo,
+                                               sat::Options opt)
+{
+    Matrix<Tin> img(CostModel::kCalibSize, CostModel::kCalibSize);
+    fill_random(img, /*seed=*/1234);
+    simt::Engine eng({.smem_capacity_bytes = 96 * 1024,
+                      .record_history = false});
+    opt.algorithm = algo;
+    return sat::compute_sat<Tout>(eng, img, opt).launches;
+}
+
+std::vector<simt::LaunchStats> dispatch_calibration(Algorithm algo,
+                                                    DtypePair dt,
+                                                    const sat::Options& opt)
+{
+    using satgpu::f32;
+    using satgpu::f64;
+    using satgpu::i32;
+    using satgpu::u32;
+    using satgpu::u8;
+    if (dt == make_pair_of<u8, u32>())
+        return run_calibration<u8, u32>(algo, opt);
+    if (dt == make_pair_of<u8, i32>())
+        return run_calibration<u8, i32>(algo, opt);
+    if (dt == make_pair_of<u8, f32>())
+        return run_calibration<u8, f32>(algo, opt);
+    if (dt == make_pair_of<i32, i32>())
+        return run_calibration<i32, i32>(algo, opt);
+    if (dt == make_pair_of<u32, u32>())
+        return run_calibration<u32, u32>(algo, opt);
+    if (dt == make_pair_of<f32, f32>())
+        return run_calibration<f32, f32>(algo, opt);
+    if (dt == make_pair_of<f64, f64>())
+        return run_calibration<f64, f64>(algo, opt);
+    SATGPU_CHECK(false, "unsupported dtype pair in cost model");
+}
+
+std::uint64_t scaled(std::uint64_t v, double f)
+{
+    return static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(v) * f));
+}
+
+} // namespace
+
+simt::PerfCounters scale_counters(const simt::PerfCounters& c, double f)
+{
+    simt::PerfCounters r;
+    r.lane_add = scaled(c.lane_add, f);
+    r.lane_mul = scaled(c.lane_mul, f);
+    r.lane_bool = scaled(c.lane_bool, f);
+    r.lane_select = scaled(c.lane_select, f);
+    r.warp_shfl = scaled(c.warp_shfl, f);
+    r.smem_ld_req = scaled(c.smem_ld_req, f);
+    r.smem_st_req = scaled(c.smem_st_req, f);
+    r.smem_ld_trans = scaled(c.smem_ld_trans, f);
+    r.smem_st_trans = scaled(c.smem_st_trans, f);
+    r.smem_bytes_ld = scaled(c.smem_bytes_ld, f);
+    r.smem_bytes_st = scaled(c.smem_bytes_st, f);
+    r.gmem_ld_req = scaled(c.gmem_ld_req, f);
+    r.gmem_st_req = scaled(c.gmem_st_req, f);
+    r.gmem_ld_sectors = scaled(c.gmem_ld_sectors, f);
+    r.gmem_st_sectors = scaled(c.gmem_st_sectors, f);
+    r.gmem_bytes_ld = scaled(c.gmem_bytes_ld, f);
+    r.gmem_bytes_st = scaled(c.gmem_bytes_st, f);
+    r.gmem_atomics = scaled(c.gmem_atomics, f);
+    r.barriers = scaled(c.barriers, f);
+    r.blocks = scaled(c.blocks, f);
+    r.warps = scaled(c.warps, f);
+    return r;
+}
+
+std::vector<simt::LaunchConfig>
+CostModel::expected_configs(Algorithm algo, DtypePair dt, std::int64_t h,
+                            std::int64_t w)
+{
+    const auto size_out = static_cast<std::int64_t>(dtype_size(dt.out));
+    const std::int64_t wc = size_out <= 4 ? 32 : 16; // sat::warps_per_block
+    switch (algo) {
+    case Algorithm::kBrltScanRow:
+    case Algorithm::kScanRowBrlt:
+        return {{{1, ceil_div(h, kWarpSize), 1}, {wc * kWarpSize, 1, 1}},
+                {{1, ceil_div(w, kWarpSize), 1}, {wc * kWarpSize, 1, 1}}};
+    case Algorithm::kScanRowColumn: {
+        const std::int64_t row_wc = 128 / size_out;
+        return {{{1, ceil_div(h, row_wc), 1}, {row_wc * kWarpSize, 1, 1}},
+                {{ceil_div(w, kWarpSize), 1, 1}, {kWarpSize, wc, 1}}};
+    }
+    case Algorithm::kOpencvLike: {
+        if (dt.in == Dtype::u8_)
+            return {{{1, ceil_div(h, 4), 1}, {128, 1, 1}},
+                    {{ceil_div(w, 256), 1, 1}, {256, 1, 1}}};
+        return {{{1, h, 1}, {256, 1, 1}},
+                {{ceil_div(w, 256), 1, 1}, {256, 1, 1}}};
+    }
+    case Algorithm::kNppLike:
+        return {{{1, h, 1}, {256, 1, 1}}, {{w, 1, 1}, {1, 256, 1}}};
+    case Algorithm::kNaiveScanScan:
+        return {{{1, ceil_div(h, 256), 1}, {256, 1, 1}},
+                {{ceil_div(w, 256), 1, 1}, {256, 1, 1}}};
+    case Algorithm::kScanTransposeScan: {
+        const std::int64_t row_wc = 128 / size_out;
+        return {{{1, ceil_div(h, row_wc), 1}, {row_wc * kWarpSize, 1, 1}},
+                {{ceil_div(w, kWarpSize), ceil_div(h, kWarpSize), 1},
+                 {32 * kWarpSize, 1, 1}},
+                {{1, ceil_div(w, row_wc), 1}, {row_wc * kWarpSize, 1, 1}},
+                {{ceil_div(h, kWarpSize), ceil_div(w, kWarpSize), 1},
+                 {32 * kWarpSize, 1, 1}}};
+    }
+    }
+    SATGPU_CHECK(false, "unknown algorithm");
+}
+
+std::vector<simt::LaunchStats>
+CostModel::predict(Algorithm algo, DtypePair dt, std::int64_t h,
+                   std::int64_t w, const sat::Options& opt)
+{
+    const Key key{algo, dt, opt.warp_scan, opt.padded_smem};
+    auto it = calibration_.find(key);
+    if (it == calibration_.end())
+        it = calibration_
+                 .emplace(key, dispatch_calibration(algo, dt, opt))
+                 .first;
+    const auto& calib = it->second;
+
+    const double factor = static_cast<double>(h) * static_cast<double>(w) /
+                          (static_cast<double>(kCalibSize) * kCalibSize);
+    const auto configs = expected_configs(algo, dt, h, w);
+    SATGPU_CHECK(configs.size() == calib.size(),
+                 "config rule out of sync with the implementation");
+
+    std::vector<simt::LaunchStats> out;
+    out.reserve(calib.size());
+    for (std::size_t i = 0; i < calib.size(); ++i) {
+        simt::LaunchStats s;
+        s.info = calib[i].info;
+        s.smem_used_bytes = calib[i].smem_used_bytes;
+        s.config = configs[i];
+        s.counters = scale_counters(calib[i].counters, factor);
+        // Geometry-derived counters come from the target configuration.
+        s.counters.blocks =
+            static_cast<std::uint64_t>(s.config.total_blocks());
+        s.counters.warps = static_cast<std::uint64_t>(s.config.total_warps());
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace satgpu::model

@@ -1,0 +1,68 @@
+#include "model/gpu_specs.hpp"
+
+#include <array>
+
+namespace satgpu::model {
+
+namespace {
+
+constexpr GpuSpec make_m40()
+{
+    GpuSpec s;
+    s.name = "Tesla M40";
+    s.sm_count = 24;
+    s.smem_per_sm_kb = 48; // configurable 16/32/48 (Table I)
+    s.core_clock_ghz = 1.114;
+    s.dram_gbs = 288;
+    s.l2_gbs = 1100;
+    s.smem_gbs = 2150; // 24 SM * 128 B/clk * 0.7 measured efficiency
+    s.lat_smem = 28;   // Maxwell, Wong-style microbenchmarks
+    s.lat_shfl = 30;
+    s.lat_add = 6;
+    return s;
+}
+
+constexpr GpuSpec make_p100()
+{
+    GpuSpec s;
+    s.name = "Tesla P100";
+    s.sm_count = 56;
+    s.smem_per_sm_kb = 64;
+    s.core_clock_ghz = 1.328;
+    s.dram_gbs = 732;
+    s.l2_gbs = 2000;
+    s.smem_gbs = 9519; // [55]; equals 56 SM * 128 B/clk * 1.328 GHz
+    s.lat_smem = 36;   // Sec. V-A measurements
+    s.lat_shfl = 33;
+    s.lat_add = 6;
+    return s;
+}
+
+constexpr GpuSpec make_v100()
+{
+    GpuSpec s;
+    s.name = "Tesla V100";
+    s.sm_count = 80;
+    s.smem_per_sm_kb = 96; // "<= 96" (Table I)
+    s.max_smem_per_block_kb = 96;
+    s.core_clock_ghz = 1.530;
+    s.dram_gbs = 900;
+    s.l2_gbs = 2700;
+    s.smem_gbs = 13800; // [55]
+    s.lat_smem = 27;    // Sec. V-A measurements
+    s.lat_shfl = 39;
+    s.lat_add = 4;
+    return s;
+}
+
+constexpr std::array<GpuSpec, 3> kSpecs{make_m40(), make_p100(),
+                                        make_v100()};
+
+} // namespace
+
+const GpuSpec& tesla_m40() noexcept { return kSpecs[0]; }
+const GpuSpec& tesla_p100() noexcept { return kSpecs[1]; }
+const GpuSpec& tesla_v100() noexcept { return kSpecs[2]; }
+std::span<const GpuSpec> all_specs() noexcept { return kSpecs; }
+
+} // namespace satgpu::model

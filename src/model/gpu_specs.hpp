@@ -1,0 +1,61 @@
+// GPU specification database.
+//
+// Table I of the paper (shared memory vs register capacity for M40, P100,
+// V100) plus the micro-architecture parameters its performance model uses:
+// the Sec. V-A measured latencies (shared memory, shuffle, addition), the
+// documented per-SM throughputs, and the shared-memory bandwidths the paper
+// takes from Jia et al. [55].  DRAM and L2 figures are the public Tesla
+// datasheet / microbenchmark values.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace satgpu::model {
+
+struct GpuSpec {
+    std::string_view name;
+
+    // Capacity (Table I).
+    int sm_count = 0;
+    int smem_per_sm_kb = 0;     // per-SM shared memory
+    int regfile_per_sm_kb = 256; // 64k 32-bit registers
+    int max_smem_per_block_kb = 48;
+
+    // Scheduler limits.
+    int max_warps_per_sm = 64;
+    int max_blocks_per_sm = 32;
+    int max_threads_per_block = 1024;
+
+    // Clocks and bandwidths.
+    double core_clock_ghz = 0;
+    double dram_gbs = 0; // device-memory bandwidth
+    double l2_gbs = 0;   // L2 bandwidth (serves redundant re-references)
+    double smem_gbs = 0; // aggregate shared-memory bandwidth [55]
+
+    // Measured latencies in cycles (Sec. V-A).
+    int lat_smem = 0;
+    int lat_shfl = 0;
+    int lat_add = 0;
+    int lat_gmem = 450;
+
+    // Throughputs per SM per clock, in lane-operations (Sec. V-A quotes
+    // 32 shuffle / 64 add / 64 boolean-AND operations per clock).
+    int shfl_lanes_per_clk = 32;
+    int add_lanes_per_clk = 64;
+
+    // Fixed kernel-launch overhead (host API + scheduling), microseconds.
+    double launch_overhead_us = 4.0;
+
+    [[nodiscard]] long long regs_per_sm() const noexcept
+    {
+        return static_cast<long long>(regfile_per_sm_kb) * 1024 / 4;
+    }
+};
+
+[[nodiscard]] const GpuSpec& tesla_m40() noexcept;
+[[nodiscard]] const GpuSpec& tesla_p100() noexcept;
+[[nodiscard]] const GpuSpec& tesla_v100() noexcept;
+[[nodiscard]] std::span<const GpuSpec> all_specs() noexcept;
+
+} // namespace satgpu::model

@@ -1,0 +1,69 @@
+#include "model/occupancy.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+
+namespace satgpu::model {
+
+std::int64_t warps_per_block(const KernelFootprint& k) noexcept
+{
+    return k.block_size / simt::kWarpSize; // floor, Eq. 7
+}
+
+std::int64_t paper_active_warps(const GpuSpec& g, const KernelFootprint& k)
+{
+    SATGPU_EXPECTS(k.regs_per_thread > 0 && k.block_size > 0);
+    const std::int64_t wpb = warps_per_block(k);
+    const std::int64_t by_regs =
+        g.regs_per_sm() / (std::int64_t{k.regs_per_thread} * simt::kWarpSize);
+    const std::int64_t by_smem =
+        k.smem_per_block == 0
+            ? by_regs // unconstrained; Eq. 8 leaves this term out
+            : (std::int64_t{g.smem_per_sm_kb} * 1024 / k.smem_per_block) *
+                  wpb;
+    const std::int64_t by_blocks = wpb * g.max_blocks_per_sm;
+    return g.sm_count * std::min({by_regs, by_smem, by_blocks});
+}
+
+Occupancy hw_occupancy(const GpuSpec& g, const KernelFootprint& k)
+{
+    SATGPU_EXPECTS(k.regs_per_thread > 0 && k.block_size > 0 &&
+                   k.block_size % simt::kWarpSize == 0);
+    const std::int64_t wpb = warps_per_block(k);
+    const std::int64_t regs_per_block =
+        std::int64_t{k.regs_per_thread} * k.block_size;
+
+    struct Limit {
+        std::int64_t blocks;
+        const char* name;
+    };
+    constexpr std::int64_t kUnbounded = 1 << 20;
+    const Limit limits[] = {
+        {g.regs_per_sm() / regs_per_block, "regs"},
+        {k.smem_per_block == 0
+             ? kUnbounded
+             : std::int64_t{g.smem_per_sm_kb} * 1024 / k.smem_per_block,
+         "smem"},
+        {g.max_warps_per_sm / wpb, "warps"},
+        {g.max_blocks_per_sm, "blocks"},
+    };
+
+    Occupancy o;
+    std::int64_t blocks = limits[0].blocks;
+    o.limiter = limits[0].name;
+    for (const auto& l : limits)
+        if (l.blocks < blocks) {
+            blocks = l.blocks;
+            o.limiter = l.name;
+        }
+    blocks = std::max<std::int64_t>(blocks, 0);
+    o.blocks_per_sm = static_cast<int>(blocks);
+    o.warps_per_sm = static_cast<int>(blocks * wpb);
+    o.fraction =
+        static_cast<double>(o.warps_per_sm) / g.max_warps_per_sm;
+    o.active_warps_gpu = std::int64_t{o.warps_per_sm} * g.sm_count;
+    return o;
+}
+
+} // namespace satgpu::model

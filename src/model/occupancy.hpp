@@ -1,0 +1,45 @@
+// Occupancy model.
+//
+// Two calculators:
+//  * paper_active_warps -- Eq. 7/8 exactly as printed in Sec. V-C;
+//  * hw_occupancy -- the hardware-accurate block-granular version
+//    (resources are allocated per block, warps per SM are capped at 64),
+//    which the timing model uses.
+#pragma once
+
+#include "model/gpu_specs.hpp"
+#include "simt/dim3.hpp"
+
+#include <cstdint>
+
+namespace satgpu::model {
+
+struct KernelFootprint {
+    int regs_per_thread = 32;
+    std::int64_t smem_per_block = 0; // bytes
+    std::int64_t block_size = 256;   // threads
+};
+
+/// Eq. 7: warps per block.
+[[nodiscard]] std::int64_t warps_per_block(const KernelFootprint& k) noexcept;
+
+/// Eq. 8, literally: N_sm * min(Reg_sm / (Reg_thread * WarpSize),
+/// (Smem_sm / Smem_block) * N_wpb, N_wpb * N_max_blk_sm).
+[[nodiscard]] std::int64_t paper_active_warps(const GpuSpec& g,
+                                              const KernelFootprint& k);
+
+struct Occupancy {
+    int blocks_per_sm = 0;
+    int warps_per_sm = 0;
+    double fraction = 0.0;            // warps_per_sm / max_warps_per_sm
+    std::int64_t active_warps_gpu = 0; // warps_per_sm * sm_count
+    const char* limiter = "";          // "regs" | "smem" | "warps" | "blocks"
+};
+
+/// Hardware-accurate occupancy: blocks per SM limited by registers, shared
+/// memory, the warp budget and the block cap; resources allocate at block
+/// granularity.
+[[nodiscard]] Occupancy hw_occupancy(const GpuSpec& g,
+                                     const KernelFootprint& k);
+
+} // namespace satgpu::model

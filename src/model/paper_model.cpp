@@ -1,0 +1,90 @@
+#include "model/paper_model.hpp"
+
+namespace satgpu::model {
+
+double eq3_transpose_latency_cycles(const GpuSpec& g)
+{
+    // L_transpose = N_stages * lat_smem; the paper evaluates 64 * 36 = 2304
+    // on P100.
+    return TileOpCounts::trans_stages * static_cast<double>(g.lat_smem);
+}
+
+double eq4_scan_row_latency_cycles(const GpuSpec& g)
+{
+    // L_scan_row = N_scan_row_stage * (lat_shfl + lat_add); the paper
+    // evaluates 160 * (33 + 6) = 6240 on P100.
+    return TileOpCounts::scan_row_stages *
+           static_cast<double>(g.lat_shfl + g.lat_add);
+}
+
+double eq5_scan_col_latency_cycles(const GpuSpec& g)
+{
+    // L_scan_col = N_scan_col_stage * lat_add = 31 * 6 = 186 on P100.
+    return TileOpCounts::scan_col_stages * static_cast<double>(g.lat_add);
+}
+
+double eq10_transpose_time_us(const GpuSpec& g, int sizeof_t)
+{
+    const double bytes =
+        static_cast<double>(TileOpCounts::trans_store_smem +
+                            TileOpCounts::trans_load_smem) *
+        sizeof_t;
+    return bytes / (g.smem_gbs * 1e3);
+}
+
+namespace {
+double lanes_time_us(const GpuSpec& g, double lane_ops)
+{
+    // GPU-wide arithmetic throughput: add_lanes_per_clk per SM per cycle.
+    return lane_ops /
+           (static_cast<double>(g.add_lanes_per_clk) * g.sm_count) /
+           (g.core_clock_ghz * 1e3);
+}
+} // namespace
+
+double eq11_scan_col_add_time_us(const GpuSpec& g)
+{
+    return lanes_time_us(g, TileOpCounts::scan_col_adds);
+}
+
+double eq12_shuffle_time_us(const GpuSpec& g)
+{
+    return static_cast<double>(TileOpCounts::scan_row_shfl) * 32.0 /
+           (static_cast<double>(g.shfl_lanes_per_clk) * g.sm_count) /
+           (g.core_clock_ghz * 1e3);
+}
+
+double eq13_kogge_stone_add_time_us(const GpuSpec& g)
+{
+    return lanes_time_us(g, TileOpCounts::kogge_stone_adds);
+}
+
+double lf_add_and_time_us(const GpuSpec& g)
+{
+    return lanes_time_us(g, TileOpCounts::lf_adds + TileOpCounts::lf_ands);
+}
+
+Inequality eq6_latency_inequality(const GpuSpec& g)
+{
+    return {"Eq.6  L_trans + L_scan_col < L_scan_row",
+            eq3_transpose_latency_cycles(g) + eq5_scan_col_latency_cycles(g),
+            eq4_scan_row_latency_cycles(g)};
+}
+
+Inequality eq14_throughput_inequality(const GpuSpec& g, int sizeof_t)
+{
+    return {"Eq.14 T_trans + T_col_add < T_KS_add + T_shuffle",
+            eq10_transpose_time_us(g, sizeof_t) +
+                eq11_scan_col_add_time_us(g),
+            eq13_kogge_stone_add_time_us(g) + eq12_shuffle_time_us(g)};
+}
+
+Inequality eq15_throughput_inequality(const GpuSpec& g, int sizeof_t)
+{
+    return {"Eq.15 T_trans + T_col_add < T_LF_add + T_LF_and + T_shuffle",
+            eq10_transpose_time_us(g, sizeof_t) +
+                eq11_scan_col_add_time_us(g),
+            lf_add_and_time_us(g) + eq12_shuffle_time_us(g)};
+}
+
+} // namespace satgpu::model

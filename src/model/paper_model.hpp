@@ -1,0 +1,74 @@
+// The paper's closed-form single-warp model (Sec. V-B/V-C), reproduced
+// verbatim: operation counts for processing one 32x32 register matrix,
+// latency estimates (Eqs. 3-5), and the throughput-time inequalities
+// (Eqs. 6, 14, 15) that justify transposing first and scanning serially.
+#pragma once
+
+#include "model/gpu_specs.hpp"
+
+namespace satgpu::model {
+
+/// Operation counts for one 32x32 register matrix (C = WarpSize = 32).
+struct TileOpCounts {
+    // Transpose (Sec. V-B1).
+    static constexpr int trans_store_smem = 1024; // 32*32
+    static constexpr int trans_load_smem = 1024;
+    static constexpr int trans_stages = 64; // C + C
+
+    // Parallel row scan (Sec. V-B2).
+    static constexpr int scan_row_stages = 160; // log2(32) * C
+    static constexpr int scan_row_shfl = 160;
+    static constexpr int kogge_stone_adds = 4128; // (31+30+28+24+16)*C
+    static constexpr int lf_adds = 2560;          // (16*5)*32
+    static constexpr int lf_ands = 5120;          // (32*5)*32
+
+    // Serial column scan (Sec. V-B3).
+    static constexpr int scan_col_stages = 31; // C - 1
+    static constexpr int scan_col_adds = 992;  // 32 * 31
+};
+
+/// Eq. 3: latency of transposing one tile through shared memory.
+[[nodiscard]] double eq3_transpose_latency_cycles(const GpuSpec& g);
+
+/// Eq. 4: latency of the parallel warp row-scan of one tile.
+[[nodiscard]] double eq4_scan_row_latency_cycles(const GpuSpec& g);
+
+/// Eq. 5: latency of the serial column scan of one tile.
+[[nodiscard]] double eq5_scan_col_latency_cycles(const GpuSpec& g);
+
+/// Eq. 10: shared-memory time of one tile transpose (microseconds), given
+/// the element size.
+[[nodiscard]] double eq10_transpose_time_us(const GpuSpec& g,
+                                            int sizeof_t);
+
+/// Eq. 11: arithmetic time of the serial column scan.
+[[nodiscard]] double eq11_scan_col_add_time_us(const GpuSpec& g);
+
+/// Eq. 12: shuffle time of the parallel row scan.
+[[nodiscard]] double eq12_shuffle_time_us(const GpuSpec& g);
+
+/// Eq. 13: arithmetic time of the Kogge-Stone row scan.
+[[nodiscard]] double eq13_kogge_stone_add_time_us(const GpuSpec& g);
+
+/// Arithmetic + AND time of the Ladner-Fischer row scan (for Eq. 15).
+[[nodiscard]] double lf_add_and_time_us(const GpuSpec& g);
+
+struct Inequality {
+    const char* name;
+    double lhs;
+    double rhs;
+    [[nodiscard]] bool holds() const noexcept { return lhs < rhs; }
+};
+
+/// Eq. 6:  L_transpose + L_scan_col << L_scan_row.
+[[nodiscard]] Inequality eq6_latency_inequality(const GpuSpec& g);
+
+/// Eq. 14: T_trans + T_scan_col_add << T_KoggeStone_add + T_shuffle.
+[[nodiscard]] Inequality eq14_throughput_inequality(const GpuSpec& g,
+                                                    int sizeof_t);
+
+/// Eq. 15: same with Ladner-Fischer (adds + ANDs + shuffles).
+[[nodiscard]] Inequality eq15_throughput_inequality(const GpuSpec& g,
+                                                    int sizeof_t);
+
+} // namespace satgpu::model

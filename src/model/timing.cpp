@@ -1,0 +1,84 @@
+#include "model/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace satgpu::model {
+
+TimingBreakdown estimate_kernel_time(const GpuSpec& g,
+                                     const simt::LaunchStats& launch,
+                                     const TimingParams& p)
+{
+    const simt::PerfCounters& c = launch.counters;
+    TimingBreakdown t;
+
+    const KernelFootprint foot{
+        launch.info.regs_per_thread,
+        std::max(launch.info.static_smem_bytes, launch.smem_used_bytes),
+        launch.config.threads_per_block()};
+    t.occupancy = hw_occupancy(g, foot);
+
+    // ---- DRAM: useful bytes at device bandwidth, excess at L2 bandwidth.
+    const double sector_bytes = 32.0 * static_cast<double>(c.gmem_sectors());
+    const double useful_bytes = static_cast<double>(c.gmem_bytes());
+    const double excess_bytes = std::max(0.0, sector_bytes - useful_bytes);
+    // Atomics are L2 read-modify-writes: charge one 32-byte sector round
+    // trip per lane-level atomic against L2 bandwidth.
+    const double atomic_bytes = 32.0 * static_cast<double>(c.gmem_atomics);
+    t.dram_us = useful_bytes / (g.dram_gbs * p.dram_efficiency * 1e3) +
+                (excess_bytes + atomic_bytes) / (g.l2_gbs * 1e3);
+
+    // ---- Shared memory: one transaction moves one 128-byte bank row.
+    t.smem_us =
+        static_cast<double>(c.smem_trans()) * 128.0 / (g.smem_gbs * 1e3);
+
+    // ---- Arithmetic and shuffle pipelines (GPU-wide lanes/cycle).
+    const double cycles_to_us = 1.0 / (g.core_clock_ghz * 1e3);
+    t.alu_us = static_cast<double>(c.lane_arith()) /
+               (static_cast<double>(g.add_lanes_per_clk) * g.sm_count) *
+               cycles_to_us;
+    t.shfl_us = static_cast<double>(c.warp_shfl) * simt::kWarpSize /
+                (static_cast<double>(g.shfl_lanes_per_clk) * g.sm_count) *
+                cycles_to_us;
+
+    // ---- Latency: per-warp dependent chain x waves, damped by ILP/MLP.
+    const double warps = std::max<double>(1.0, static_cast<double>(c.warps));
+    const double blocks =
+        std::max<double>(1.0, static_cast<double>(c.blocks));
+    const double dep_cycles_per_warp =
+        (static_cast<double>(c.smem_trans()) * g.lat_smem +
+         static_cast<double>(c.warp_shfl) * g.lat_shfl +
+         static_cast<double>(c.lane_arith()) / simt::kWarpSize * g.lat_add) /
+            warps / p.ilp_hiding +
+        static_cast<double>(c.gmem_ld_req + c.gmem_st_req) * g.lat_gmem /
+            warps / p.mlp +
+        static_cast<double>(c.barriers) / blocks * p.barrier_cycles;
+    const double waves =
+        std::ceil(warps / static_cast<double>(std::max<std::int64_t>(
+                              1, t.occupancy.active_warps_gpu)));
+    t.latency_us = waves * dep_cycles_per_warp * cycles_to_us;
+
+    // ---- Combine: critical resource + damped residual + launch overhead.
+    const double terms[] = {t.dram_us, t.smem_us, t.alu_us, t.shfl_us,
+                            t.latency_us};
+    double crit = 0, sum = 0;
+    for (double v : terms) {
+        crit = std::max(crit, v);
+        sum += v;
+    }
+    t.overhead_us = g.launch_overhead_us;
+    t.total_us = crit + p.overlap_penalty * (sum - crit) + t.overhead_us;
+    return t;
+}
+
+double estimate_total_us(const GpuSpec& g,
+                         std::span<const simt::LaunchStats> ls,
+                         const TimingParams& p)
+{
+    double total = 0;
+    for (const auto& l : ls)
+        total += estimate_kernel_time(g, l, p).total_us;
+    return total;
+}
+
+} // namespace satgpu::model

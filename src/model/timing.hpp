@@ -1,0 +1,59 @@
+// Analytic kernel timing: simulator event counters -> estimated time on a
+// target GPU.
+//
+// The model is a smoothed roofline over four throughput resources plus a
+// latency term:
+//   dram    -- useful bytes at device-memory bandwidth, plus EXCESS bytes
+//              (sector traffic beyond the useful bytes, i.e. uncoalescing)
+//              charged at L2 bandwidth, since strided re-references of a
+//              sector are mostly L2 hits;
+//   smem    -- serialized shared-memory transactions at 128 B each;
+//   alu     -- active-lane arithmetic at the documented lanes/clk/SM;
+//   shfl    -- warp shuffles at one instruction/clk/SM;
+//   latency -- per-warp dependent-chain cycles (measured latencies from
+//              Sec. V-A) times the number of occupancy waves, damped by an
+//              ILP/MLP hiding factor -- this is what the paper's Eqs. 3-5
+//              estimate for a single tile.
+// total = max(throughput terms, latency) + overlap_penalty * rest
+//         + fixed launch overhead.
+#pragma once
+
+#include "model/gpu_specs.hpp"
+#include "model/occupancy.hpp"
+#include "simt/engine.hpp"
+
+#include <span>
+#include <vector>
+
+namespace satgpu::model {
+
+struct TimingBreakdown {
+    double dram_us = 0;
+    double smem_us = 0;
+    double alu_us = 0;
+    double shfl_us = 0;
+    double latency_us = 0;
+    double overhead_us = 0;
+    double total_us = 0;
+    Occupancy occupancy;
+};
+
+/// Model constants (exposed for the ablation benches and tests).
+struct TimingParams {
+    double dram_efficiency = 0.85; // achievable fraction of peak
+    double overlap_penalty = 0.35; // fraction of non-critical resource time
+    double ilp_hiding = 1.5;       // dependent-chain overlap inside a warp
+    double mlp = 8.0;              // outstanding memory requests per warp
+    double barrier_cycles = 40.0;  // __syncthreads latency
+};
+
+[[nodiscard]] TimingBreakdown
+estimate_kernel_time(const GpuSpec& g, const simt::LaunchStats& launch,
+                     const TimingParams& p = {});
+
+/// Total time of a multi-kernel computation (e.g. one SAT = two kernels).
+[[nodiscard]] double estimate_total_us(const GpuSpec& g,
+                                       std::span<const simt::LaunchStats> ls,
+                                       const TimingParams& p = {});
+
+} // namespace satgpu::model

@@ -1,0 +1,68 @@
+// Intra-block partial-sum propagation (paper Fig. 3c).
+//
+// Step #1: every warp stores its 32 partial sums (one per lane) into a
+//          WarpCount x WarpSize shared-memory matrix at row warpId.
+// Step #2: the partials are scanned across the warp axis (warp 0 walks the
+//          rows serially, lane-parallel over the 32 columns).
+// Step #3: each warp reads back the exclusive prefix for its row and the
+//          block total.
+//
+// Used by BRLT-ScanRow (carry across warps covering one row band) and by
+// ScanColumn (carry across warps stacked down a column strip).
+#pragma once
+
+#include "sat/tile_io.hpp"
+#include "simt/kernel_task.hpp"
+
+namespace satgpu::sat {
+
+/// Shared memory the carry step asks of a block with `warp_count` warps.
+template <typename T>
+[[nodiscard]] constexpr std::int64_t
+block_carry_smem_bytes(std::int64_t warp_count)
+{
+    return warp_count * kWarpSize * static_cast<std::int64_t>(sizeof(T));
+}
+
+/// After co_await: `exclusive[l]` = sum of `partial[l]` over all warps with
+/// smaller warpId, and `block_total[l]` = sum over every warp in the block.
+template <typename T>
+simt::SubTask<> block_exclusive_carry(simt::WarpCtx& w,
+                                      const LaneVec<T>& partial,
+                                      LaneVec<T>& exclusive,
+                                      LaneVec<T>& block_total)
+{
+    const int wc = w.warps_per_block();
+    auto sm = w.smem_alloc<T>("carry.partials",
+                              static_cast<std::int64_t>(wc) * kWarpSize);
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+
+    // Step #1: deposit this warp's partial sums (coalesced, conflict free).
+    sm.store(lane + std::int64_t{w.warp_id()} * kWarpSize, partial);
+    co_await w.sync();
+
+    // Step #2: warp 0 scans across the warp axis; each lane owns a column.
+    if (w.warp_id() == 0) {
+        LaneVec<T> acc = sm.load(lane);
+        for (int i = 1; i < wc; ++i) {
+            const auto v = sm.load(lane + std::int64_t{i} * kWarpSize);
+            acc = simt::vadd(acc, v);
+            sm.store(lane + std::int64_t{i} * kWarpSize, acc);
+        }
+    }
+    co_await w.sync();
+
+    // Step #3: gather the exclusive prefix and the block total.
+    exclusive = w.warp_id() == 0
+                    ? LaneVec<T>{}
+                    : sm.load(lane + std::int64_t{w.warp_id() - 1} *
+                                         kWarpSize);
+    block_total = sm.load(lane + std::int64_t{wc - 1} * kWarpSize);
+
+    // The staging matrix is reused on the caller's next round; without this
+    // barrier a warp that races ahead could overwrite partials a neighbour
+    // has not read yet (a real hazard on hardware as well).
+    co_await w.sync();
+}
+
+} // namespace satgpu::sat

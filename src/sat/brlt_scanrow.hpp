@@ -1,0 +1,96 @@
+// Register-based BRLT-ScanRow (paper Sec. IV-B, Fig. 3) -- the paper's
+// fastest SAT algorithm.
+//
+// One kernel computes a TRANSPOSING row scan: each warp caches a 32x32 tile
+// in registers (coalesced row loads), BRLT-transposes it so every thread
+// owns a full tile row, serial-scans inside each thread (zero shuffles),
+// propagates carries across the block's warps through shared memory
+// (Fig. 3c) and across 1024-column chunks through a per-thread running
+// carry, then stores the tile transposed (coalesced again).  Running the
+// same kernel twice -- out1 = (rowscan I)^T, out2 = (rowscan out1)^T --
+// yields the SAT, because rowscan(A^T)^T = colscan(A).
+#pragma once
+
+#include "sat/block_carry.hpp"
+#include "sat/brlt.hpp"
+#include "sat/launch_params.hpp"
+#include "scan/serial_scan.hpp"
+#include "simt/engine.hpp"
+
+namespace satgpu::sat {
+
+/// One warp of the BRLT-ScanRow pass.  `in` is height x width; `out` is
+/// width x height and receives the transposed row-scan.
+template <typename Tout, typename Tsrc>
+simt::KernelTask brlt_scanrow_warp(simt::WarpCtx& w,
+                                   const simt::DeviceBuffer<Tsrc>& in,
+                                   std::int64_t height, std::int64_t width,
+                                   simt::DeviceBuffer<Tout>& out,
+                                   bool padded_smem)
+{
+    const std::int64_t row0 = w.block_idx().y * kWarpSize;
+    const std::int64_t chunk_w =
+        std::int64_t{w.warps_per_block()} * kWarpSize;
+    const std::int64_t chunks = ceil_div(width, chunk_w);
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    // After BRLT, thread `lane` owns row row0+lane; its running carry is
+    // that row's prefix over all previous chunks.
+    LaneVec<Tout> run_carry{};
+    RegTile<Tout> data;
+
+    for (std::int64_t c = 0; c < chunks; ++c) {
+        const std::int64_t col0 =
+            c * chunk_w + std::int64_t{w.warp_id()} * kWarpSize;
+        load_tile_rows(in, height, width, row0, col0, data);
+
+        co_await brlt_transpose(w, data, padded_smem);
+        scan::serial_scan_registers(data);
+
+        LaneVec<Tout> exclusive, total;
+        co_await block_exclusive_carry(w, data[kWarpSize - 1], exclusive,
+                                       total);
+
+        const auto offset = simt::vadd(exclusive, run_carry);
+        for (auto& reg : data)
+            reg = simt::vadd(reg, offset);
+        run_carry = simt::vadd(run_carry, total);
+
+        // Transposed store: element (row0+lane, col0+j) -> out row col0+j.
+        const simt::LaneMask rows = cols_in_range(row0, height);
+        for (int j = 0; j < kWarpSize; ++j) {
+            if (col0 + j >= width)
+                continue;
+            out.store(lane + ((col0 + j) * height + row0),
+                      data[static_cast<std::size_t>(j)], rows);
+        }
+    }
+}
+
+/// Launch one BRLT-ScanRow pass over the whole matrix.  `warps_override`
+/// replaces the paper's block size (32 warps for 4-byte T, 16 for 64f) for
+/// the block-size ablation bench.
+template <typename Tout, typename Tsrc>
+simt::LaunchStats launch_brlt_scanrow_pass(simt::Engine& eng,
+                                           const simt::DeviceBuffer<Tsrc>& in,
+                                           std::int64_t height,
+                                           std::int64_t width,
+                                           simt::DeviceBuffer<Tout>& out,
+                                           bool padded_smem = true,
+                                           int warps_override = 0)
+{
+    const int wc =
+        warps_override > 0 ? warps_override : warps_per_block<Tout>();
+    const simt::LaunchConfig cfg{
+        {1, ceil_div(height, kWarpSize), 1},
+        {std::int64_t{wc} * kWarpSize, 1, 1}};
+    const simt::KernelInfo info{
+        "brlt_scanrow", regs_per_thread<Tout>(),
+        brlt_smem_bytes<Tout>(padded_smem) +
+            block_carry_smem_bytes<Tout>(wc)};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        return brlt_scanrow_warp<Tout, Tsrc>(w, in, height, width, out,
+                                             padded_smem);
+    });
+}
+
+} // namespace satgpu::sat

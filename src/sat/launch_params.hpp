@@ -1,0 +1,33 @@
+// Launch-shape choices shared by the proposed kernels (paper Secs. IV-B/C):
+// BlockSize 1024 for 4-byte accumulators, 512 for 64f to relieve register
+// pressure, and a register budget estimate for the occupancy model.
+#pragma once
+
+#include "simt/dim3.hpp"
+
+namespace satgpu::sat {
+
+/// Warps per block: 32 for sizeof(T) <= 4 (BlockSize = 1024), 16 for
+/// 8-byte accumulators (BlockSize = 512).
+template <typename Tout>
+[[nodiscard]] constexpr int warps_per_block() noexcept
+{
+    return sizeof(Tout) <= 4 ? 32 : 16;
+}
+
+/// Registers per thread: the 32-element register cache (one 32-bit register
+/// per 4 bytes of T) plus a fixed overhead for indices, carries and masks.
+template <typename Tout>
+[[nodiscard]] constexpr int regs_per_thread() noexcept
+{
+    return 32 * static_cast<int>(sizeof(Tout) / 4 == 0 ? 1 : sizeof(Tout) / 4)
+           + 24;
+}
+
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a,
+                                              std::int64_t b) noexcept
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace satgpu::sat

@@ -1,0 +1,103 @@
+// Register-based ScanRow-BRLT (paper Sec. IV-A).
+//
+// The dual of BRLT-ScanRow: scan FIRST, transpose AFTER.  Each warp loads a
+// 32x32 tile, runs a shuffle-based parallel warp scan over every register
+// row (Kogge-Stone or Ladner-Fischer), propagates carries, BRLT-transposes
+// the scanned tile and stores it transposed.  Improves on the
+// scan-transpose-scan of Bilgic et al. [17] by never materializing the
+// untransposed intermediate in global memory.
+//
+// Same memory traffic as BRLT-ScanRow but ~4x the scan arithmetic plus 160
+// shuffles per tile, which is exactly the difference the paper's model
+// predicts (Sec. V-C) and Fig. 8 measures.
+#pragma once
+
+#include "sat/block_carry.hpp"
+#include "sat/brlt.hpp"
+#include "sat/launch_params.hpp"
+#include "scan/warp_scan.hpp"
+#include "simt/engine.hpp"
+
+namespace satgpu::sat {
+
+template <typename Tout, typename Tsrc>
+simt::KernelTask scanrow_brlt_warp(simt::WarpCtx& w,
+                                   const simt::DeviceBuffer<Tsrc>& in,
+                                   std::int64_t height, std::int64_t width,
+                                   simt::DeviceBuffer<Tout>& out,
+                                   scan::WarpScanKind kind, bool padded_smem)
+{
+    const std::int64_t row0 = w.block_idx().y * kWarpSize;
+    const std::int64_t chunk_w =
+        std::int64_t{w.warps_per_block()} * kWarpSize;
+    const std::int64_t chunks = ceil_div(width, chunk_w);
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    // Before the transpose, rows live in register INDICES: lane j of
+    // `run_carry` tracks the running prefix of tile row j.
+    LaneVec<Tout> run_carry{};
+    RegTile<Tout> data;
+
+    for (std::int64_t c = 0; c < chunks; ++c) {
+        const std::int64_t col0 =
+            c * chunk_w + std::int64_t{w.warp_id()} * kWarpSize;
+        load_tile_rows(in, height, width, row0, col0, data);
+
+        // Parallel warp scan of each register row (32 independent scans).
+        for (auto& reg : data)
+            reg = scan::warp_inclusive_scan(kind, reg);
+
+        // Gather the 32 row totals into one lane vector (lane j <- row j).
+        LaneVec<Tout> totals{};
+        for (int j = 0; j < kWarpSize; ++j)
+            totals = simt::vselect(
+                lane == LaneVec<std::int64_t>::broadcast(j),
+                simt::shfl(data[static_cast<std::size_t>(j)], kWarpSize - 1),
+                totals);
+
+        LaneVec<Tout> exclusive, block_total;
+        co_await block_exclusive_carry(w, totals, exclusive, block_total);
+
+        // Add each row's offset (exclusive warp prefix + chunk carry).
+        const auto offsets = simt::vadd(exclusive, run_carry);
+        for (int j = 0; j < kWarpSize; ++j) {
+            const auto bcast = simt::shfl(offsets, j);
+            data[static_cast<std::size_t>(j)] =
+                simt::vadd(data[static_cast<std::size_t>(j)], bcast);
+        }
+        run_carry = simt::vadd(run_carry, block_total);
+
+        co_await brlt_transpose(w, data, padded_smem);
+
+        // Transposed store (identical layout to BRLT-ScanRow's store).
+        const simt::LaneMask rows = cols_in_range(row0, height);
+        for (int j = 0; j < kWarpSize; ++j) {
+            if (col0 + j >= width)
+                continue;
+            out.store(lane + ((col0 + j) * height + row0),
+                      data[static_cast<std::size_t>(j)], rows);
+        }
+    }
+}
+
+template <typename Tout, typename Tsrc>
+simt::LaunchStats launch_scanrow_brlt_pass(
+    simt::Engine& eng, const simt::DeviceBuffer<Tsrc>& in,
+    std::int64_t height, std::int64_t width, simt::DeviceBuffer<Tout>& out,
+    scan::WarpScanKind kind = scan::WarpScanKind::kKoggeStone,
+    bool padded_smem = true)
+{
+    const int wc = warps_per_block<Tout>();
+    const simt::LaunchConfig cfg{
+        {1, ceil_div(height, kWarpSize), 1},
+        {std::int64_t{wc} * kWarpSize, 1, 1}};
+    const simt::KernelInfo info{
+        "scanrow_brlt", regs_per_thread<Tout>(),
+        brlt_smem_bytes<Tout>(padded_smem) +
+            block_carry_smem_bytes<Tout>(wc)};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        return scanrow_brlt_warp<Tout, Tsrc>(w, in, height, width, out, kind,
+                                             padded_smem);
+    });
+}
+
+} // namespace satgpu::sat

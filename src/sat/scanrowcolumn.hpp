@@ -1,0 +1,138 @@
+// Register-based ScanRowColumn (paper Sec. IV-C): two specialized kernels
+// with no transpose at all.
+//
+//  * ScanRow (Fig. 4): each warp owns one matrix row and walks it in
+//    1024-element chunks; every 32-element group is scanned with a parallel
+//    warp scan and chained through a shuffled carry.  No shared memory, no
+//    barriers.
+//  * ScanColumn: each block owns a 32-column strip; warps stack down the
+//    strip in 32-row bands, each thread serial-scans its column segment in
+//    registers, and band carries propagate through the Fig. 3c block-carry.
+#pragma once
+
+#include "sat/block_carry.hpp"
+#include "sat/launch_params.hpp"
+#include "sat/tile_io.hpp"
+#include "scan/serial_scan.hpp"
+#include "scan/warp_scan.hpp"
+#include "simt/engine.hpp"
+
+namespace satgpu::sat {
+
+/// ScanRow: warp `warp_id` of block `by` scans row by*WarpCount + warp_id.
+template <typename Tout, typename Tsrc>
+simt::KernelTask scanrow_warp(simt::WarpCtx& w,
+                              const simt::DeviceBuffer<Tsrc>& in,
+                              std::int64_t height, std::int64_t width,
+                              simt::DeviceBuffer<Tout>& out,
+                              scan::WarpScanKind kind)
+{
+    const std::int64_t row =
+        w.block_idx().y * w.warps_per_block() + w.warp_id();
+    if (row >= height)
+        co_return; // kernel has no barriers, so early exit is safe
+
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    LaneVec<Tout> carry{};
+    const std::int64_t chunk_w = kWarpSize * kWarpSize; // C * WarpSize
+    for (std::int64_t c0 = 0; c0 < width; c0 += chunk_w) {
+        // Cache up to C=32 register groups of this row (Sec. IV-C1).
+        RegTile<Tout> data;
+        const int groups = static_cast<int>(
+            std::min<std::int64_t>(ceil_div(width - c0, kWarpSize),
+                                   kWarpSize));
+        for (int j = 0; j < groups; ++j) {
+            const std::int64_t col0 = c0 + std::int64_t{j} * kWarpSize;
+            const auto m = cols_in_range(col0, width);
+            data[static_cast<std::size_t>(j)] =
+                in.load(lane + (row * width + col0), m)
+                    .template cast<Tout>();
+        }
+        // Fig. 4: scan each group, chain the last lane's total forward.
+        for (int j = 0; j < groups; ++j) {
+            auto& reg = data[static_cast<std::size_t>(j)];
+            reg = scan::warp_inclusive_scan(kind, reg);
+            reg = simt::vadd(reg, carry);
+            carry = simt::shfl(reg, kWarpSize - 1);
+        }
+        for (int j = 0; j < groups; ++j) {
+            const std::int64_t col0 = c0 + std::int64_t{j} * kWarpSize;
+            const auto m = cols_in_range(col0, width);
+            out.store(lane + (row * width + col0),
+                      data[static_cast<std::size_t>(j)], m);
+        }
+    }
+}
+
+/// ScanColumn: block `bx` owns columns [bx*32, bx*32+32); warps stack in
+/// 32-row bands and step down the matrix in (warps*32)-row strips.
+template <typename Tout>
+simt::KernelTask scancolumn_warp(simt::WarpCtx& w,
+                                 const simt::DeviceBuffer<Tout>& in,
+                                 std::int64_t height, std::int64_t width,
+                                 simt::DeviceBuffer<Tout>& out)
+{
+    const std::int64_t col0 = w.block_idx().x * kWarpSize;
+    const std::int64_t strip_h =
+        std::int64_t{w.warps_per_block()} * kWarpSize;
+    const std::int64_t steps = ceil_div(height, strip_h);
+    LaneVec<Tout> run_carry{}; // per lane = per column
+    RegTile<Tout> data;
+
+    for (std::int64_t s = 0; s < steps; ++s) {
+        const std::int64_t row0 =
+            s * strip_h + std::int64_t{w.warp_id()} * kWarpSize;
+        load_tile_rows(in, height, width, row0, col0, data);
+
+        // Serial warp-scan down the columns (Sec. IV-C2): pure register
+        // arithmetic, no shuffles, no divergence.
+        scan::serial_scan_registers(data);
+
+        LaneVec<Tout> exclusive, total;
+        co_await block_exclusive_carry(w, data[kWarpSize - 1], exclusive,
+                                       total);
+
+        const auto offset = simt::vadd(exclusive, run_carry);
+        for (auto& reg : data)
+            reg = simt::vadd(reg, offset);
+        run_carry = simt::vadd(run_carry, total);
+
+        store_tile_rows(out, height, width, row0, col0, data);
+    }
+}
+
+template <typename Tout, typename Tsrc>
+simt::LaunchStats launch_scanrow_pass(simt::Engine& eng,
+                                      const simt::DeviceBuffer<Tsrc>& in,
+                                      std::int64_t height, std::int64_t width,
+                                      simt::DeviceBuffer<Tout>& out,
+                                      scan::WarpScanKind kind)
+{
+    // BlockDim.x = 4096 / sizeof(T) threads (Sec. IV-C1).
+    const int wc = 128 / static_cast<int>(sizeof(Tout));
+    const simt::LaunchConfig cfg{{1, ceil_div(height, wc), 1},
+                                 {std::int64_t{wc} * kWarpSize, 1, 1}};
+    const simt::KernelInfo info{"scanrow", regs_per_thread<Tout>(), 0};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        return scanrow_warp<Tout, Tsrc>(w, in, height, width, out, kind);
+    });
+}
+
+template <typename Tout>
+simt::LaunchStats launch_scancolumn_pass(simt::Engine& eng,
+                                         const simt::DeviceBuffer<Tout>& in,
+                                         std::int64_t height,
+                                         std::int64_t width,
+                                         simt::DeviceBuffer<Tout>& out)
+{
+    const int wc = warps_per_block<Tout>();
+    const simt::LaunchConfig cfg{{ceil_div(width, kWarpSize), 1, 1},
+                                 {kWarpSize, wc, 1}};
+    const simt::KernelInfo info{"scancolumn", regs_per_thread<Tout>(),
+                                block_carry_smem_bytes<Tout>(wc)};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        return scancolumn_warp<Tout>(w, in, height, width, out);
+    });
+}
+
+} // namespace satgpu::sat

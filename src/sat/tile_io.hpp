@@ -1,0 +1,71 @@
+// Register-tile I/O: moving 32x32 tiles between global memory and the
+// per-warp register matrix (paper Sec. IV-1, "Caching Data Using Register
+// Files").  Loads are row-by-row so every access is coalesced; ragged tile
+// edges are handled with predication (out-of-range lanes read zero / skip
+// the store), which keeps all warps of a block in the barrier protocol.
+#pragma once
+
+#include "simt/global_memory.hpp"
+#include "simt/warp_ctx.hpp"
+
+#include <array>
+
+namespace satgpu::sat {
+
+using simt::kWarpSize;
+using simt::LaneMask;
+using simt::LaneVec;
+
+/// The per-warp register matrix: data[j] holds one 32-lane row (Alg. 5
+/// line 1's "T data[32]" seen warp-wide).
+template <typename T>
+using RegTile = std::array<LaneVec<T>, kWarpSize>;
+
+/// Lane mask for columns col0+lane < width.
+[[nodiscard]] inline LaneMask cols_in_range(std::int64_t col0,
+                                            std::int64_t width)
+{
+    LaneMask m = 0;
+    for (int l = 0; l < kWarpSize; ++l)
+        if (col0 + l < width)
+            m |= (1u << l);
+    return m;
+}
+
+/// Load tile rows: regs[j][lane] = src[row0+j][col0+lane] converted to Tout,
+/// zero outside the matrix.
+template <typename Tout, typename Tin>
+void load_tile_rows(const simt::DeviceBuffer<Tin>& src, std::int64_t height,
+                    std::int64_t width, std::int64_t row0, std::int64_t col0,
+                    RegTile<Tout>& regs)
+{
+    const LaneMask cols = cols_in_range(col0, width);
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    for (int j = 0; j < kWarpSize; ++j) {
+        if (row0 + j >= height) {
+            regs[static_cast<std::size_t>(j)] = LaneVec<Tout>{};
+            continue;
+        }
+        const auto idx = lane + ((row0 + j) * width + col0);
+        const auto raw = src.load(idx, cols);
+        regs[static_cast<std::size_t>(j)] = raw.template cast<Tout>();
+    }
+}
+
+/// Store tile rows: dst[row0+j][col0+lane] = regs[j][lane] (in-range only).
+template <typename T>
+void store_tile_rows(simt::DeviceBuffer<T>& dst, std::int64_t height,
+                     std::int64_t width, std::int64_t row0, std::int64_t col0,
+                     const RegTile<T>& regs)
+{
+    const LaneMask cols = cols_in_range(col0, width);
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    for (int j = 0; j < kWarpSize; ++j) {
+        if (row0 + j >= height)
+            continue;
+        const auto idx = lane + ((row0 + j) * width + col0);
+        dst.store(idx, regs[static_cast<std::size_t>(j)], cols);
+    }
+}
+
+} // namespace satgpu::sat

@@ -1,0 +1,56 @@
+// Affine (first-order linear recurrence) warp scan.
+//
+// Solves y_i = m_i * y_{i-1} + b_i across the 32 lanes of a warp using the
+// classic Blelloch reformulation: affine maps compose associatively,
+//   (m2, b2) after (m1, b1) = (m2*m1, m2*b1 + b2),
+// so a Kogge-Stone network over (m, b) pairs yields all prefixes in
+// log2(32) stages.  This is the building block for GPU-efficient recursive
+// filtering (Nehab et al. [9], one of the paper's motivating SAT
+// applications) implemented in transforms/recursive_filter.hpp.
+#pragma once
+
+#include "simt/lane_vec.hpp"
+#include "simt/shuffle.hpp"
+
+namespace satgpu::scan {
+
+using simt::kWarpSize;
+using simt::LaneVec;
+
+/// One affine map per lane.
+template <typename T>
+struct AffineLanes {
+    LaneVec<T> m; // multiplier
+    LaneVec<T> b; // addend
+};
+
+/// Inclusive scan under affine composition: on return, lane l holds the
+/// composition of maps 0..l (applied in lane order).  y_l for an initial
+/// value y_init is then m[l]*y_init + b[l].
+template <typename T>
+[[nodiscard]] AffineLanes<T> affine_warp_scan(AffineLanes<T> v)
+{
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    for (int i = 1; i < kWarpSize; i *= 2) {
+        const auto pm = simt::shfl_up(v.m, i);
+        const auto pb = simt::shfl_up(v.b, i);
+        const simt::LaneMask mask =
+            lane >= LaneVec<std::int64_t>::broadcast(i);
+        // (m, b) = (m*pm, m*pb + b) on active lanes.
+        const auto new_m = simt::vmul(v.m, pm);
+        const auto mb = simt::vmul(v.m, pb);
+        v.b = simt::vselect(mask, simt::vadd(mb, v.b), v.b);
+        v.m = simt::vselect(mask, new_m, v.m);
+    }
+    return v;
+}
+
+/// Apply the scanned maps to an initial value: y_l = m[l]*y0 + b[l].
+template <typename T>
+[[nodiscard]] LaneVec<T> affine_apply(const AffineLanes<T>& scanned,
+                                      const LaneVec<T>& y0)
+{
+    return simt::vadd(simt::vmul(scanned.m, y0), scanned.b);
+}
+
+} // namespace satgpu::scan

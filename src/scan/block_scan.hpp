@@ -1,0 +1,51 @@
+// Block-wide inclusive scan: one value per thread, scanned across the whole
+// thread block (warp scans stitched through shared memory).  This is the
+// building block the OpenCV- and NPP-style baselines use per chunk, and the
+// first stage of the device-wide scan.
+#pragma once
+
+#include "scan/warp_scan.hpp"
+#include "simt/kernel_task.hpp"
+#include "simt/warp_ctx.hpp"
+
+namespace satgpu::scan {
+
+/// In place: v[l] becomes the inclusive prefix over all block threads up to
+/// (warp_id*32 + l); `block_total` receives the sum over the whole block in
+/// every lane.  Ends with a barrier so the staging buffer is immediately
+/// reusable.  Requires warps_per_block <= 32.
+template <typename T>
+simt::SubTask<> block_inclusive_scan(simt::WarpCtx& w, LaneVec<T>& v,
+                                     LaneVec<T>& block_total,
+                                     WarpScanKind kind = WarpScanKind::kKoggeStone)
+{
+    const int wc = w.warps_per_block();
+    SATGPU_EXPECTS(wc <= kWarpSize);
+    auto sm = w.smem_alloc<T>("blockscan.totals", wc);
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    const simt::LaneMask lead = 0x1u;
+    const simt::LaneMask warps_mask =
+        wc >= kWarpSize ? simt::kFullMask : ((1u << wc) - 1u);
+
+    v = warp_inclusive_scan(kind, v);
+    sm.store(LaneVec<std::int64_t>::broadcast(w.warp_id()),
+             simt::shfl(v, kWarpSize - 1), lead);
+    co_await w.sync();
+
+    if (w.warp_id() == 0) {
+        auto totals = sm.load(lane, warps_mask);
+        totals = warp_inclusive_scan(kind, totals);
+        sm.store(lane, totals, warps_mask);
+    }
+    co_await w.sync();
+
+    if (w.warp_id() > 0) {
+        const auto prev =
+            sm.load(LaneVec<std::int64_t>::broadcast(w.warp_id() - 1));
+        v = simt::vadd(v, prev);
+    }
+    block_total = sm.load(LaneVec<std::int64_t>::broadcast(wc - 1));
+    co_await w.sync();
+}
+
+} // namespace satgpu::scan

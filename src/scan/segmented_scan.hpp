@@ -1,0 +1,49 @@
+// Segmented warp scan: inclusive prefix sums that restart at head flags.
+//
+// The classic head-flag formulation (Blelloch): carry the pair
+// (flag, value); composition is  (f1,v1) . (f2,v2) = (f1|f2, f2 ? v2 : v1+v2).
+// Runs on the same Kogge-Stone shuffle network as the plain scan, and is
+// the building block for batched variable-length rows (e.g. CSR-style
+// workloads) on the simulated GPU.
+#pragma once
+
+#include "simt/lane_vec.hpp"
+#include "simt/shuffle.hpp"
+
+namespace satgpu::scan {
+
+/// Inclusive segmented scan across a warp.  `heads` bit l marks lane l as
+/// the first element of a segment (lane 0 is implicitly a head).
+template <typename T>
+[[nodiscard]] LaneVec<T> segmented_warp_scan(LaneVec<T> data,
+                                             simt::LaneMask heads)
+{
+    using simt::LaneMask;
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    // dist[l] = lanes since the segment head at or before l.
+    // A lane may absorb a partner only if the partner is inside the same
+    // segment, i.e. the shift distance stays below dist.
+    std::array<int, simt::kWarpSize> dist{};
+    {
+        int since = 0;
+        for (int l = 0; l < simt::kWarpSize; ++l) {
+            if (l == 0 || simt::lane_active(heads, l))
+                since = 0;
+            else
+                ++since;
+            dist[static_cast<std::size_t>(l)] = since;
+        }
+    }
+    for (int i = 1; i < simt::kWarpSize; i *= 2) {
+        const auto val = simt::shfl_up(data, i);
+        LaneMask m = 0;
+        for (int l = 0; l < simt::kWarpSize; ++l)
+            if (l >= i && dist[static_cast<std::size_t>(l)] >= i)
+                m |= (1u << l);
+        data = simt::vadd_where(m, data, val);
+    }
+    (void)lane;
+    return data;
+}
+
+} // namespace satgpu::scan

@@ -1,0 +1,65 @@
+// Serial (sequential) inclusive scan -- the paper's Alg. 2 -- in two forms:
+//  * a host-side scan over spans (used as the oracle everywhere), and
+//  * the intra-thread register-array scan that is the heart of the paper's
+//    fastest SAT kernels: after BRLT each thread owns a full row in its 32
+//    registers, so a naive serial scan over those registers computes 32 row
+//    scans per warp with zero inter-thread communication (Sec. IV-B, V-B3).
+#pragma once
+
+#include "simt/lane_vec.hpp"
+
+#include <array>
+#include <span>
+
+namespace satgpu::scan {
+
+using simt::kWarpSize;
+using simt::LaneMask;
+using simt::LaneVec;
+
+/// Alg. 2: U[i] = V[i] + U[i-1].  In-place variant over a span.
+template <typename T>
+void serial_inclusive_scan(std::span<T> v)
+{
+    for (std::size_t i = 1; i < v.size(); ++i)
+        v[i] = static_cast<T>(v[i] + v[i - 1]);
+}
+
+/// Out-of-place host scan with a separate accumulator type (8u inputs scan
+/// into 32-bit outputs, Sec. III-D).
+template <typename Tout, typename Tin>
+void serial_inclusive_scan(std::span<const Tin> in, std::span<Tout> out)
+{
+    SATGPU_EXPECTS(in.size() == out.size());
+    Tout acc{};
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        acc = static_cast<Tout>(acc + static_cast<Tout>(in[i]));
+        out[i] = acc;
+    }
+}
+
+/// Intra-thread serial scan over a register array: data[j] += data[j-1] for
+/// j = 1..C-1, executed by every active lane of the warp in lockstep.
+/// Stage count C-1 and active-lane add count (C-1)*|active| match the
+/// paper's N_scan_col_stage = 31 and N_scan_col_add = 992 for C = 32.
+template <typename T, std::size_t C>
+void serial_scan_registers(std::array<LaneVec<T>, C>& data,
+                           LaneMask active = simt::kFullMask)
+{
+    for (std::size_t j = 1; j < C; ++j)
+        data[j] = simt::vadd_where(active, data[j], data[j - 1]);
+}
+
+/// Intra-thread serial scan with an incoming running carry (one value per
+/// lane).  Used when a kernel walks a long row/column in 32-register chunks.
+template <typename T, std::size_t C>
+void serial_scan_registers_carry(std::array<LaneVec<T>, C>& data,
+                                 LaneVec<T>& carry,
+                                 LaneMask active = simt::kFullMask)
+{
+    data[0] = simt::vadd_where(active, data[0], carry);
+    serial_scan_registers(data, active);
+    carry = data[C - 1];
+}
+
+} // namespace satgpu::scan

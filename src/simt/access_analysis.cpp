@@ -1,0 +1,95 @@
+#include "simt/access_analysis.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace satgpu::simt {
+
+namespace {
+
+/// Distinct-value count of a small vector (n <= 32), O(n log n).
+int distinct_count(std::vector<std::int64_t>& v)
+{
+    std::sort(v.begin(), v.end());
+    return static_cast<int>(std::unique(v.begin(), v.end()) - v.begin());
+}
+
+} // namespace
+
+int smem_conflict_passes(const ByteAddrs& addrs, LaneMask active,
+                         int access_size)
+{
+    SATGPU_EXPECTS(access_size > 0);
+    if (active == 0)
+        return 0;
+
+    // Hardware rule (Kepler onward, 4-byte banks): accesses wider than a
+    // bank word are split into one transaction per half-warp (8-byte) or
+    // quarter-warp (16-byte); each transaction covers every word its lanes
+    // touch, and serializes on the bank with the most distinct words.
+    const int words_per_lane = std::max(1, access_size / kSmemBankWidth);
+    const int groups = words_per_lane;
+    const int lanes_per_group = kWarpSize / groups;
+
+    int total_passes = 0;
+    for (int g = 0; g < groups; ++g) {
+        // words[bank] holds the distinct word addresses requested from bank.
+        std::array<std::vector<std::int64_t>, kSmemBanks> words;
+        bool any = false;
+        for (int l = g * lanes_per_group; l < (g + 1) * lanes_per_group; ++l) {
+            if (!lane_active(active, l))
+                continue;
+            any = true;
+            for (int k = 0; k < words_per_lane; ++k) {
+                const std::int64_t word =
+                    addrs[static_cast<std::size_t>(l)] / kSmemBankWidth + k;
+                words[static_cast<std::size_t>(word % kSmemBanks)].push_back(
+                    word);
+            }
+        }
+        if (!any)
+            continue;
+        int passes = 1;
+        for (auto& w : words)
+            if (!w.empty())
+                passes = std::max(passes, distinct_count(w));
+        total_passes += passes;
+    }
+    return std::max(total_passes, 1);
+}
+
+namespace {
+
+int granules_touched(const ByteAddrs& addrs, LaneMask active, int access_size,
+                     int granule)
+{
+    if (active == 0)
+        return 0;
+    std::vector<std::int64_t> ids;
+    ids.reserve(kWarpSize * 2);
+    for (int l = 0; l < kWarpSize; ++l) {
+        if (!lane_active(active, l))
+            continue;
+        const std::int64_t first = addrs[static_cast<std::size_t>(l)];
+        const std::int64_t last = first + access_size - 1;
+        for (std::int64_t g = first / granule; g <= last / granule; ++g)
+            ids.push_back(g);
+    }
+    return distinct_count(ids);
+}
+
+} // namespace
+
+int gmem_sectors_touched(const ByteAddrs& addrs, LaneMask active,
+                         int access_size)
+{
+    return granules_touched(addrs, active, access_size, kGmemSectorBytes);
+}
+
+int gmem_segments_touched(const ByteAddrs& addrs, LaneMask active,
+                          int access_size)
+{
+    return granules_touched(addrs, active, access_size, 128);
+}
+
+} // namespace satgpu::simt

@@ -1,0 +1,40 @@
+// Memory-access analysis: shared-memory bank conflicts and global-memory
+// coalescing, computed from the per-lane byte addresses of one warp-wide
+// access.  Kept non-templated so the rules are unit-testable in isolation.
+#pragma once
+
+#include "simt/lane_vec.hpp"
+
+#include <array>
+#include <cstdint>
+
+namespace satgpu::simt {
+
+inline constexpr int kSmemBanks = 32;      // Sec. III-B2: 32 banks
+inline constexpr int kSmemBankWidth = 4;   // 4-byte bank words
+inline constexpr int kGmemSectorBytes = 32; // DRAM sector granularity
+
+/// Per-lane byte addresses of one warp access (only active lanes are read).
+using ByteAddrs = std::array<std::int64_t, kWarpSize>;
+
+/// Number of serialized passes needed to satisfy a shared-memory request of
+/// `access_size` bytes per lane.  Implements the hardware rule: each 4-byte
+/// word layer of the access is one request; within a layer, lanes mapping to
+/// the same bank serialize unless they address the same word (broadcast).
+/// A conflict-free 4-byte access returns 1; the unpadded 32x32 column access
+/// returns 32 (all lanes in one bank); the paper's 32x33 padding restores 1.
+[[nodiscard]] int smem_conflict_passes(const ByteAddrs& addrs, LaneMask active,
+                                       int access_size);
+
+/// Number of 32-byte DRAM sectors touched by a warp-wide global access of
+/// `access_size` bytes per lane.  A fully coalesced 4-byte access touches 4
+/// sectors; a fully scattered one touches up to 32.
+[[nodiscard]] int gmem_sectors_touched(const ByteAddrs& addrs,
+                                       LaneMask active, int access_size);
+
+/// Number of 128-byte segments touched (legacy transaction granularity,
+/// reported by some profilers; used in tests as a secondary check).
+[[nodiscard]] int gmem_segments_touched(const ByteAddrs& addrs,
+                                        LaneMask active, int access_size);
+
+} // namespace satgpu::simt

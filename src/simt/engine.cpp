@@ -1,0 +1,95 @@
+#include "simt/engine.hpp"
+
+#include "core/check.hpp"
+#include "simt/shared_memory.hpp"
+
+#include <algorithm>
+
+namespace satgpu::simt {
+
+namespace {
+
+struct WarpExec {
+    WarpCtx ctx;
+    KernelTask task;
+};
+
+/// Run all warps of one block to completion under rendezvous barrier
+/// semantics.  Returns the block's peak shared-memory allocation.
+std::int64_t run_block(Dim3 block_idx, const LaunchConfig& cfg,
+                       const WarpProgram& program,
+                       std::int64_t smem_capacity, PerfCounters& counters)
+{
+    SharedMemory smem(smem_capacity);
+    const int warps = static_cast<int>(cfg.warps_per_block());
+
+    std::vector<WarpExec> execs;
+    execs.reserve(static_cast<std::size_t>(warps));
+    for (int w = 0; w < warps; ++w) {
+        execs.push_back(WarpExec{WarpCtx(block_idx, cfg, w, &smem), {}});
+        execs.back().task = program(execs.back().ctx);
+        SATGPU_CHECK(execs.back().task.valid(),
+                     "warp program must return a live coroutine");
+    }
+
+    std::size_t done = 0;
+    while (done < execs.size()) {
+        for (auto& e : execs) {
+            if (e.task.done() || e.ctx.at_barrier())
+                continue;
+            // Resume the innermost suspended frame (a nested SubTask's
+            // barrier, or the kernel body itself on first resume).
+            if (auto rp = e.ctx.resume_point())
+                rp.resume();
+            else
+                e.task.resume();
+            if (e.task.done()) {
+                e.task.rethrow_if_failed();
+                ++done;
+            } else {
+                SATGPU_CHECK(e.ctx.at_barrier(),
+                             "warp suspended outside a barrier");
+            }
+        }
+        if (done == execs.size())
+            break;
+        // Barrier release: every live warp is suspended at a sync point.
+        counters.barriers += 1;
+        for (auto& e : execs)
+            e.ctx.clear_barrier();
+    }
+    counters.blocks += 1;
+    counters.warps += static_cast<std::uint64_t>(warps);
+    return smem.bytes_used();
+}
+
+} // namespace
+
+LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
+                           const WarpProgram& program)
+{
+    SATGPU_EXPECTS(cfg.grid.x > 0 && cfg.grid.y > 0 && cfg.grid.z > 0);
+    SATGPU_EXPECTS(cfg.block.count() > 0 &&
+                   cfg.block.count() % kWarpSize == 0);
+    SATGPU_EXPECTS(cfg.block.count() <= 1024); // CUDA hardware limit
+
+    LaunchStats stats;
+    stats.info = info;
+    stats.config = cfg;
+
+    CounterScope scope(stats.counters);
+    for (std::int64_t bz = 0; bz < cfg.grid.z; ++bz)
+        for (std::int64_t by = 0; by < cfg.grid.y; ++by)
+            for (std::int64_t bx = 0; bx < cfg.grid.x; ++bx) {
+                const std::int64_t used =
+                    run_block(Dim3{bx, by, bz}, cfg, program,
+                              opt_.smem_capacity_bytes, stats.counters);
+                stats.smem_used_bytes = std::max(stats.smem_used_bytes, used);
+            }
+
+    if (opt_.record_history)
+        history_.push_back(stats);
+    return stats;
+}
+
+} // namespace satgpu::simt

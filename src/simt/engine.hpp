@@ -1,0 +1,61 @@
+// Engine: launches simulated kernels over a grid of blocks.
+//
+// Blocks execute sequentially; within a block, warps are coroutines
+// scheduled round-robin between barriers (rendezvous semantics: a barrier
+// releases once every not-yet-finished warp of the block is suspended at
+// one).  Each launch returns the event counters the timing model consumes.
+#pragma once
+
+#include "simt/dim3.hpp"
+#include "simt/kernel_task.hpp"
+#include "simt/perf_counters.hpp"
+#include "simt/warp_ctx.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace satgpu::simt {
+
+/// Result of one simulated kernel launch.
+struct LaunchStats {
+    KernelInfo info;
+    LaunchConfig config;
+    PerfCounters counters;
+    std::int64_t smem_used_bytes = 0; // actual peak per-block allocation
+};
+
+/// A warp program: invoked once per warp, returns its coroutine.
+using WarpProgram = std::function<KernelTask(WarpCtx&)>;
+
+class Engine {
+public:
+    struct Options {
+        /// Per-block shared-memory capacity enforced on kernels.  Defaults
+        /// to the Pascal/Volta 96 KiB upper bound; experiments pass the
+        /// target GPU's real limit.
+        std::int64_t smem_capacity_bytes = 96 * 1024;
+        /// Keep per-launch stats in `history()` (used by Table II).
+        bool record_history = true;
+    };
+
+    Engine() = default;
+    explicit Engine(Options opt) : opt_(opt) {}
+
+    /// Execute `program` for every warp of every block in `cfg`.
+    LaunchStats launch(const KernelInfo& info, LaunchConfig cfg,
+                       const WarpProgram& program);
+
+    [[nodiscard]] const std::vector<LaunchStats>& history() const noexcept
+    {
+        return history_;
+    }
+    void clear_history() { history_.clear(); }
+
+    [[nodiscard]] const Options& options() const noexcept { return opt_; }
+
+private:
+    Options opt_;
+    std::vector<LaunchStats> history_;
+};
+
+} // namespace satgpu::simt

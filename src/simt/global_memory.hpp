@@ -1,0 +1,203 @@
+// Device global memory with coalescing accounting.
+//
+// DeviceBuffer<T> stands in for a cudaMalloc'd array.  Warp-wide loads and
+// stores record how many 32-byte DRAM sectors the access touches, which is
+// what the timing model charges against device-memory bandwidth -- exactly
+// the coalescing consideration the paper optimizes for (Sec. I: "Efficiently
+// accessing global memory in a coalesced pattern is critical").
+#pragma once
+
+#include "core/check.hpp"
+#include "core/matrix.hpp"
+#include "simt/access_analysis.hpp"
+#include "simt/lane_vec.hpp"
+
+#include <span>
+#include <vector>
+
+namespace satgpu::simt {
+
+template <typename T>
+class DeviceBuffer {
+public:
+    DeviceBuffer() = default;
+
+    explicit DeviceBuffer(std::int64_t count, T fill = T{})
+        : data_(static_cast<std::size_t>(count), fill)
+    {
+        SATGPU_EXPECTS(count >= 0);
+    }
+
+    [[nodiscard]] static DeviceBuffer from_matrix(const Matrix<T>& m)
+    {
+        DeviceBuffer b(m.size());
+        std::copy(m.flat().begin(), m.flat().end(), b.data_.begin());
+        return b;
+    }
+
+    [[nodiscard]] Matrix<T> to_matrix(std::int64_t height,
+                                      std::int64_t width) const
+    {
+        SATGPU_EXPECTS(height * width == size());
+        Matrix<T> m(height, width);
+        std::copy(data_.begin(), data_.end(), m.flat().begin());
+        return m;
+    }
+
+    [[nodiscard]] std::int64_t size() const noexcept
+    {
+        return static_cast<std::int64_t>(data_.size());
+    }
+
+    /// Host-side view (the equivalent of cudaMemcpy'ing back).
+    [[nodiscard]] std::span<T> host() noexcept { return data_; }
+    [[nodiscard]] std::span<const T> host() const noexcept { return data_; }
+
+    /// Warp-wide load: lane l reads element idx[l]; inactive lanes get T{}.
+    [[nodiscard]] LaneVec<T> load(const LaneVec<std::int64_t>& idx,
+                                  LaneMask active = kFullMask) const
+    {
+        LaneVec<T> r{};
+        ByteAddrs addrs{};
+        for (int l = 0; l < kWarpSize; ++l) {
+            if (!lane_active(active, l))
+                continue;
+            const std::int64_t i = idx.get(l);
+            SATGPU_CHECK(i >= 0 && i < size(), "gmem load out of bounds");
+            r.set(l, data_[static_cast<std::size_t>(i)]);
+            addrs[static_cast<std::size_t>(l)] =
+                i * static_cast<std::int64_t>(sizeof(T));
+        }
+        if (PerfCounters* c = current_counters()) {
+            c->gmem_ld_req += 1;
+            c->gmem_ld_sectors += static_cast<std::uint64_t>(
+                gmem_sectors_touched(addrs, active, sizeof(T)));
+            c->gmem_bytes_ld += static_cast<std::uint64_t>(
+                                    active_lane_count(active)) *
+                                sizeof(T);
+        }
+        return r;
+    }
+
+    /// Warp-wide store: lane l writes val[l] to element idx[l].
+    void store(const LaneVec<std::int64_t>& idx, const LaneVec<T>& val,
+               LaneMask active = kFullMask)
+    {
+        ByteAddrs addrs{};
+        for (int l = 0; l < kWarpSize; ++l) {
+            if (!lane_active(active, l))
+                continue;
+            const std::int64_t i = idx.get(l);
+            SATGPU_CHECK(i >= 0 && i < size(), "gmem store out of bounds");
+            data_[static_cast<std::size_t>(i)] = val.get(l);
+            addrs[static_cast<std::size_t>(l)] =
+                i * static_cast<std::int64_t>(sizeof(T));
+        }
+        if (PerfCounters* c = current_counters()) {
+            c->gmem_st_req += 1;
+            c->gmem_st_sectors += static_cast<std::uint64_t>(
+                gmem_sectors_touched(addrs, active, sizeof(T)));
+            c->gmem_bytes_st += static_cast<std::uint64_t>(
+                                    active_lane_count(active)) *
+                                sizeof(T);
+        }
+    }
+
+    /// Warp-wide atomicAdd: lane l adds val[l] to element idx[l].  Lanes
+    /// hitting the same element serialize but all contribute (hardware
+    /// semantics).  Returns the OLD values each lane observed, in an
+    /// arbitrary but deterministic serialization order (ascending lane).
+    LaneVec<T> atomic_add(const LaneVec<std::int64_t>& idx,
+                          const LaneVec<T>& val, LaneMask active = kFullMask)
+    {
+        LaneVec<T> old{};
+        for (int l = 0; l < kWarpSize; ++l) {
+            if (!lane_active(active, l))
+                continue;
+            const std::int64_t i = idx.get(l);
+            SATGPU_CHECK(i >= 0 && i < size(), "gmem atomic out of bounds");
+            old.set(l, data_[static_cast<std::size_t>(i)]);
+            data_[static_cast<std::size_t>(i)] = static_cast<T>(
+                data_[static_cast<std::size_t>(i)] + val.get(l));
+        }
+        if (PerfCounters* c = current_counters())
+            c->gmem_atomics += static_cast<std::uint64_t>(
+                active_lane_count(active));
+        return old;
+    }
+
+    /// Vector load: lane l reads N consecutive elements starting at
+    /// base_idx[l] in ONE wide access (CUDA's uint2/uint4/vectorized
+    /// loads; N*sizeof(T) must not exceed the hardware's 16-byte limit).
+    /// Used by the OpenCV-style 8u shuffle path, which loads 16 pixels per
+    /// thread as a uint4 (Sec. VI-B2).
+    template <std::size_t N>
+    [[nodiscard]] std::array<LaneVec<T>, N>
+    load_vec(const LaneVec<std::int64_t>& base_idx,
+             LaneMask active = kFullMask) const
+    {
+        static_assert(N >= 1 && N * sizeof(T) <= 16,
+                      "vector accesses are at most 128-bit");
+        std::array<LaneVec<T>, N> r{};
+        ByteAddrs addrs{};
+        for (int l = 0; l < kWarpSize; ++l) {
+            if (!lane_active(active, l))
+                continue;
+            const std::int64_t i = base_idx.get(l);
+            SATGPU_CHECK(i >= 0 &&
+                             i + static_cast<std::int64_t>(N) <= size(),
+                         "gmem vector load out of bounds");
+            for (std::size_t k = 0; k < N; ++k)
+                r[k].set(
+                    l, data_[static_cast<std::size_t>(i) + k]);
+            addrs[static_cast<std::size_t>(l)] =
+                i * static_cast<std::int64_t>(sizeof(T));
+        }
+        if (PerfCounters* c = current_counters()) {
+            c->gmem_ld_req += 1;
+            c->gmem_ld_sectors += static_cast<std::uint64_t>(
+                gmem_sectors_touched(addrs, active, static_cast<int>(N * sizeof(T))));
+            c->gmem_bytes_ld +=
+                static_cast<std::uint64_t>(active_lane_count(active)) *
+                static_cast<std::uint64_t>(N) * sizeof(T);
+        }
+        return r;
+    }
+
+    /// Vector store: lane l writes N consecutive elements at base_idx[l].
+    template <std::size_t N>
+    void store_vec(const LaneVec<std::int64_t>& base_idx,
+                   const std::array<LaneVec<T>, N>& vals,
+                   LaneMask active = kFullMask)
+    {
+        static_assert(N >= 1 && N * sizeof(T) <= 16,
+                      "vector accesses are at most 128-bit");
+        ByteAddrs addrs{};
+        for (int l = 0; l < kWarpSize; ++l) {
+            if (!lane_active(active, l))
+                continue;
+            const std::int64_t i = base_idx.get(l);
+            SATGPU_CHECK(i >= 0 &&
+                             i + static_cast<std::int64_t>(N) <= size(),
+                         "gmem vector store out of bounds");
+            for (std::size_t k = 0; k < N; ++k)
+                data_[static_cast<std::size_t>(i) + k] =
+                    vals[k].get(l);
+            addrs[static_cast<std::size_t>(l)] =
+                i * static_cast<std::int64_t>(sizeof(T));
+        }
+        if (PerfCounters* c = current_counters()) {
+            c->gmem_st_req += 1;
+            c->gmem_st_sectors += static_cast<std::uint64_t>(
+                gmem_sectors_touched(addrs, active, static_cast<int>(N * sizeof(T))));
+            c->gmem_bytes_st +=
+                static_cast<std::uint64_t>(active_lane_count(active)) *
+                static_cast<std::uint64_t>(N) * sizeof(T);
+        }
+    }
+
+private:
+    std::vector<T> data_;
+};
+
+} // namespace satgpu::simt

@@ -1,0 +1,191 @@
+// KernelTask: the coroutine type in which simulated warps execute.
+//
+// A "warp program" is a C++20 coroutine `KernelTask f(WarpCtx&)`.  Inside it,
+// kernel-visible scalars are LaneVec values (one per lane) and
+// `co_await w.sync()` is __syncthreads(): the warp suspends until every live
+// warp of its block reaches a barrier, at which point the block scheduler
+// (engine.cpp) resumes all of them.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <type_traits>
+#include <utility>
+
+namespace satgpu::simt {
+
+class KernelTask {
+public:
+    struct promise_type {
+        std::exception_ptr exception;
+
+        KernelTask get_return_object()
+        {
+            return KernelTask(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+        void unhandled_exception() noexcept
+        {
+            exception = std::current_exception();
+        }
+    };
+
+    KernelTask() = default;
+    explicit KernelTask(std::coroutine_handle<promise_type> h) : h_(h) {}
+
+    KernelTask(KernelTask&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+    KernelTask& operator=(KernelTask&& o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            h_ = std::exchange(o.h_, nullptr);
+        }
+        return *this;
+    }
+    KernelTask(const KernelTask&) = delete;
+    KernelTask& operator=(const KernelTask&) = delete;
+    ~KernelTask() { destroy(); }
+
+    [[nodiscard]] bool valid() const noexcept { return h_ != nullptr; }
+    [[nodiscard]] bool done() const noexcept { return h_.done(); }
+
+    /// Run the warp until its next suspension point (barrier or completion),
+    /// rethrowing anything the kernel body threw.
+    void resume()
+    {
+        h_.resume();
+        rethrow_if_failed();
+    }
+
+    /// The outermost coroutine handle (the engine's initial resume point).
+    [[nodiscard]] std::coroutine_handle<> handle() const noexcept
+    {
+        return h_;
+    }
+
+    void rethrow_if_failed() const
+    {
+        if (h_.done() && h_.promise().exception)
+            std::rethrow_exception(h_.promise().exception);
+    }
+
+private:
+    void destroy() noexcept
+    {
+        if (h_) {
+            h_.destroy();
+            h_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> h_;
+};
+
+/// SubTask: a nested device "function" that may itself hit barriers.
+///
+/// Kernels factor reusable pieces that contain __syncthreads() -- BRLT
+/// (Alg. 5) and the Fig. 3c block-carry -- as SubTask coroutines and
+/// `co_await` them.  Suspension at a barrier deep inside a SubTask
+/// propagates to the engine through the warp's resume point (WarpCtx); on
+/// release, the engine resumes the innermost frame directly, and completion
+/// symmetric-transfers back into the caller.
+template <typename T>
+class SubTask;
+
+namespace detail {
+
+struct SubTaskPromiseBase {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    void unhandled_exception() noexcept
+    {
+        exception = std::current_exception();
+    }
+
+    template <typename Promise>
+    struct FinalAwaiter {
+        [[nodiscard]] bool await_ready() const noexcept { return false; }
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            return h.promise().continuation;
+        }
+        void await_resume() const noexcept {}
+    };
+};
+
+template <typename T>
+struct SubTaskPromise : SubTaskPromiseBase {
+    T value{};
+    SubTask<T> get_return_object();
+    FinalAwaiter<SubTaskPromise> final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+};
+
+template <>
+struct SubTaskPromise<void> : SubTaskPromiseBase {
+    SubTask<void> get_return_object();
+    FinalAwaiter<SubTaskPromise> final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+};
+
+} // namespace detail
+
+template <typename T = void>
+class SubTask {
+public:
+    using promise_type = detail::SubTaskPromise<T>;
+
+    explicit SubTask(std::coroutine_handle<promise_type> h) : h_(h) {}
+    SubTask(SubTask&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+    SubTask(const SubTask&) = delete;
+    SubTask& operator=(const SubTask&) = delete;
+    SubTask& operator=(SubTask&&) = delete;
+    ~SubTask()
+    {
+        if (h_)
+            h_.destroy();
+    }
+
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> caller) noexcept
+    {
+        h_.promise().continuation = caller;
+        return h_; // start the nested body via symmetric transfer
+    }
+    T await_resume()
+    {
+        if (h_.promise().exception)
+            std::rethrow_exception(h_.promise().exception);
+        if constexpr (!std::is_void_v<T>)
+            return std::move(h_.promise().value);
+    }
+
+private:
+    std::coroutine_handle<promise_type> h_;
+};
+
+namespace detail {
+
+template <typename T>
+SubTask<T> SubTaskPromise<T>::get_return_object()
+{
+    return SubTask<T>(
+        std::coroutine_handle<SubTaskPromise<T>>::from_promise(*this));
+}
+
+inline SubTask<void> SubTaskPromise<void>::get_return_object()
+{
+    return SubTask<void>(
+        std::coroutine_handle<SubTaskPromise<void>>::from_promise(*this));
+}
+
+} // namespace detail
+
+} // namespace satgpu::simt

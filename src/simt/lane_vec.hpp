@@ -1,0 +1,241 @@
+// LaneVec<T>: the per-lane register value of one warp.
+//
+// The simulator executes warps in lockstep (SIMT): a kernel-visible scalar
+// variable is modelled as a 32-wide vector holding the value in each lane.
+// The paper's register cache -- "T data[32]" per thread, a 32x32 register
+// matrix per warp (Sec. IV, Alg. 5 line 1) -- becomes an array of 32
+// LaneVec<T> values.
+//
+// Counting convention: DATA-PATH arithmetic that the paper's performance
+// model accounts for must go through the v*() free functions (vadd, vmul,
+// vband, vselect, vadd_where), which report active-lane counts to the
+// current PerfCounters sink.  Ordinary operators (+, *, %, ...) are provided
+// for ADDRESS/INDEX computation and are deliberately uncounted, matching the
+// paper's model which counts only the scan data path.
+#pragma once
+
+#include "core/check.hpp"
+#include "simt/dim3.hpp"
+#include "simt/perf_counters.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace satgpu::simt {
+
+/// One bit per lane; lane 0 is the LSB (CUDA __ballot convention).
+using LaneMask = std::uint32_t;
+inline constexpr LaneMask kFullMask = 0xffffffffu;
+
+[[nodiscard]] constexpr bool lane_active(LaneMask m, int lane) noexcept
+{
+    return ((m >> lane) & 1u) != 0;
+}
+
+[[nodiscard]] constexpr int active_lane_count(LaneMask m) noexcept
+{
+    return std::popcount(m);
+}
+
+template <typename T>
+class LaneVec {
+public:
+    using value_type = T;
+
+    LaneVec() = default;
+
+    [[nodiscard]] static LaneVec broadcast(T v)
+    {
+        LaneVec r;
+        r.v_.fill(v);
+        return r;
+    }
+
+    /// {0, 1, ..., 31} -- the laneId vector.
+    [[nodiscard]] static LaneVec lane_index()
+        requires std::is_arithmetic_v<T>
+    {
+        LaneVec r;
+        for (int l = 0; l < kWarpSize; ++l)
+            r.v_[static_cast<std::size_t>(l)] = static_cast<T>(l);
+        return r;
+    }
+
+    [[nodiscard]] T& operator[](int lane)
+    {
+        SATGPU_EXPECTS(lane >= 0 && lane < kWarpSize);
+        return v_[static_cast<std::size_t>(lane)];
+    }
+    [[nodiscard]] const T& operator[](int lane) const
+    {
+        SATGPU_EXPECTS(lane >= 0 && lane < kWarpSize);
+        return v_[static_cast<std::size_t>(lane)];
+    }
+
+    /// Unchecked hot-path access.
+    [[nodiscard]] T get(int lane) const noexcept
+    {
+        return v_[static_cast<std::size_t>(lane)];
+    }
+    void set(int lane, T v) noexcept
+    {
+        v_[static_cast<std::size_t>(lane)] = v;
+    }
+
+    template <typename U>
+    [[nodiscard]] LaneVec<U> cast() const
+    {
+        LaneVec<U> r;
+        for (int l = 0; l < kWarpSize; ++l)
+            r.set(l, static_cast<U>(get(l)));
+        return r;
+    }
+
+    // ---- Uncounted index/address arithmetic -------------------------------
+    friend LaneVec operator+(const LaneVec& a, const LaneVec& b)
+    {
+        return zip(a, b, [](T x, T y) { return static_cast<T>(x + y); });
+    }
+    friend LaneVec operator-(const LaneVec& a, const LaneVec& b)
+    {
+        return zip(a, b, [](T x, T y) { return static_cast<T>(x - y); });
+    }
+    friend LaneVec operator*(const LaneVec& a, const LaneVec& b)
+    {
+        return zip(a, b, [](T x, T y) { return static_cast<T>(x * y); });
+    }
+    friend LaneVec operator+(const LaneVec& a, T s)
+    {
+        return a + broadcast(s);
+    }
+    friend LaneVec operator-(const LaneVec& a, T s)
+    {
+        return a - broadcast(s);
+    }
+    friend LaneVec operator*(const LaneVec& a, T s)
+    {
+        return a * broadcast(s);
+    }
+    friend LaneVec operator*(T s, const LaneVec& a)
+    {
+        return a * broadcast(s);
+    }
+
+    // ---- Lane-wise comparisons to masks -----------------------------------
+    [[nodiscard]] friend LaneMask operator<(const LaneVec& a, const LaneVec& b)
+    {
+        return cmp(a, b, [](T x, T y) { return x < y; });
+    }
+    [[nodiscard]] friend LaneMask operator>=(const LaneVec& a,
+                                             const LaneVec& b)
+    {
+        return cmp(a, b, [](T x, T y) { return x >= y; });
+    }
+    [[nodiscard]] friend LaneMask operator==(const LaneVec& a,
+                                             const LaneVec& b)
+    {
+        return cmp(a, b, [](T x, T y) { return x == y; });
+    }
+
+    template <typename F>
+    [[nodiscard]] static LaneVec zip(const LaneVec& a, const LaneVec& b, F f)
+    {
+        LaneVec r;
+        for (int l = 0; l < kWarpSize; ++l)
+            r.set(l, f(a.get(l), b.get(l)));
+        return r;
+    }
+
+private:
+    template <typename F>
+    [[nodiscard]] static LaneMask cmp(const LaneVec& a, const LaneVec& b, F f)
+    {
+        LaneMask m = 0;
+        for (int l = 0; l < kWarpSize; ++l)
+            if (f(a.get(l), b.get(l)))
+                m |= (1u << l);
+        return m;
+    }
+
+    std::array<T, kWarpSize> v_{};
+};
+
+namespace detail {
+inline void count_adds(std::uint64_t n) noexcept
+{
+    if (PerfCounters* c = current_counters())
+        c->lane_add += n;
+}
+inline void count_muls(std::uint64_t n) noexcept
+{
+    if (PerfCounters* c = current_counters())
+        c->lane_mul += n;
+}
+inline void count_bools(std::uint64_t n) noexcept
+{
+    if (PerfCounters* c = current_counters())
+        c->lane_bool += n;
+}
+inline void count_selects(std::uint64_t n) noexcept
+{
+    if (PerfCounters* c = current_counters())
+        c->lane_select += n;
+}
+} // namespace detail
+
+// ---- Counted data-path operations (the paper's accounting) ----------------
+
+/// Warp-wide add; all 32 lanes execute.
+template <typename T>
+[[nodiscard]] LaneVec<T> vadd(const LaneVec<T>& a, const LaneVec<T>& b)
+{
+    detail::count_adds(kWarpSize);
+    return a + b;
+}
+
+/// Predicated add: lanes in `m` compute a+b, others keep a.  Counts only
+/// active lanes (the paper's N_add accounting for Algs. 3 and 4).
+template <typename T>
+[[nodiscard]] LaneVec<T> vadd_where(LaneMask m, const LaneVec<T>& a,
+                                    const LaneVec<T>& b)
+{
+    detail::count_adds(static_cast<std::uint64_t>(active_lane_count(m)));
+    LaneVec<T> r = a;
+    for (int l = 0; l < kWarpSize; ++l)
+        if (lane_active(m, l))
+            r.set(l, static_cast<T>(a.get(l) + b.get(l)));
+    return r;
+}
+
+template <typename T>
+[[nodiscard]] LaneVec<T> vmul(const LaneVec<T>& a, const LaneVec<T>& b)
+{
+    detail::count_muls(kWarpSize);
+    return a * b;
+}
+
+/// Counted boolean AND on integer lanes (LF-scan's predicate, Alg. 4 l.4).
+template <typename T>
+[[nodiscard]] LaneVec<T> vband(const LaneVec<T>& a, const LaneVec<T>& b)
+    requires std::is_integral_v<T>
+{
+    detail::count_bools(kWarpSize);
+    return LaneVec<T>::zip(a, b,
+                           [](T x, T y) { return static_cast<T>(x & y); });
+}
+
+/// Lane-wise select: m ? a : b.
+template <typename T>
+[[nodiscard]] LaneVec<T> vselect(LaneMask m, const LaneVec<T>& a,
+                                 const LaneVec<T>& b)
+{
+    detail::count_selects(kWarpSize);
+    LaneVec<T> r;
+    for (int l = 0; l < kWarpSize; ++l)
+        r.set(l, lane_active(m, l) ? a.get(l) : b.get(l));
+    return r;
+}
+
+} // namespace satgpu::simt

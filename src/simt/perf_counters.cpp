@@ -1,0 +1,43 @@
+#include "simt/perf_counters.hpp"
+
+namespace satgpu::simt {
+
+namespace {
+thread_local PerfCounters* g_sink = nullptr;
+} // namespace
+
+void PerfCounters::merge(const PerfCounters& o) noexcept
+{
+    lane_add += o.lane_add;
+    lane_mul += o.lane_mul;
+    lane_bool += o.lane_bool;
+    lane_select += o.lane_select;
+    warp_shfl += o.warp_shfl;
+    smem_ld_req += o.smem_ld_req;
+    smem_st_req += o.smem_st_req;
+    smem_ld_trans += o.smem_ld_trans;
+    smem_st_trans += o.smem_st_trans;
+    smem_bytes_ld += o.smem_bytes_ld;
+    smem_bytes_st += o.smem_bytes_st;
+    gmem_ld_req += o.gmem_ld_req;
+    gmem_st_req += o.gmem_st_req;
+    gmem_ld_sectors += o.gmem_ld_sectors;
+    gmem_st_sectors += o.gmem_st_sectors;
+    gmem_bytes_ld += o.gmem_bytes_ld;
+    gmem_bytes_st += o.gmem_bytes_st;
+    gmem_atomics += o.gmem_atomics;
+    barriers += o.barriers;
+    blocks += o.blocks;
+    warps += o.warps;
+}
+
+PerfCounters* current_counters() noexcept { return g_sink; }
+
+CounterScope::CounterScope(PerfCounters& sink) noexcept : prev_(g_sink)
+{
+    g_sink = &sink;
+}
+
+CounterScope::~CounterScope() { g_sink = prev_; }
+
+} // namespace satgpu::simt

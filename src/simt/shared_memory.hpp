@@ -1,0 +1,166 @@
+// Block-scoped shared (scratchpad) memory with bank-conflict accounting.
+//
+// A SharedMemory arena belongs to one thread block.  Kernels obtain typed
+// views with `alloc<T>(name, count)`; the name makes the allocation idempotent
+// across the block's warps, mirroring CUDA's one-`__shared__`-array-per-block
+// semantics even though every warp coroutine executes the declaration.
+//
+// Every warp-wide load/store is analyzed for bank conflicts
+// (simt/access_analysis.hpp) and reported to the active PerfCounters sink,
+// which is how the simulator observes the paper's central claim that the
+// 32x33 padded layout (Alg. 5 line 2) is conflict free while a 32x32 layout
+// serializes 32-way on column access.
+#pragma once
+
+#include "core/check.hpp"
+#include "simt/access_analysis.hpp"
+#include "simt/lane_vec.hpp"
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace satgpu::simt {
+
+template <typename T>
+class SmemView;
+
+class SharedMemory {
+public:
+    explicit SharedMemory(std::int64_t capacity_bytes)
+        : arena_(static_cast<std::size_t>(capacity_bytes))
+    {
+    }
+
+    /// Named idempotent allocation: the first call allocates `count` elements
+    /// of T; subsequent calls with the same name return the same storage
+    /// (and must request the same extent).
+    template <typename T>
+    [[nodiscard]] SmemView<T> alloc(std::string_view name, std::int64_t count);
+
+    [[nodiscard]] std::int64_t bytes_used() const noexcept { return used_; }
+    [[nodiscard]] std::int64_t capacity() const noexcept
+    {
+        return static_cast<std::int64_t>(arena_.size());
+    }
+
+private:
+    struct Allocation {
+        std::int64_t offset;
+        std::int64_t bytes;
+    };
+
+    [[nodiscard]] Allocation allocate_named(std::string_view name,
+                                            std::int64_t bytes)
+    {
+        if (auto it = named_.find(name); it != named_.end()) {
+            SATGPU_CHECK(it->second.bytes == bytes,
+                         "shared-memory allocation re-declared with a "
+                         "different extent");
+            return it->second;
+        }
+        constexpr std::int64_t align = 8;
+        const std::int64_t offset = (used_ + align - 1) / align * align;
+        SATGPU_CHECK(offset + bytes <= capacity(),
+                     "shared memory capacity exceeded");
+        used_ = offset + bytes;
+        Allocation a{offset, bytes};
+        named_.emplace(std::string(name), a);
+        return a;
+    }
+
+    template <typename T>
+    friend class SmemView;
+
+    std::vector<std::byte> arena_;
+    std::int64_t used_ = 0;
+    std::map<std::string, Allocation, std::less<>> named_;
+};
+
+template <typename T>
+class SmemView {
+public:
+    SmemView() = default;
+
+    [[nodiscard]] std::int64_t size() const noexcept { return count_; }
+
+    /// Warp-wide store: lane l writes val[l] at element index idx[l].
+    void store(const LaneVec<std::int64_t>& idx, const LaneVec<T>& val,
+               LaneMask active = kFullMask)
+    {
+        ByteAddrs addrs{};
+        for (int l = 0; l < kWarpSize; ++l) {
+            if (!lane_active(active, l))
+                continue;
+            const std::int64_t i = idx.get(l);
+            SATGPU_CHECK(i >= 0 && i < count_, "smem store out of bounds");
+            base()[i] = val.get(l);
+            addrs[static_cast<std::size_t>(l)] =
+                base_offset_ + i * static_cast<std::int64_t>(sizeof(T));
+        }
+        if (PerfCounters* c = current_counters()) {
+            c->smem_st_req += 1;
+            c->smem_st_trans += static_cast<std::uint64_t>(
+                smem_conflict_passes(addrs, active, sizeof(T)));
+            c->smem_bytes_st += static_cast<std::uint64_t>(
+                                    active_lane_count(active)) *
+                                sizeof(T);
+        }
+    }
+
+    /// Warp-wide load: lane l reads element idx[l]; inactive lanes get T{}.
+    [[nodiscard]] LaneVec<T> load(const LaneVec<std::int64_t>& idx,
+                                  LaneMask active = kFullMask) const
+    {
+        LaneVec<T> r{};
+        ByteAddrs addrs{};
+        for (int l = 0; l < kWarpSize; ++l) {
+            if (!lane_active(active, l))
+                continue;
+            const std::int64_t i = idx.get(l);
+            SATGPU_CHECK(i >= 0 && i < count_, "smem load out of bounds");
+            r.set(l, base()[i]);
+            addrs[static_cast<std::size_t>(l)] =
+                base_offset_ + i * static_cast<std::int64_t>(sizeof(T));
+        }
+        if (PerfCounters* c = current_counters()) {
+            c->smem_ld_req += 1;
+            c->smem_ld_trans += static_cast<std::uint64_t>(
+                smem_conflict_passes(addrs, active, sizeof(T)));
+            c->smem_bytes_ld += static_cast<std::uint64_t>(
+                                    active_lane_count(active)) *
+                                sizeof(T);
+        }
+        return r;
+    }
+
+private:
+    friend class SharedMemory;
+
+    SmemView(SharedMemory* owner, std::int64_t offset, std::int64_t count)
+        : owner_(owner), base_offset_(offset), count_(count)
+    {
+    }
+
+    [[nodiscard]] T* base() const noexcept
+    {
+        return reinterpret_cast<T*>(owner_->arena_.data() + base_offset_);
+    }
+
+    SharedMemory* owner_ = nullptr;
+    std::int64_t base_offset_ = 0;
+    std::int64_t count_ = 0;
+};
+
+template <typename T>
+SmemView<T> SharedMemory::alloc(std::string_view name, std::int64_t count)
+{
+    SATGPU_EXPECTS(count >= 0);
+    const auto a = allocate_named(
+        name, count * static_cast<std::int64_t>(sizeof(T)));
+    return SmemView<T>(this, a.offset, count);
+}
+
+} // namespace satgpu::simt

@@ -1,0 +1,102 @@
+// Warp shuffle instructions (CUDA __shfl_*_sync semantics).
+//
+// Shuffles are the only inter-thread communication channel the paper's
+// kernels use inside a warp (Sec. IV-1).  Each call counts as one warp-wide
+// shuffle instruction, matching the paper's N_scan_row_sfl accounting.
+#pragma once
+
+#include "simt/lane_vec.hpp"
+
+namespace satgpu::simt {
+
+namespace detail {
+inline void count_shfl() noexcept
+{
+    if (PerfCounters* c = current_counters())
+        c->warp_shfl += 1;
+}
+} // namespace detail
+
+/// __shfl_up_sync: lane l receives the value of lane l - delta within its
+/// width-sized segment; lanes with segment index < delta keep their own
+/// value.  `width` must be a power of two <= 32.
+template <typename T>
+[[nodiscard]] LaneVec<T> shfl_up(const LaneVec<T>& v, int delta,
+                                 int width = kWarpSize)
+{
+    SATGPU_EXPECTS(width > 0 && width <= kWarpSize &&
+                   (width & (width - 1)) == 0);
+    SATGPU_EXPECTS(delta >= 0);
+    detail::count_shfl();
+    LaneVec<T> r;
+    for (int l = 0; l < kWarpSize; ++l) {
+        const int seg = l / width;
+        const int idx = l % width;
+        const int src = idx - delta;
+        r.set(l, src >= 0 ? v.get(seg * width + src) : v.get(l));
+    }
+    return r;
+}
+
+/// __shfl_down_sync: lane l receives lane l + delta within its segment.
+template <typename T>
+[[nodiscard]] LaneVec<T> shfl_down(const LaneVec<T>& v, int delta,
+                                   int width = kWarpSize)
+{
+    SATGPU_EXPECTS(width > 0 && width <= kWarpSize &&
+                   (width & (width - 1)) == 0);
+    SATGPU_EXPECTS(delta >= 0);
+    detail::count_shfl();
+    LaneVec<T> r;
+    for (int l = 0; l < kWarpSize; ++l) {
+        const int seg = l / width;
+        const int idx = l % width;
+        const int src = idx + delta;
+        r.set(l, src < width ? v.get(seg * width + src) : v.get(l));
+    }
+    return r;
+}
+
+/// __shfl_sync: every lane receives the value of srcLane (mod width, within
+/// its own segment).
+template <typename T>
+[[nodiscard]] LaneVec<T> shfl(const LaneVec<T>& v, int src_lane,
+                              int width = kWarpSize)
+{
+    SATGPU_EXPECTS(width > 0 && width <= kWarpSize &&
+                   (width & (width - 1)) == 0);
+    detail::count_shfl();
+    LaneVec<T> r;
+    for (int l = 0; l < kWarpSize; ++l) {
+        const int seg = l / width;
+        const int src = seg * width + (src_lane & (width - 1));
+        r.set(l, v.get(src));
+    }
+    return r;
+}
+
+/// __shfl_xor_sync: lane l receives lane l ^ lane_mask within its segment.
+template <typename T>
+[[nodiscard]] LaneVec<T> shfl_xor(const LaneVec<T>& v, int lane_mask,
+                                  int width = kWarpSize)
+{
+    SATGPU_EXPECTS(width > 0 && width <= kWarpSize &&
+                   (width & (width - 1)) == 0);
+    detail::count_shfl();
+    LaneVec<T> r;
+    for (int l = 0; l < kWarpSize; ++l) {
+        const int src = l ^ lane_mask;
+        r.set(l, src < kWarpSize && (src / width) == (l / width) ? v.get(src)
+                                                                 : v.get(l));
+    }
+    return r;
+}
+
+/// Broadcast of one lane's scalar to the host side (reads lane `src`).
+template <typename T>
+[[nodiscard]] T lane_value(const LaneVec<T>& v, int src) noexcept
+{
+    return v.get(src);
+}
+
+} // namespace satgpu::simt

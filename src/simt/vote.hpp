@@ -1,0 +1,50 @@
+// Warp vote functions (CUDA __ballot_sync / __any_sync / __all_sync) and
+// mask utilities.  Not needed by the paper's SAT kernels themselves, but
+// part of any usable warp-level substrate (and used by the histogram and
+// transform extensions).
+#pragma once
+
+#include "simt/lane_vec.hpp"
+
+namespace satgpu::simt {
+
+/// __ballot_sync: one bit per active lane whose predicate is true.
+[[nodiscard]] inline LaneMask ballot(LaneMask pred,
+                                     LaneMask active = kFullMask) noexcept
+{
+    return pred & active;
+}
+
+/// __any_sync.
+[[nodiscard]] inline bool any(LaneMask pred,
+                              LaneMask active = kFullMask) noexcept
+{
+    return (pred & active) != 0;
+}
+
+/// __all_sync.
+[[nodiscard]] inline bool all(LaneMask pred,
+                              LaneMask active = kFullMask) noexcept
+{
+    return (pred & active) == active;
+}
+
+/// Lowest-set-lane of a mask (CUDA __ffs(mask)-1 idiom); -1 if empty.
+[[nodiscard]] inline int first_lane(LaneMask m) noexcept
+{
+    return m == 0 ? -1 : std::countr_zero(m);
+}
+
+/// Predicate vector -> mask, applied lane-wise to a LaneVec<bool>-ish
+/// comparison that produced per-lane truth values.
+template <typename T>
+[[nodiscard]] LaneMask mask_of_nonzero(const LaneVec<T>& v) noexcept
+{
+    LaneMask m = 0;
+    for (int l = 0; l < kWarpSize; ++l)
+        if (v.get(l) != T{})
+            m |= (1u << l);
+    return m;
+}
+
+} // namespace satgpu::simt

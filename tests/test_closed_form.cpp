@@ -1,0 +1,123 @@
+// The closed-form counter formulas must match the simulator EXACTLY for
+// benchmark-regime sizes -- this is the strongest statement that the
+// analytic model and the implementation describe the same kernels.
+#include "core/random_fill.hpp"
+#include "model/closed_form.hpp"
+#include "sat/sat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace model = satgpu::model;
+namespace sat = satgpu::sat;
+namespace simt = satgpu::simt;
+using satgpu::Matrix;
+
+namespace {
+
+void expect_exact(const simt::PerfCounters& formula,
+                  const simt::PerfCounters& sim, const char* what)
+{
+    EXPECT_EQ(formula.gmem_ld_req, sim.gmem_ld_req) << what;
+    EXPECT_EQ(formula.gmem_st_req, sim.gmem_st_req) << what;
+    EXPECT_EQ(formula.gmem_ld_sectors, sim.gmem_ld_sectors) << what;
+    EXPECT_EQ(formula.gmem_st_sectors, sim.gmem_st_sectors) << what;
+    EXPECT_EQ(formula.gmem_bytes_ld, sim.gmem_bytes_ld) << what;
+    EXPECT_EQ(formula.gmem_bytes_st, sim.gmem_bytes_st) << what;
+    EXPECT_EQ(formula.smem_ld_req, sim.smem_ld_req) << what;
+    EXPECT_EQ(formula.smem_st_req, sim.smem_st_req) << what;
+    EXPECT_EQ(formula.smem_ld_trans, sim.smem_ld_trans) << what;
+    EXPECT_EQ(formula.smem_st_trans, sim.smem_st_trans) << what;
+    EXPECT_EQ(formula.smem_bytes_ld, sim.smem_bytes_ld) << what;
+    EXPECT_EQ(formula.smem_bytes_st, sim.smem_bytes_st) << what;
+    EXPECT_EQ(formula.warp_shfl, sim.warp_shfl) << what;
+    EXPECT_EQ(formula.lane_add, sim.lane_add) << what;
+    EXPECT_EQ(formula.lane_select, sim.lane_select) << what;
+    EXPECT_EQ(formula.barriers, sim.barriers) << what;
+    EXPECT_EQ(formula.blocks, sim.blocks) << what;
+    EXPECT_EQ(formula.warps, sim.warps) << what;
+}
+
+template <typename Tin, typename Tout>
+void check_algorithm(sat::Algorithm algo, std::int64_t h, std::int64_t w)
+{
+    Matrix<Tin> img(h, w);
+    satgpu::fill_random(img, 7);
+    simt::Engine eng({.record_history = false});
+    const auto real = sat::compute_sat<Tout>(eng, img, {algo}).launches;
+
+    const model::ProblemShape shape{h, w, sizeof(Tin), sizeof(Tout)};
+    const auto formulas = model::closed_form_algorithm(algo, shape);
+    ASSERT_EQ(formulas.size(), real.size());
+    for (std::size_t i = 0; i < real.size(); ++i)
+        expect_exact(formulas[i], real[i].counters,
+                     (std::string(sat::to_string(algo)) + " kernel " +
+                      std::to_string(i))
+                         .c_str());
+}
+
+} // namespace
+
+TEST(ClosedForm, BrltScanRow32f1k)
+{
+    check_algorithm<float, float>(sat::Algorithm::kBrltScanRow, 1024, 1024);
+}
+
+TEST(ClosedForm, BrltScanRow8u32uRect)
+{
+    check_algorithm<std::uint8_t, std::uint32_t>(
+        sat::Algorithm::kBrltScanRow, 2048, 1024);
+}
+
+TEST(ClosedForm, BrltScanRow64f)
+{
+    // 16-warp blocks and two smem transactions per access.
+    check_algorithm<double, double>(sat::Algorithm::kBrltScanRow, 1024,
+                                    1024);
+}
+
+TEST(ClosedForm, ScanRowBrlt32f1k)
+{
+    check_algorithm<float, float>(sat::Algorithm::kScanRowBrlt, 1024, 1024);
+}
+
+TEST(ClosedForm, ScanRowBrlt8u32u)
+{
+    check_algorithm<std::uint8_t, std::uint32_t>(
+        sat::Algorithm::kScanRowBrlt, 1024, 2048);
+}
+
+TEST(ClosedForm, ScanRowColumn32f1k)
+{
+    check_algorithm<float, float>(sat::Algorithm::kScanRowColumn, 1024,
+                                  1024);
+}
+
+TEST(ClosedForm, ScanRowColumn64f)
+{
+    check_algorithm<double, double>(sat::Algorithm::kScanRowColumn, 1024,
+                                    1024);
+}
+
+TEST(ClosedForm, PerTileHeadlineNumbers)
+{
+    // The Sec. V-B per-tile story, recovered from the formulas at exactly
+    // one block-chunk (32 tiles) of 32f work.
+    const model::ProblemShape one_chunk{32, 1024, 4, 4};
+    const auto serial = model::closed_form_brlt_pass(one_chunk, false);
+    const auto parallel = model::closed_form_brlt_pass(one_chunk, true);
+    // 32 tiles x 64 BRLT transactions + one block-carry's traffic.
+    EXPECT_EQ(serial.smem_st_trans, 32u * 32u + 63u);
+    EXPECT_EQ(serial.smem_ld_trans, 32u * 32u + 95u);
+    EXPECT_EQ(serial.warp_shfl, 0u);
+    EXPECT_EQ(parallel.warp_shfl, 32u * 224u);
+    // Serial scan: ~2.5x fewer adds than the parallel variant.
+    EXPECT_LT(serial.lane_add * 2, parallel.lane_add);
+}
+
+TEST(ClosedForm, RejectsUnsupportedAlgorithms)
+{
+    EXPECT_DEATH((void)model::closed_form_algorithm(
+                     sat::Algorithm::kOpencvLike,
+                     model::ProblemShape{1024, 1024, 1, 4}),
+                 "three proposed");
+}

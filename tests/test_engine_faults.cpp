@@ -1,0 +1,199 @@
+// Failure-injection tests: the simulator must catch (loudly) the classes of
+// bugs that silently corrupt results or hang on real hardware -- out-of-
+// bounds accesses, capacity violations, illegal launch shapes, divergent
+// shared-memory declarations -- and must propagate kernel exceptions and
+// nested-coroutine barriers correctly.
+#include "sat/block_carry.hpp"
+#include "sat/brlt.hpp"
+#include "sat/brlt_scanrow.hpp"
+#include "simt/engine.hpp"
+#include "simt/global_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simt = satgpu::simt;
+using simt::kWarpSize;
+using simt::LaneVec;
+
+namespace {
+
+simt::LaunchConfig one_warp() { return {{1, 1, 1}, {kWarpSize, 1, 1}}; }
+
+} // namespace
+
+TEST(EngineFaults, GlobalLoadOutOfBoundsDies)
+{
+    simt::Engine eng;
+    simt::DeviceBuffer<int> buf(16);
+    EXPECT_DEATH(
+        eng.launch({"oob", 8, 0}, one_warp(),
+                   [&](simt::WarpCtx&) -> simt::KernelTask {
+                       (void)buf.load(LaneVec<std::int64_t>::broadcast(16));
+                       co_return;
+                   }),
+        "gmem load out of bounds");
+}
+
+TEST(EngineFaults, GlobalStoreOutOfBoundsDies)
+{
+    simt::Engine eng;
+    simt::DeviceBuffer<int> buf(16);
+    EXPECT_DEATH(
+        eng.launch({"oob", 8, 0}, one_warp(),
+                   [&](simt::WarpCtx&) -> simt::KernelTask {
+                       buf.store(LaneVec<std::int64_t>::broadcast(-1),
+                                 LaneVec<int>::broadcast(0), 0x1u);
+                       co_return;
+                   }),
+        "gmem store out of bounds");
+}
+
+TEST(EngineFaults, SmemIndexOutOfBoundsDies)
+{
+    simt::Engine eng;
+    EXPECT_DEATH(
+        eng.launch({"smem_oob", 8, 128}, one_warp(),
+                   [&](simt::WarpCtx& w) -> simt::KernelTask {
+                       auto sm = w.smem_alloc<int>("t", 8);
+                       (void)sm.load(LaneVec<std::int64_t>::broadcast(8),
+                                     0x1u);
+                       co_return;
+                   }),
+        "smem load out of bounds");
+}
+
+TEST(EngineFaults, SmemCapacityExceededDies)
+{
+    simt::Engine eng(simt::Engine::Options{.smem_capacity_bytes = 1024,
+                                           .record_history = false});
+    EXPECT_DEATH(
+        eng.launch({"smem_cap", 8, 2048}, one_warp(),
+                   [&](simt::WarpCtx& w) -> simt::KernelTask {
+                       (void)w.smem_alloc<double>("big", 512);
+                       co_return;
+                   }),
+        "capacity");
+}
+
+TEST(EngineFaults, SmemRedeclarationWithDifferentExtentDies)
+{
+    simt::Engine eng;
+    EXPECT_DEATH(
+        eng.launch({"redecl", 8, 512}, one_warp(),
+                   [&](simt::WarpCtx& w) -> simt::KernelTask {
+                       (void)w.smem_alloc<int>("t", 8);
+                       (void)w.smem_alloc<int>("t", 16);
+                       co_return;
+                   }),
+        "different");
+}
+
+TEST(EngineFaults, OversizedBlockRejected)
+{
+    simt::Engine eng;
+    EXPECT_DEATH(eng.launch({"big_block", 8, 0},
+                            {{1, 1, 1}, {2048, 1, 1}},
+                            [&](simt::WarpCtx&) -> simt::KernelTask {
+                                co_return;
+                            }),
+                 "");
+}
+
+TEST(EngineFaults, NonWarpMultipleBlockRejected)
+{
+    simt::Engine eng;
+    EXPECT_DEATH(eng.launch({"ragged_block", 8, 0}, {{1, 1, 1}, {48, 1, 1}},
+                            [&](simt::WarpCtx&) -> simt::KernelTask {
+                                co_return;
+                            }),
+                 "");
+}
+
+TEST(EngineFaults, NestedSubTaskExceptionPropagates)
+{
+    simt::Engine eng;
+    auto failing_subtask = [](simt::WarpCtx& w) -> simt::SubTask<> {
+        co_await w.sync();
+        throw std::runtime_error("inner failure");
+    };
+    EXPECT_THROW(
+        eng.launch({"nested_throw", 8, 0}, one_warp(),
+                   [&](simt::WarpCtx& w) -> simt::KernelTask {
+                       co_await failing_subtask(w);
+                   }),
+        std::runtime_error);
+}
+
+TEST(EngineFaults, NestedSubTaskValueAndBarriers)
+{
+    // A SubTask<int> that syncs twice and returns a value: exercises the
+    // resume-point plumbing through two barrier suspensions in a nested
+    // frame plus symmetric transfer back to the caller.
+    simt::Engine eng;
+    simt::DeviceBuffer<int> out(8, -1);
+    auto worker = [](simt::WarpCtx& w) -> simt::SubTask<int> {
+        co_await w.sync();
+        co_await w.sync();
+        co_return w.warp_id() * 10;
+    };
+    auto stats = eng.launch(
+        {"nested_value", 8, 0}, {{1, 1, 1}, {8 * kWarpSize, 1, 1}},
+        [&](simt::WarpCtx& w) -> simt::KernelTask {
+            const int v = co_await worker(w);
+            out.store(LaneVec<std::int64_t>::broadcast(w.warp_id()),
+                      LaneVec<int>::broadcast(v), 0x1u);
+        });
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(out.host()[static_cast<std::size_t>(i)], i * 10);
+    EXPECT_EQ(stats.counters.barriers, 2u);
+}
+
+TEST(EngineFaults, DoublyNestedSubTasks)
+{
+    // SubTask awaiting a SubTask, with barriers at the deepest level.
+    simt::Engine eng;
+    simt::DeviceBuffer<int> out(1, 0);
+    auto inner = [](simt::WarpCtx& w) -> simt::SubTask<int> {
+        co_await w.sync();
+        co_return 21;
+    };
+    auto middle = [&inner](simt::WarpCtx& w) -> simt::SubTask<int> {
+        const int v = co_await inner(w);
+        co_await w.sync();
+        co_return v * 2;
+    };
+    eng.launch({"deep_nest", 8, 0}, {{1, 1, 1}, {2 * kWarpSize, 1, 1}},
+               [&](simt::WarpCtx& w) -> simt::KernelTask {
+                   const int v = co_await middle(w);
+                   if (w.warp_id() == 0)
+                       out.store(LaneVec<std::int64_t>::broadcast(0),
+                                 LaneVec<int>::broadcast(v), 0x1u);
+               });
+    EXPECT_EQ(out.host()[0], 42);
+}
+
+TEST(EngineFaults, CountersIsolatedAcrossLaunches)
+{
+    simt::Engine eng;
+    simt::DeviceBuffer<int> buf(64, 1);
+    auto body = [&](simt::WarpCtx& w) -> simt::KernelTask {
+        (void)buf.load(w.lane());
+        co_return;
+    };
+    const auto s1 = eng.launch({"k1", 8, 0}, one_warp(), body);
+    const auto s2 = eng.launch({"k2", 8, 0}, one_warp(), body);
+    EXPECT_EQ(s1.counters.gmem_ld_req, 1u);
+    EXPECT_EQ(s2.counters.gmem_ld_req, 1u); // not 2: fresh counters
+}
+
+TEST(EngineFaults, BrltRejectsOversizedSmemOnTinyEngine)
+{
+    // A BRLT launch must fail loudly when the configured device cannot hold
+    // the staging tiles (rather than corrupting neighbouring allocations).
+    simt::Engine eng(simt::Engine::Options{.smem_capacity_bytes = 4096,
+                                           .record_history = false});
+    simt::DeviceBuffer<float> in(32 * 32), out(32 * 32);
+    EXPECT_DEATH(
+        satgpu::sat::launch_brlt_scanrow_pass<float>(eng, in, 32, 32, out),
+        "capacity");
+}

@@ -1,0 +1,329 @@
+// Tests for the performance-model layer: spec database (Table I),
+// occupancy (Eqs. 7-8), the paper's closed-form single-warp model
+// (Eqs. 3-6, 10-15) and the calibrate-and-scale cost model.
+#include "core/random_fill.hpp"
+#include "model/cost_model.hpp"
+#include "model/gpu_specs.hpp"
+#include "model/occupancy.hpp"
+#include "model/paper_model.hpp"
+#include "model/timing.hpp"
+#include "sat/sat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace model = satgpu::model;
+namespace sat = satgpu::sat;
+namespace simt = satgpu::simt;
+using satgpu::DtypePair;
+using satgpu::Dtype;
+
+// ------------------------------------------------------------- gpu_specs --
+
+TEST(GpuSpecs, TableOneCapacities)
+{
+    // Table I: shared memory / registers / SM counts.
+    EXPECT_EQ(model::tesla_m40().smem_per_sm_kb, 48);
+    EXPECT_EQ(model::tesla_p100().smem_per_sm_kb, 64);
+    EXPECT_EQ(model::tesla_v100().smem_per_sm_kb, 96);
+    for (const auto& g : model::all_specs())
+        EXPECT_EQ(g.regfile_per_sm_kb, 256) << g.name;
+    EXPECT_EQ(model::tesla_m40().sm_count, 24);
+    EXPECT_EQ(model::tesla_p100().sm_count, 56);
+    EXPECT_EQ(model::tesla_v100().sm_count, 80);
+}
+
+TEST(GpuSpecs, RegisterFileExceedsSharedMemoryByPaperRatio)
+{
+    // Sec. III-B3: register files are >= 256/96 = 2.7x shared memory.
+    for (const auto& g : model::all_specs())
+        EXPECT_GE(static_cast<double>(g.regfile_per_sm_kb) /
+                      g.smem_per_sm_kb,
+                  256.0 / 96.0)
+            << g.name;
+}
+
+TEST(GpuSpecs, MeasuredLatenciesMatchSectionVA)
+{
+    const auto& p = model::tesla_p100();
+    EXPECT_EQ(p.lat_smem, 36);
+    EXPECT_EQ(p.lat_shfl, 33);
+    EXPECT_EQ(p.lat_add, 6);
+    const auto& v = model::tesla_v100();
+    EXPECT_EQ(v.lat_smem, 27);
+    EXPECT_EQ(v.lat_shfl, 39);
+    EXPECT_EQ(v.lat_add, 4);
+    EXPECT_DOUBLE_EQ(p.smem_gbs, 9519.0);
+    EXPECT_DOUBLE_EQ(v.smem_gbs, 13800.0);
+}
+
+TEST(GpuSpecs, SmemBandwidthConsistentWithBankModel)
+{
+    // 32 banks x 4 B per clock per SM =~ the [55] aggregate figure.
+    const auto& p = model::tesla_p100();
+    const double theoretical =
+        128.0 * p.sm_count * p.core_clock_ghz; // GB/s
+    EXPECT_NEAR(p.smem_gbs, theoretical, 0.02 * theoretical);
+}
+
+// -------------------------------------------------------------- occupancy --
+
+TEST(Occupancy, BrltKernel32fOnP100IsHalfOccupancy)
+{
+    // BRLT-ScanRow, 32f: 1024-thread blocks, 56 regs/thread, ~38 KB smem.
+    const model::KernelFootprint k{56, 8 * 32 * 33 * 4 + 32 * 32 * 4, 1024};
+    const auto o = model::hw_occupancy(model::tesla_p100(), k);
+    EXPECT_EQ(o.blocks_per_sm, 1);
+    EXPECT_EQ(o.warps_per_sm, 32);
+    EXPECT_DOUBLE_EQ(o.fraction, 0.5);
+    EXPECT_EQ(o.active_warps_gpu, 32 * 56);
+}
+
+TEST(Occupancy, SmallBlocksHitTheBlockCap)
+{
+    const model::KernelFootprint k{16, 0, 32}; // one warp per block
+    const auto o = model::hw_occupancy(model::tesla_p100(), k);
+    EXPECT_EQ(o.blocks_per_sm, 32);
+    EXPECT_EQ(o.warps_per_sm, 32);
+    EXPECT_STREQ(o.limiter, "blocks");
+}
+
+TEST(Occupancy, RegisterPressureLimits)
+{
+    const model::KernelFootprint k{255, 0, 256};
+    const auto o = model::hw_occupancy(model::tesla_p100(), k);
+    // 65536 / (255*256) = 1 block of 8 warps.
+    EXPECT_EQ(o.blocks_per_sm, 1);
+    EXPECT_EQ(o.warps_per_sm, 8);
+    EXPECT_STREQ(o.limiter, "regs");
+}
+
+TEST(Occupancy, SharedMemoryLimits)
+{
+    const model::KernelFootprint k{32, 40 * 1024, 256};
+    const auto o = model::hw_occupancy(model::tesla_p100(), k);
+    EXPECT_EQ(o.blocks_per_sm, 1); // 64KB / 40KB
+    EXPECT_STREQ(o.limiter, "smem");
+}
+
+TEST(Occupancy, PaperFormulaEq8)
+{
+    // Eq. 8 with the NPP scanRow footprint: 20 regs, 2.25 KB smem,
+    // 256-thread blocks on P100.
+    const model::KernelFootprint k{20, 2304, 256};
+    // by_regs = 65536/(20*32) = 102; by_smem = (65536/2304)*8 = 224;
+    // by_blocks = 8*32 = 256 -> min = 102 -> 56 * 102.
+    EXPECT_EQ(model::paper_active_warps(model::tesla_p100(), k), 56 * 102);
+    EXPECT_EQ(model::warps_per_block(k), 8);
+}
+
+// ------------------------------------------------------------ paper model --
+
+TEST(PaperModel, LatencyNumbersFromSectionVB)
+{
+    const auto& p = model::tesla_p100();
+    EXPECT_DOUBLE_EQ(model::eq3_transpose_latency_cycles(p), 2304.0);
+    EXPECT_DOUBLE_EQ(model::eq4_scan_row_latency_cycles(p), 6240.0);
+    EXPECT_DOUBLE_EQ(model::eq5_scan_col_latency_cycles(p), 186.0);
+}
+
+TEST(PaperModel, OpCountConstants)
+{
+    using C = model::TileOpCounts;
+    EXPECT_EQ(C::trans_store_smem, 1024);
+    EXPECT_EQ(C::scan_row_stages, 160);
+    EXPECT_EQ(C::kogge_stone_adds, 4128);
+    EXPECT_EQ(C::lf_adds, 2560);
+    EXPECT_EQ(C::lf_ands, 5120);
+    EXPECT_EQ(C::scan_col_adds, 992);
+}
+
+TEST(PaperModel, InequalitiesHoldOnBothGpus)
+{
+    for (const auto* g : {&model::tesla_p100(), &model::tesla_v100()}) {
+        EXPECT_TRUE(model::eq6_latency_inequality(*g).holds()) << g->name;
+        for (int size : {4, 8}) {
+            EXPECT_TRUE(model::eq14_throughput_inequality(*g, size).holds())
+                << g->name << " sizeof " << size;
+            EXPECT_TRUE(model::eq15_throughput_inequality(*g, size).holds())
+                << g->name << " sizeof " << size;
+        }
+    }
+}
+
+TEST(PaperModel, LatencyGapIsLarge)
+{
+    // "<<": the transpose+serial side is several times cheaper.
+    const auto q = model::eq6_latency_inequality(model::tesla_p100());
+    EXPECT_LT(q.lhs * 2.0, q.rhs);
+}
+
+// ------------------------------------------------------------- cost model --
+
+namespace {
+
+void expect_counters_eq(const simt::PerfCounters& a,
+                        const simt::PerfCounters& b, const char* what)
+{
+    EXPECT_EQ(a.lane_add, b.lane_add) << what;
+    EXPECT_EQ(a.lane_bool, b.lane_bool) << what;
+    EXPECT_EQ(a.lane_select, b.lane_select) << what;
+    EXPECT_EQ(a.warp_shfl, b.warp_shfl) << what;
+    EXPECT_EQ(a.smem_ld_trans, b.smem_ld_trans) << what;
+    EXPECT_EQ(a.smem_st_trans, b.smem_st_trans) << what;
+    EXPECT_EQ(a.gmem_ld_sectors, b.gmem_ld_sectors) << what;
+    EXPECT_EQ(a.gmem_st_sectors, b.gmem_st_sectors) << what;
+    EXPECT_EQ(a.gmem_bytes_ld, b.gmem_bytes_ld) << what;
+    EXPECT_EQ(a.gmem_bytes_st, b.gmem_bytes_st) << what;
+    EXPECT_EQ(a.barriers, b.barriers) << what;
+    EXPECT_EQ(a.warps, b.warps) << what;
+    EXPECT_EQ(a.blocks, b.blocks) << what;
+}
+
+class CostModelScaling : public ::testing::TestWithParam<sat::Algorithm> {};
+
+} // namespace
+
+TEST_P(CostModelScaling, PredictionMatchesFullSimulationAt2kx1k)
+{
+    const auto algo = GetParam();
+    const std::int64_t h = 2048, w = 1024;
+
+    satgpu::Matrix<float> img(h, w);
+    satgpu::fill_random(img, 99);
+    simt::Engine eng;
+    const auto real = sat::compute_sat<float>(eng, img, {algo}).launches;
+
+    model::CostModel cm;
+    const auto pred = cm.predict(algo, satgpu::make_pair_of<float, float>(),
+                                 h, w);
+    ASSERT_EQ(pred.size(), real.size());
+    for (std::size_t i = 0; i < real.size(); ++i) {
+        EXPECT_EQ(pred[i].config.grid, real[i].config.grid) << i;
+        EXPECT_EQ(pred[i].config.block, real[i].config.block) << i;
+        expect_counters_eq(pred[i].counters, real[i].counters,
+                           sat::to_string(algo).data());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CostModelScaling,
+                         ::testing::ValuesIn(sat::kAllAlgorithms),
+                         [](const auto& pinfo) {
+                             std::string n{sat::to_string(pinfo.param)};
+                             for (char& ch : n)
+                                 if (ch == '-')
+                                     ch = '_';
+                             return n;
+                         });
+
+TEST(CostModel, Npp8uPredictionMatchesFullSimulation)
+{
+    const std::int64_t h = 1024, w = 2048;
+    satgpu::Matrix<std::uint8_t> img(h, w);
+    satgpu::fill_random(img, 77);
+    simt::Engine eng;
+    const auto real =
+        sat::compute_sat<std::int32_t>(eng, img,
+                                       {sat::Algorithm::kNppLike})
+            .launches;
+    model::CostModel cm;
+    const auto pred =
+        cm.predict(sat::Algorithm::kNppLike,
+                   satgpu::make_pair_of<std::uint8_t, std::int32_t>(), h, w);
+    ASSERT_EQ(pred.size(), real.size());
+    for (std::size_t i = 0; i < real.size(); ++i)
+        expect_counters_eq(pred[i].counters, real[i].counters, "npp");
+}
+
+TEST(CostModel, ScaleCountersRounds)
+{
+    simt::PerfCounters c;
+    c.lane_add = 1000;
+    c.warp_shfl = 3;
+    const auto s = model::scale_counters(c, 2.5);
+    EXPECT_EQ(s.lane_add, 2500u);
+    EXPECT_EQ(s.warp_shfl, 8u); // llround(7.5)
+}
+
+// ----------------------------------------------------------------- timing --
+
+TEST(Timing, MemoryBoundKernelScalesWithBytes)
+{
+    simt::LaunchStats s;
+    s.info = {"synthetic", 32, 0};
+    s.config = {{1024, 1, 1}, {256, 1, 1}};
+    s.counters.gmem_ld_sectors = 1'000'000; // 32 MB
+    s.counters.gmem_bytes_ld = 32'000'000;
+    s.counters.warps = 8192;
+    s.counters.blocks = 1024;
+    const auto t1 = model::estimate_kernel_time(model::tesla_p100(), s);
+    s.counters.gmem_ld_sectors *= 2;
+    s.counters.gmem_bytes_ld *= 2;
+    const auto t2 = model::estimate_kernel_time(model::tesla_p100(), s);
+    EXPECT_GT(t2.total_us, t1.total_us * 1.5);
+    EXPECT_GT(t1.dram_us, t1.smem_us);
+}
+
+TEST(Timing, UncoalescedTrafficCostsMore)
+{
+    simt::LaunchStats s;
+    s.info = {"synthetic", 32, 0};
+    s.config = {{1024, 1, 1}, {256, 1, 1}};
+    s.counters.warps = 8192;
+    s.counters.blocks = 1024;
+    s.counters.gmem_bytes_ld = 32'000'000;
+    s.counters.gmem_ld_sectors = 1'000'000; // coalesced: 32 B/sector useful
+    const auto coalesced =
+        model::estimate_kernel_time(model::tesla_p100(), s);
+    s.counters.gmem_ld_sectors = 8'000'000; // 8x sector inflation
+    const auto scattered =
+        model::estimate_kernel_time(model::tesla_p100(), s);
+    EXPECT_GT(scattered.dram_us, coalesced.dram_us * 2);
+}
+
+TEST(Timing, V100IsFasterThanP100OnTheSameKernel)
+{
+    model::CostModel cm;
+    const auto launches =
+        cm.predict(sat::Algorithm::kBrltScanRow,
+                   satgpu::make_pair_of<float, float>(), 4096, 4096);
+    const double p100 =
+        model::estimate_total_us(model::tesla_p100(), launches);
+    const double v100 =
+        model::estimate_total_us(model::tesla_v100(), launches);
+    EXPECT_LT(v100, p100);
+}
+
+TEST(Timing, PaperOrderingHoldsAt4k32f)
+{
+    // The headline shape: BRLT-ScanRow <= ScanRow-BRLT, both beat OpenCV;
+    // NPP is the slowest; 2*T(BRLT pass) < T(ScanRow)+T(ScanColumn).
+    model::CostModel cm;
+    const auto dt = satgpu::make_pair_of<float, float>();
+    const auto& gpu = model::tesla_p100();
+    const auto t = [&](sat::Algorithm a) {
+        return model::estimate_total_us(gpu, cm.predict(a, dt, 4096, 4096));
+    };
+    const double brlt = t(sat::Algorithm::kBrltScanRow);
+    const double srbrlt = t(sat::Algorithm::kScanRowBrlt);
+    const double src = t(sat::Algorithm::kScanRowColumn);
+    const double opencv = t(sat::Algorithm::kOpencvLike);
+    const double naive = t(sat::Algorithm::kNaiveScanScan);
+
+    EXPECT_LE(brlt, srbrlt);
+    EXPECT_LT(brlt, opencv);
+    EXPECT_LT(brlt, src * 1.05); // 2*T_BRLT < T_ScanRow + T_ScanColumn
+    EXPECT_LT(brlt, naive);
+}
+
+TEST(Timing, NppIsSlowestFor8uAt4k)
+{
+    model::CostModel cm;
+    const auto dt = satgpu::make_pair_of<std::uint8_t, std::int32_t>();
+    const auto& gpu = model::tesla_p100();
+    const auto t = [&](sat::Algorithm a) {
+        return model::estimate_total_us(gpu, cm.predict(a, dt, 4096, 4096));
+    };
+    const double npp = t(sat::Algorithm::kNppLike);
+    EXPECT_GT(npp, t(sat::Algorithm::kBrltScanRow));
+    EXPECT_GT(npp, t(sat::Algorithm::kOpencvLike));
+}

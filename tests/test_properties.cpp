@@ -1,0 +1,172 @@
+// Property-based tests: algebraic invariants of the SAT that must hold for
+// every algorithm on randomized shapes and inputs.  These catch whole
+// classes of indexing/carry bugs that example-based tests miss.
+#include "core/random_fill.hpp"
+#include "sat/sat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sat = satgpu::sat;
+namespace simt = satgpu::simt;
+using satgpu::Matrix;
+
+namespace {
+
+/// Deterministic random shape in [1, 400] x [1, 400] biased toward warp
+/// boundaries (multiples and off-by-ones of 32).
+std::pair<std::int64_t, std::int64_t> random_shape(std::mt19937_64& rng)
+{
+    auto dim = [&]() -> std::int64_t {
+        switch (rng() % 4) {
+        case 0: return static_cast<std::int64_t>(1 + rng() % 400);
+        case 1: return static_cast<std::int64_t>(32 * (1 + rng() % 12));
+        case 2: return static_cast<std::int64_t>(32 * (1 + rng() % 12) + 1);
+        default: return static_cast<std::int64_t>(32 * (1 + rng() % 12) - 1);
+        }
+    };
+    return {dim(), dim()};
+}
+
+template <typename Tout, typename Tin>
+Matrix<Tout> gpu_sat(const Matrix<Tin>& img, sat::Algorithm algo)
+{
+    simt::Engine eng({.record_history = false});
+    return sat::compute_sat<Tout>(eng, img, {algo}).table;
+}
+
+class SatProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+} // namespace
+
+TEST_P(SatProperties, AllAlgorithmsAgreeOnRandomShapes)
+{
+    std::mt19937_64 rng(GetParam());
+    const auto [h, w] = random_shape(rng);
+    Matrix<satgpu::u8> img(h, w);
+    satgpu::fill_random(img, rng());
+
+    const auto reference = gpu_sat<satgpu::u32>(img, sat::Algorithm::kBrltScanRow);
+    EXPECT_EQ(reference, sat::sat_serial<satgpu::u32>(img)) << h << "x" << w;
+    for (const auto algo : sat::kAllAlgorithms)
+        EXPECT_EQ(gpu_sat<satgpu::u32>(img, algo), reference)
+            << sat::to_string(algo) << " " << h << "x" << w;
+}
+
+TEST_P(SatProperties, TransposeCommutes)
+{
+    // SAT(I^T) == SAT(I)^T.
+    std::mt19937_64 rng(GetParam() ^ 0x1111);
+    const auto [h, w] = random_shape(rng);
+    Matrix<satgpu::i32> img(h, w);
+    satgpu::fill_random(img, rng());
+
+    const auto a = gpu_sat<satgpu::i32>(satgpu::transpose(img),
+                                        sat::Algorithm::kBrltScanRow);
+    const auto b = satgpu::transpose(
+        gpu_sat<satgpu::i32>(img, sat::Algorithm::kBrltScanRow));
+    EXPECT_EQ(a, b) << h << "x" << w;
+}
+
+TEST_P(SatProperties, Linearity)
+{
+    // SAT(aX + Y) == a*SAT(X) + SAT(Y) (integer arithmetic, small values).
+    std::mt19937_64 rng(GetParam() ^ 0x2222);
+    const auto [h, w] = random_shape(rng);
+    Matrix<satgpu::i32> x(h, w), y(h, w), combo(h, w);
+    satgpu::fill_random(x, rng());
+    satgpu::fill_random(y, rng());
+    const satgpu::i32 a = 3;
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        combo.flat()[static_cast<std::size_t>(i)] =
+            a * x.flat()[static_cast<std::size_t>(i)] +
+            y.flat()[static_cast<std::size_t>(i)];
+
+    const auto sx = gpu_sat<satgpu::i32>(x, sat::Algorithm::kScanRowColumn);
+    const auto sy = gpu_sat<satgpu::i32>(y, sat::Algorithm::kScanRowColumn);
+    const auto sc =
+        gpu_sat<satgpu::i32>(combo, sat::Algorithm::kScanRowColumn);
+    for (std::int64_t i = 0; i < sc.size(); ++i)
+        ASSERT_EQ(sc.flat()[static_cast<std::size_t>(i)],
+                  a * sx.flat()[static_cast<std::size_t>(i)] +
+                      sy.flat()[static_cast<std::size_t>(i)]);
+}
+
+TEST_P(SatProperties, MonotoneAlongRowsAndColumns)
+{
+    // For non-negative input, J is non-decreasing in x and y.
+    std::mt19937_64 rng(GetParam() ^ 0x3333);
+    const auto [h, w] = random_shape(rng);
+    Matrix<satgpu::u8> img(h, w);
+    satgpu::fill_random(img, rng());
+    const auto s = gpu_sat<satgpu::u32>(img, sat::Algorithm::kScanRowBrlt);
+    for (std::int64_t y = 0; y < h; ++y)
+        for (std::int64_t x = 1; x < w; ++x)
+            ASSERT_GE(s(y, x), s(y, x - 1));
+    for (std::int64_t y = 1; y < h; ++y)
+        for (std::int64_t x = 0; x < w; ++x)
+            ASSERT_GE(s(y, x), s(y - 1, x));
+}
+
+TEST_P(SatProperties, RectSumsTileAdditively)
+{
+    // Splitting a rectangle along any interior row/column, the parts' sums
+    // add to the whole.
+    std::mt19937_64 rng(GetParam() ^ 0x4444);
+    const auto [h, w] = random_shape(rng);
+    if (h < 4 || w < 4)
+        GTEST_SKIP() << "degenerate shape";
+    Matrix<satgpu::u8> img(h, w);
+    satgpu::fill_random(img, rng());
+    const auto s = gpu_sat<satgpu::u32>(img, sat::Algorithm::kBrltScanRow);
+
+    for (int trial = 0; trial < 16; ++trial) {
+        const std::int64_t y0 = static_cast<std::int64_t>(rng() % static_cast<std::uint64_t>(h - 2));
+        const std::int64_t y1 =
+            y0 + 1 + static_cast<std::int64_t>(rng() % static_cast<std::uint64_t>(h - y0 - 1));
+        const std::int64_t x0 = static_cast<std::int64_t>(rng() % static_cast<std::uint64_t>(w - 2));
+        const std::int64_t x1 =
+            x0 + 1 + static_cast<std::int64_t>(rng() % static_cast<std::uint64_t>(w - x0 - 1));
+        const std::int64_t ys = y0 + static_cast<std::int64_t>(
+                                         rng() % static_cast<std::uint64_t>(y1 - y0));
+        ASSERT_EQ(sat::rect_sum(s, y0, x0, y1, x1),
+                  sat::rect_sum(s, y0, x0, ys, x1) +
+                      sat::rect_sum(s, ys + 1, x0, y1, x1))
+            << "split at " << ys;
+    }
+}
+
+TEST_P(SatProperties, LastEntryIsTotalSum)
+{
+    std::mt19937_64 rng(GetParam() ^ 0x5555);
+    const auto [h, w] = random_shape(rng);
+    Matrix<satgpu::u8> img(h, w);
+    satgpu::fill_random(img, rng());
+    std::uint64_t total = 0;
+    for (const auto v : img.flat())
+        total += v;
+    const auto s = gpu_sat<satgpu::u32>(img, sat::Algorithm::kNppLike);
+    EXPECT_EQ(s(h - 1, w - 1), total);
+}
+
+TEST_P(SatProperties, DifferencingRecoversTheImage)
+{
+    // I(y,x) = J(y,x) - J(y-1,x) - J(y,x-1) + J(y-1,x-1).
+    std::mt19937_64 rng(GetParam() ^ 0x6666);
+    const auto [h, w] = random_shape(rng);
+    Matrix<satgpu::u8> img(h, w);
+    satgpu::fill_random(img, rng());
+    const auto s = gpu_sat<satgpu::u32>(img, sat::Algorithm::kOpencvLike);
+    for (std::int64_t y = 0; y < h; ++y)
+        for (std::int64_t x = 0; x < w; ++x) {
+            const auto up = y > 0 ? s(y - 1, x) : 0u;
+            const auto left = x > 0 ? s(y, x - 1) : 0u;
+            const auto diag = (y > 0 && x > 0) ? s(y - 1, x - 1) : 0u;
+            ASSERT_EQ(s(y, x) - up - left + diag, img(y, x))
+                << y << "," << x;
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatProperties,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));

@@ -1,0 +1,250 @@
+// Tests for the scan primitive library: functional equivalence of all warp
+// scan networks against the serial oracle, and operation-count assertions
+// matching the paper's Sec. V-B accounting.
+#include "scan/serial_scan.hpp"
+#include "scan/warp_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace scan = satgpu::scan;
+namespace simt = satgpu::simt;
+using simt::kWarpSize;
+using simt::LaneVec;
+using scan::WarpScanKind;
+
+namespace {
+
+template <typename T>
+LaneVec<T> random_lanes(std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    LaneVec<T> v;
+    for (int l = 0; l < kWarpSize; ++l)
+        v.set(l, static_cast<T>(rng() % 100));
+    return v;
+}
+
+template <typename T>
+LaneVec<T> serial_oracle(const LaneVec<T>& in)
+{
+    LaneVec<T> out;
+    T acc{};
+    for (int l = 0; l < kWarpSize; ++l) {
+        acc = static_cast<T>(acc + in.get(l));
+        out.set(l, acc);
+    }
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------- host serial ----
+
+TEST(SerialScan, InPlaceSpanMatchesDefinition)
+{
+    std::vector<int> v{3, 1, 4, 1, 5, 9, 2, 6};
+    scan::serial_inclusive_scan(std::span<int>(v));
+    const std::vector<int> want{3, 4, 8, 9, 14, 23, 25, 31};
+    EXPECT_EQ(v, want);
+}
+
+TEST(SerialScan, OutOfPlaceWidensAccumulator)
+{
+    std::vector<std::uint8_t> in(300, 255);
+    std::vector<std::uint32_t> out(in.size());
+    scan::serial_inclusive_scan<std::uint32_t, std::uint8_t>(in, out);
+    EXPECT_EQ(out.back(), 300u * 255u); // would overflow 8u/16u
+}
+
+TEST(SerialScan, EmptyAndSingleton)
+{
+    std::vector<int> empty;
+    scan::serial_inclusive_scan(std::span<int>(empty)); // must not crash
+    std::vector<int> one{7};
+    scan::serial_inclusive_scan(std::span<int>(one));
+    EXPECT_EQ(one[0], 7);
+}
+
+// ------------------------------------------------------------ warp scans ---
+
+class WarpScanEquivalence
+    : public ::testing::TestWithParam<std::tuple<WarpScanKind, std::uint64_t>> {
+};
+
+TEST_P(WarpScanEquivalence, MatchesSerialOracleInt)
+{
+    const auto [kind, seed] = GetParam();
+    const auto in = random_lanes<long long>(seed);
+    const auto got = scan::warp_inclusive_scan(kind, in);
+    const auto want = serial_oracle(in);
+    for (int l = 0; l < kWarpSize; ++l)
+        EXPECT_EQ(got.get(l), want.get(l))
+            << scan::to_string(kind) << " lane " << l;
+}
+
+TEST_P(WarpScanEquivalence, MatchesSerialOracleFloat)
+{
+    const auto [kind, seed] = GetParam();
+    const auto in = random_lanes<float>(seed ^ 0xabcdefu);
+    const auto got = scan::warp_inclusive_scan(kind, in);
+    const auto want = serial_oracle(in);
+    for (int l = 0; l < kWarpSize; ++l)
+        EXPECT_FLOAT_EQ(got.get(l), want.get(l))
+            << scan::to_string(kind) << " lane " << l;
+}
+
+TEST_P(WarpScanEquivalence, ExclusiveIsShiftedInclusive)
+{
+    const auto [kind, seed] = GetParam();
+    const auto in = random_lanes<int>(seed + 17);
+    const auto inc = scan::warp_inclusive_scan(kind, in);
+    const auto exc = scan::warp_exclusive_scan(kind, in);
+    EXPECT_EQ(exc.get(0), 0);
+    for (int l = 1; l < kWarpSize; ++l)
+        EXPECT_EQ(exc.get(l), inc.get(l - 1)) << "lane " << l;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsManySeeds, WarpScanEquivalence,
+    ::testing::Combine(::testing::Values(WarpScanKind::kKoggeStone,
+                                         WarpScanKind::kLadnerFischer,
+                                         WarpScanKind::kBrentKung,
+                                         WarpScanKind::kHanCarlson),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    [](const auto& param_info) {
+        std::string name{scan::to_string(std::get<0>(param_info.param))};
+        for (char& ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name + "_s" + std::to_string(std::get<1>(param_info.param));
+    });
+
+// Degenerate inputs that often break prefix networks.
+TEST(WarpScan, AllZeros)
+{
+    for (auto kind :
+         {WarpScanKind::kKoggeStone, WarpScanKind::kLadnerFischer,
+          WarpScanKind::kBrentKung, WarpScanKind::kHanCarlson}) {
+        const auto got =
+            scan::warp_inclusive_scan(kind, LaneVec<int>::broadcast(0));
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_EQ(got.get(l), 0) << scan::to_string(kind);
+    }
+}
+
+TEST(WarpScan, AllOnesGivesLanePlusOne)
+{
+    for (auto kind :
+         {WarpScanKind::kKoggeStone, WarpScanKind::kLadnerFischer,
+          WarpScanKind::kBrentKung, WarpScanKind::kHanCarlson}) {
+        const auto got =
+            scan::warp_inclusive_scan(kind, LaneVec<int>::broadcast(1));
+        for (int l = 0; l < kWarpSize; ++l)
+            EXPECT_EQ(got.get(l), l + 1) << scan::to_string(kind);
+    }
+}
+
+// ------------------------------------------- Sec. V-B operation counting ---
+
+TEST(ScanOpCounts, KoggeStoneMatchesPaperFormula)
+{
+    simt::PerfCounters c;
+    simt::CounterScope scope(c);
+    (void)scan::kogge_stone_scan(random_lanes<int>(1));
+    // Sec. V-B2: per 32-wide scan, 5 shuffle stages; adds 31+30+28+24+16.
+    EXPECT_EQ(c.warp_shfl, 5u);
+    EXPECT_EQ(c.lane_add, 31u + 30u + 28u + 24u + 16u); // = 129
+    EXPECT_EQ(c.lane_bool, 0u);
+}
+
+TEST(ScanOpCounts, KoggeStoneOver32RowsMatchesNKoggeStoneAdd)
+{
+    // N_KoggeStone_add = 4128 and N_scan_row_sfl = 160 for a full 32x32
+    // register matrix (C = 32 rows).
+    simt::PerfCounters c;
+    simt::CounterScope scope(c);
+    for (int row = 0; row < 32; ++row)
+        (void)scan::kogge_stone_scan(random_lanes<int>(
+            static_cast<std::uint64_t>(row)));
+    EXPECT_EQ(c.lane_add, 4128u);
+    EXPECT_EQ(c.warp_shfl, 160u);
+}
+
+TEST(ScanOpCounts, LadnerFischerMatchesPaperFormula)
+{
+    simt::PerfCounters c;
+    simt::CounterScope scope(c);
+    (void)scan::ladner_fischer_scan(random_lanes<int>(2));
+    // Sec. V-B2: 5 stages, 16 adds each (N_LF_add = 2560/32 per row), plus
+    // a warp-wide AND per stage (N_LF_and = 5120/32 per row).
+    EXPECT_EQ(c.warp_shfl, 5u);
+    EXPECT_EQ(c.lane_add, 16u * 5u);
+    EXPECT_EQ(c.lane_bool, 32u * 5u);
+}
+
+TEST(ScanOpCounts, SerialRegisterScanMatchesPaperFormula)
+{
+    // Sec. V-B3: N_scan_col_stage = 31, N_scan_col_add = 992, and no
+    // shuffles at all.
+    simt::PerfCounters c;
+    simt::CounterScope scope(c);
+    std::array<LaneVec<int>, 32> regs;
+    for (auto& r : regs)
+        r = LaneVec<int>::broadcast(1);
+    scan::serial_scan_registers(regs);
+    EXPECT_EQ(c.lane_add, 992u);
+    EXPECT_EQ(c.warp_shfl, 0u);
+    for (int j = 0; j < 32; ++j)
+        EXPECT_EQ(regs[static_cast<std::size_t>(j)].get(0), j + 1);
+}
+
+TEST(ScanOpCounts, SerialBeatsParallelOnAddsAndCommunication)
+{
+    // The core of the paper's argument (Sec. V-C): for the same 32x32 tile,
+    // the post-transpose serial scan needs ~4x fewer adds and zero shuffles.
+    simt::PerfCounters serial, parallel;
+    {
+        simt::CounterScope scope(serial);
+        std::array<LaneVec<int>, 32> regs{};
+        scan::serial_scan_registers(regs);
+    }
+    {
+        simt::CounterScope scope(parallel);
+        for (int row = 0; row < 32; ++row)
+            (void)scan::kogge_stone_scan(LaneVec<int>::broadcast(1));
+    }
+    EXPECT_LT(serial.lane_add * 4, parallel.lane_add);
+    EXPECT_EQ(serial.warp_shfl, 0u);
+    EXPECT_EQ(parallel.warp_shfl, 160u);
+}
+
+// --------------------------------------------------- register-array scans --
+
+TEST(RegisterScan, CarryChainsAcrossChunks)
+{
+    // Two consecutive 4-register chunks of an 8-element column per lane.
+    std::array<LaneVec<int>, 4> a, b;
+    for (int j = 0; j < 4; ++j) {
+        a[static_cast<std::size_t>(j)] = LaneVec<int>::broadcast(j + 1);
+        b[static_cast<std::size_t>(j)] = LaneVec<int>::broadcast(10);
+    }
+    LaneVec<int> carry = LaneVec<int>::broadcast(0);
+    scan::serial_scan_registers_carry(a, carry);
+    EXPECT_EQ(carry.get(0), 1 + 2 + 3 + 4);
+    scan::serial_scan_registers_carry(b, carry);
+    EXPECT_EQ(b[0].get(5), 10 + 10);
+    EXPECT_EQ(carry.get(31), 10 + 4 * 10); // chunk-1 total + four tens
+}
+
+TEST(RegisterScan, InactiveLanesKeepValues)
+{
+    std::array<LaneVec<int>, 4> regs;
+    for (auto& r : regs)
+        r = LaneVec<int>::broadcast(3);
+    scan::serial_scan_registers(regs, 0x1u); // only lane 0 active
+    EXPECT_EQ(regs[3].get(0), 12);
+    EXPECT_EQ(regs[3].get(1), 3);
+}

@@ -1,0 +1,206 @@
+// Tests for the affine warp scan and the 2-D recursive (IIR) filter built
+// on the paper's machinery (Nehab et al. [9] application).
+#include "core/random_fill.hpp"
+#include "scan/affine_scan.hpp"
+#include "sat/cpu_reference.hpp"
+#include "transforms/recursive_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace scan = satgpu::scan;
+namespace simt = satgpu::simt;
+using satgpu::Matrix;
+
+TEST(AffineScan, FeedbackOneIsPrefixSum)
+{
+    // m = 1 everywhere: the recurrence is an ordinary inclusive scan.
+    scan::AffineLanes<double> v{simt::LaneVec<double>::broadcast(1.0), {}};
+    for (int l = 0; l < simt::kWarpSize; ++l)
+        v.b.set(l, static_cast<double>(l + 1));
+    const auto s = scan::affine_warp_scan(v);
+    const auto y = scan::affine_apply(s, simt::LaneVec<double>{});
+    for (int l = 0; l < simt::kWarpSize; ++l)
+        EXPECT_DOUBLE_EQ(y.get(l), (l + 1) * (l + 2) / 2.0);
+}
+
+TEST(AffineScan, MatchesSerialRecurrence)
+{
+    std::mt19937_64 rng(5);
+    scan::AffineLanes<double> v;
+    for (int l = 0; l < simt::kWarpSize; ++l) {
+        v.m.set(l, 0.5 + static_cast<double>(rng() % 100) / 200.0);
+        v.b.set(l, static_cast<double>(rng() % 20));
+    }
+    const double y0 = 3.0;
+    const auto scanned = scan::affine_warp_scan(v);
+    const auto y = scan::affine_apply(scanned, simt::LaneVec<double>::broadcast(y0));
+
+    double acc = y0;
+    for (int l = 0; l < simt::kWarpSize; ++l) {
+        acc = v.m.get(l) * acc + v.b.get(l);
+        EXPECT_NEAR(y.get(l), acc, 1e-9 * std::abs(acc)) << "lane " << l;
+    }
+}
+
+TEST(AffineScan, ScannedMultiplierIsProductOfPrefixes)
+{
+    scan::AffineLanes<double> v{simt::LaneVec<double>::broadcast(0.9), {}};
+    const auto s = scan::affine_warp_scan(v);
+    for (int l = 0; l < simt::kWarpSize; ++l)
+        EXPECT_NEAR(s.m.get(l), std::pow(0.9, l + 1), 1e-12);
+}
+
+class RecursiveFilterShapes
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(RecursiveFilterShapes, MatchesCpuReference)
+{
+    const auto [h, w] = GetParam();
+    Matrix<double> img(h, w);
+    satgpu::fill_random(img, 17);
+    simt::Engine eng;
+    const auto got =
+        satgpu::transforms::recursive_filter_2d(eng, img, 0.5);
+    const auto want =
+        satgpu::transforms::recursive_filter_2d_reference(img, 0.5);
+    EXPECT_LE(satgpu::max_abs_diff(got.filtered, want), 1e-9)
+        << h << "x" << w;
+    EXPECT_EQ(got.launches.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RecursiveFilterShapes,
+    ::testing::Values(std::pair<std::int64_t, std::int64_t>{32, 32},
+                      std::pair<std::int64_t, std::int64_t>{1, 100},
+                      std::pair<std::int64_t, std::int64_t>{100, 1},
+                      std::pair<std::int64_t, std::int64_t>{65, 97},
+                      std::pair<std::int64_t, std::int64_t>{128, 300},
+                      std::pair<std::int64_t, std::int64_t>{300, 128}),
+    [](const auto& pinfo) {
+        return std::to_string(pinfo.param.first) + "x" +
+               std::to_string(pinfo.param.second);
+    });
+
+TEST(RecursiveFilter, ZeroFeedbackIsIdentity)
+{
+    Matrix<float> img(64, 64);
+    satgpu::fill_random(img, 19);
+    simt::Engine eng;
+    const auto got =
+        satgpu::transforms::recursive_filter_2d(eng, img, 0.0f);
+    EXPECT_EQ(got.filtered, img);
+}
+
+TEST(RecursiveFilter, FeedbackOneEqualsSat)
+{
+    // a = 1 turns the filter into prefix sums in both dimensions = the SAT.
+    Matrix<double> img(48, 80);
+    satgpu::fill_random(img, 23);
+    simt::Engine eng;
+    const auto got =
+        satgpu::transforms::recursive_filter_2d(eng, img, 1.0);
+    const auto want = satgpu::sat::sat_serial<double>(img);
+    EXPECT_LE(satgpu::max_abs_diff(got.filtered, want), 1e-9);
+}
+
+TEST(RecursiveFilter, SmoothsAnImpulse)
+{
+    Matrix<float> img(33, 33);
+    img(16, 16) = 1.0f;
+    simt::Engine eng;
+    const auto y =
+        satgpu::transforms::recursive_filter_2d(eng, img, 0.5f).filtered;
+    // Causal exponential decay away from the impulse (down-right quadrant).
+    EXPECT_FLOAT_EQ(y(16, 16), 1.0f);
+    EXPECT_FLOAT_EQ(y(16, 17), 0.5f);
+    EXPECT_FLOAT_EQ(y(17, 16), 0.5f);
+    EXPECT_FLOAT_EQ(y(17, 17), 0.25f);
+    EXPECT_FLOAT_EQ(y(16, 15), 0.0f); // causal: nothing upstream
+}
+
+// ------------------------------------------------------------ DCT via BRLT --
+
+#include "transforms/dct8.hpp"
+
+TEST(Dct8, BasisIsOrthonormal)
+{
+    const auto& b = satgpu::transforms::dct8_basis();
+    for (int i = 0; i < 8; ++i)
+        for (int j = 0; j < 8; ++j) {
+            double dot = 0;
+            for (int n = 0; n < 8; ++n)
+                dot += b[static_cast<std::size_t>(i)][static_cast<std::size_t>(n)] *
+                       b[static_cast<std::size_t>(j)][static_cast<std::size_t>(n)];
+            EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-12) << i << "," << j;
+        }
+}
+
+TEST(Dct8, MatchesReference2dDct)
+{
+    Matrix<double> img(64, 128);
+    satgpu::fill_random(img, 31);
+    simt::Engine eng;
+    const auto got = satgpu::transforms::dct8x8_2d(eng, img);
+    const auto want = satgpu::transforms::dct8x8_2d_reference(img);
+    EXPECT_LE(satgpu::max_abs_diff(got.coeffs, want), 1e-9);
+    EXPECT_EQ(got.launches.size(), 2u);
+    for (const auto& l : got.launches)
+        EXPECT_EQ(l.counters.warp_shfl, 0u); // BRLT-fused: no shuffles
+}
+
+TEST(Dct8, DcCoefficientIsBlockMeanTimesEight)
+{
+    // Orthonormal 2-D DCT: coeff(0,0) = (1/8) * sum(block).
+    Matrix<double> img(64, 64);
+    satgpu::fill_random(img, 32);
+    simt::Engine eng;
+    const auto c = satgpu::transforms::dct8x8_2d(eng, img).coeffs;
+    for (std::int64_t by = 0; by < 64; by += 8)
+        for (std::int64_t bx = 0; bx < 64; bx += 8) {
+            double sum = 0;
+            for (int y = 0; y < 8; ++y)
+                for (int x = 0; x < 8; ++x)
+                    sum += img(by + y, bx + x);
+            EXPECT_NEAR(c(by, bx), sum / 8.0, 1e-9) << by << "," << bx;
+        }
+}
+
+TEST(Dct8, RoundTripsThroughInverse)
+{
+    Matrix<double> img(64, 64);
+    satgpu::fill_random(img, 33);
+    simt::Engine eng;
+    const auto c = satgpu::transforms::dct8x8_2d(eng, img).coeffs;
+    const auto back = satgpu::transforms::idct8x8_2d_reference(c);
+    EXPECT_LE(satgpu::max_abs_diff(back, img), 1e-9);
+}
+
+TEST(Dct8, ParsevalEnergyPreserved)
+{
+    Matrix<double> img(64, 64);
+    satgpu::fill_random(img, 34);
+    simt::Engine eng;
+    const auto c = satgpu::transforms::dct8x8_2d(eng, img).coeffs;
+    double e_img = 0, e_coef = 0;
+    for (std::int64_t i = 0; i < img.size(); ++i) {
+        e_img += static_cast<double>(img.flat()[static_cast<std::size_t>(i)]) *
+                 img.flat()[static_cast<std::size_t>(i)];
+        e_coef += static_cast<double>(c.flat()[static_cast<std::size_t>(i)]) *
+                  c.flat()[static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(e_img, e_coef, 1e-6 * e_img);
+}
+
+TEST(Dct8, MultiChunkWidth)
+{
+    Matrix<double> img(64, 2048);
+    satgpu::fill_random(img, 35);
+    simt::Engine eng;
+    const auto got = satgpu::transforms::dct8x8_2d(eng, img).coeffs;
+    EXPECT_LE(satgpu::max_abs_diff(
+                  got, satgpu::transforms::dct8x8_2d_reference(img)),
+              1e-9);
+}

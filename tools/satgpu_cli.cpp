@@ -1,0 +1,219 @@
+// satgpu command-line driver: run any SAT algorithm on the simulated GPU,
+// verify it against the serial reference, dump per-kernel event counters
+// and model-estimated times for a chosen GPU.
+//
+//   satgpu_cli --algo brlt-scanrow --size 1024x1024 --dtype 8u32u
+//              --gpu p100 --verify   (one command line)
+//   satgpu_cli --list
+#include "core/random_fill.hpp"
+#include "core/table_printer.hpp"
+#include "model/timing.hpp"
+#include "sat/sat.hpp"
+
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+namespace {
+
+using namespace satgpu;
+
+struct Args {
+    sat::Algorithm algo = sat::Algorithm::kBrltScanRow;
+    std::int64_t height = 1024;
+    std::int64_t width = 1024;
+    std::string dtype = "8u32u";
+    std::string gpu = "p100";
+    bool verify = false;
+    bool unpadded = false;
+    bool lf_scan = false;
+    std::uint64_t seed = 42;
+};
+
+std::optional<sat::Algorithm> parse_algo(std::string_view s)
+{
+    for (auto a : sat::kAllAlgorithms) {
+        std::string name{sat::to_string(a)};
+        for (char& c : name)
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        if (s == name)
+            return a;
+    }
+    return std::nullopt;
+}
+
+void usage()
+{
+    std::cout <<
+        "usage: satgpu_cli [options]\n"
+        "  --algo A      brlt-scanrow | scanrow-brlt | scanrowcolumn |\n"
+        "                opencv | npp | naivescanscan | scantransposescan\n"
+        "                (default brlt-scanrow)\n"
+        "  --size HxW    matrix size (default 1024x1024)\n"
+        "  --dtype D     8u32s | 8u32u | 8u32f | 32s32s | 32u32u | 32f32f |\n"
+        "                64f64f (default 8u32u)\n"
+        "  --gpu G       m40 | p100 | v100 (default p100)\n"
+        "  --verify      check the result against the serial reference\n"
+        "  --unpadded    use the 32x32 (bank-conflicting) BRLT staging\n"
+        "  --lf          use the Ladner-Fischer warp scan\n"
+        "  --seed N      input seed (default 42)\n"
+        "  --list        list algorithms and exit\n";
+}
+
+std::optional<Args> parse(int argc, char** argv)
+{
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--list") {
+            for (auto algo : sat::kAllAlgorithms)
+                std::cout << sat::to_string(algo) << '\n';
+            std::exit(0);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else if (arg == "--algo") {
+            const char* v = next();
+            if (!v)
+                return std::nullopt;
+            auto algo = parse_algo(v);
+            if (!algo) {
+                std::cerr << "unknown algorithm: " << v << '\n';
+                return std::nullopt;
+            }
+            a.algo = *algo;
+        } else if (arg == "--size") {
+            const char* v = next();
+            if (!v || std::sscanf(v, "%ldx%ld", &a.height, &a.width) != 2 ||
+                a.height <= 0 || a.width <= 0) {
+                std::cerr << "bad --size (want HxW)\n";
+                return std::nullopt;
+            }
+        } else if (arg == "--dtype") {
+            const char* v = next();
+            if (!v)
+                return std::nullopt;
+            a.dtype = v;
+        } else if (arg == "--gpu") {
+            const char* v = next();
+            if (!v)
+                return std::nullopt;
+            a.gpu = v;
+        } else if (arg == "--verify") {
+            a.verify = true;
+        } else if (arg == "--unpadded") {
+            a.unpadded = true;
+        } else if (arg == "--lf") {
+            a.lf_scan = true;
+        } else if (arg == "--seed") {
+            const char* v = next();
+            if (!v)
+                return std::nullopt;
+            a.seed = std::strtoull(v, nullptr, 10);
+        } else {
+            std::cerr << "unknown option: " << arg << '\n';
+            return std::nullopt;
+        }
+    }
+    return a;
+}
+
+template <typename Tin, typename Tout>
+int run(const Args& args)
+{
+    Matrix<Tin> img(args.height, args.width);
+    fill_random(img, args.seed);
+
+    sat::Options opt;
+    opt.algorithm = args.algo;
+    opt.padded_smem = !args.unpadded;
+    if (args.lf_scan)
+        opt.warp_scan = scan::WarpScanKind::kLadnerFischer;
+
+    simt::Engine eng;
+    const auto res = sat::compute_sat<Tout>(eng, img, opt);
+
+    const model::GpuSpec* gpu = &model::tesla_p100();
+    if (args.gpu == "v100")
+        gpu = &model::tesla_v100();
+    else if (args.gpu == "m40")
+        gpu = &model::tesla_m40();
+    else if (args.gpu != "p100") {
+        std::cerr << "unknown gpu: " << args.gpu << '\n';
+        return 2;
+    }
+
+    std::cout << sat::to_string(args.algo) << " " << args.dtype << " "
+              << args.height << "x" << args.width << " on " << gpu->name
+              << "\n\n";
+    TablePrinter t({"kernel", "grid", "block", "gld sectors", "gst sectors",
+                    "smem trans", "shuffles", "adds", "barriers",
+                    "est. time (us)"});
+    double total = 0;
+    for (const auto& l : res.launches) {
+        const auto bt = model::estimate_kernel_time(*gpu, l);
+        total += bt.total_us;
+        auto dim = [](simt::Dim3 d) {
+            return std::to_string(d.x) + "," + std::to_string(d.y) + "," +
+                   std::to_string(d.z);
+        };
+        t.add_row({l.info.name, dim(l.config.grid), dim(l.config.block),
+                   TablePrinter::fmt_int(static_cast<std::int64_t>(
+                       l.counters.gmem_ld_sectors)),
+                   TablePrinter::fmt_int(static_cast<std::int64_t>(
+                       l.counters.gmem_st_sectors)),
+                   TablePrinter::fmt_int(static_cast<std::int64_t>(
+                       l.counters.smem_trans())),
+                   TablePrinter::fmt_int(static_cast<std::int64_t>(
+                       l.counters.warp_shfl)),
+                   TablePrinter::fmt_int(static_cast<std::int64_t>(
+                       l.counters.lane_add)),
+                   TablePrinter::fmt_int(static_cast<std::int64_t>(
+                       l.counters.barriers)),
+                   TablePrinter::fmt(bt.total_us, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\ntotal estimated time: " << TablePrinter::fmt(total, 2)
+              << " us\n";
+
+    if (args.verify) {
+        const auto want = sat::sat_serial<Tout>(img);
+        const bool ok = res.table == want;
+        std::cout << "verification vs serial reference: "
+                  << (ok ? "PASS" : "FAIL") << '\n';
+        return ok ? 0 : 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const auto args = parse(argc, argv);
+    if (!args) {
+        usage();
+        return 2;
+    }
+    const std::string& d = args->dtype;
+    if (d == "8u32s")
+        return run<satgpu::u8, satgpu::i32>(*args);
+    if (d == "8u32u")
+        return run<satgpu::u8, satgpu::u32>(*args);
+    if (d == "8u32f")
+        return run<satgpu::u8, satgpu::f32>(*args);
+    if (d == "32s32s")
+        return run<satgpu::i32, satgpu::i32>(*args);
+    if (d == "32u32u")
+        return run<satgpu::u32, satgpu::u32>(*args);
+    if (d == "32f32f")
+        return run<satgpu::f32, satgpu::f32>(*args);
+    if (d == "64f64f")
+        return run<satgpu::f64, satgpu::f64>(*args);
+    std::cerr << "unknown dtype: " << d << '\n';
+    return 2;
+}
