@@ -7,12 +7,29 @@
 #include "model/cost_model.hpp"
 #include "model/timing.hpp"
 #include "sat/sat.hpp"
+#include "simt/engine.hpp"
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 namespace satgpu::bench {
+
+/// Engine options for wall-clock benchmarks: history off (its allocations
+/// would pollute the timings), worker count from the SATGPU_THREADS
+/// environment variable (0 or unset = one worker per hardware thread;
+/// results are identical either way, only wall-clock changes).
+[[nodiscard]] inline simt::Engine::Options bench_engine_options()
+{
+    simt::Engine::Options opt{.record_history = false};
+    if (const char* env = std::getenv("SATGPU_THREADS")) {
+        const int n = std::atoi(env);
+        if (n >= 0)
+            opt.num_threads = n;
+    }
+    return opt;
+}
 
 /// The paper evaluates 1k x 1k .. 16k x 16k square matrices (Sec. VI-A).
 [[nodiscard]] inline std::vector<std::int64_t> paper_sizes(

@@ -2,6 +2,7 @@
 // SATs and the functional-simulation throughput of the GPU kernels.  These
 // are the only MEASURED times in the harness; everything labelled P100/V100
 // elsewhere comes from the analytic model.
+#include "bench_common.hpp"
 #include "core/random_fill.hpp"
 #include "sat/sat.hpp"
 
@@ -56,7 +57,7 @@ void bm_simulator_brlt(benchmark::State& state)
     Matrix<float> img(n, n);
     fill_random(img, 4);
     for (auto _ : state) {
-        simt::Engine eng({.record_history = false});
+        simt::Engine eng(bench::bench_engine_options());
         auto res = sat::compute_sat<float>(
             eng, img, {sat::Algorithm::kBrltScanRow});
         benchmark::DoNotOptimize(res.table.flat().data());

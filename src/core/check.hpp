@@ -14,6 +14,16 @@
 
 namespace satgpu {
 
+/// Optional per-thread context line appended to failed-check reports.  The
+/// SIMT engine writes the identity of the simulated block currently running
+/// on this host thread here, so aborts raised from inside kernel code name
+/// the faulting block even when many blocks execute concurrently.
+[[nodiscard]] inline char* check_context() noexcept
+{
+    static thread_local char buf[96] = {};
+    return buf;
+}
+
 [[noreturn]] inline void
 check_failed(std::string_view expr, std::string_view msg,
              const std::source_location loc = std::source_location::current())
@@ -22,6 +32,8 @@ check_failed(std::string_view expr, std::string_view msg,
                  static_cast<int>(expr.size()), expr.data(),
                  static_cast<int>(msg.size()), msg.data(), loc.file_name(),
                  loc.line(), loc.function_name());
+    if (check_context()[0] != '\0')
+        std::fprintf(stderr, "  while executing %s\n", check_context());
     std::abort();
 }
 

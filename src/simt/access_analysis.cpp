@@ -1,17 +1,24 @@
 #include "simt/access_analysis.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace satgpu::simt {
 
+// Both analyses are pure functions of one warp's addresses and run on every
+// simulated memory access, concurrently from the engine's worker threads.
+// They therefore work in fixed-size stack buffers: no heap allocation on any
+// realistic access (allocator traffic was the simulator's hottest path and
+// serializes badly across threads).
+
 namespace {
 
-/// Distinct-value count of a small vector (n <= 32), O(n log n).
-int distinct_count(std::vector<std::int64_t>& v)
+/// Distinct-value count of a sorted range.
+template <typename It>
+int distinct_sorted(It first, It last)
 {
-    std::sort(v.begin(), v.end());
-    return static_cast<int>(std::unique(v.begin(), v.end()) - v.begin());
+    return static_cast<int>(std::unique(first, last) - first);
 }
 
 } // namespace
@@ -33,26 +40,38 @@ int smem_conflict_passes(const ByteAddrs& addrs, LaneMask active,
 
     int total_passes = 0;
     for (int g = 0; g < groups; ++g) {
-        // words[bank] holds the distinct word addresses requested from bank.
-        std::array<std::vector<std::int64_t>, kSmemBanks> words;
-        bool any = false;
+        // Every word this transaction's lanes request (at most
+        // lanes_per_group * words_per_lane == kWarpSize of them), sorted by
+        // (bank, word) so distinct-words-per-bank is one linear scan.
+        std::array<std::int64_t, kWarpSize> words; // NOLINT uninitialized
+        int n = 0;
         for (int l = g * lanes_per_group; l < (g + 1) * lanes_per_group; ++l) {
             if (!lane_active(active, l))
                 continue;
-            any = true;
-            for (int k = 0; k < words_per_lane; ++k) {
-                const std::int64_t word =
+            for (int k = 0; k < words_per_lane; ++k)
+                words[static_cast<std::size_t>(n++)] =
                     addrs[static_cast<std::size_t>(l)] / kSmemBankWidth + k;
-                words[static_cast<std::size_t>(word % kSmemBanks)].push_back(
-                    word);
-            }
         }
-        if (!any)
+        if (n == 0)
             continue;
+        std::sort(words.begin(), words.begin() + n,
+                  [](std::int64_t a, std::int64_t b) {
+                      return std::pair(a % kSmemBanks, a) <
+                             std::pair(b % kSmemBanks, b);
+                  });
         int passes = 1;
-        for (auto& w : words)
-            if (!w.empty())
-                passes = std::max(passes, distinct_count(w));
+        int run = 0;
+        for (int i = 0; i < n; ++i) {
+            const auto w = words[static_cast<std::size_t>(i)];
+            if (i > 0) {
+                const auto p = words[static_cast<std::size_t>(i - 1)];
+                if (w % kSmemBanks != p % kSmemBanks)
+                    run = 0; // next bank
+                else if (w == p)
+                    continue; // same word: broadcast, no extra pass
+            }
+            passes = std::max(passes, ++run);
+        }
         total_passes += passes;
     }
     return std::max(total_passes, 1);
@@ -65,17 +84,32 @@ int granules_touched(const ByteAddrs& addrs, LaneMask active, int access_size,
 {
     if (active == 0)
         return 0;
-    std::vector<std::int64_t> ids;
-    ids.reserve(kWarpSize * 2);
+    // Vector accesses are <= 16 bytes, so a lane spans at most two 32-byte
+    // granules: 2 * kWarpSize ids bound every in-simulator access.  The
+    // spill path keeps the function total for arbitrary access_size (it is
+    // public and unit-tested in isolation).
+    std::array<std::int64_t, 2 * kWarpSize> ids; // NOLINT uninitialized
+    std::size_t n = 0;
+    std::vector<std::int64_t> spill;
     for (int l = 0; l < kWarpSize; ++l) {
         if (!lane_active(active, l))
             continue;
         const std::int64_t first = addrs[static_cast<std::size_t>(l)];
         const std::int64_t last = first + access_size - 1;
-        for (std::int64_t g = first / granule; g <= last / granule; ++g)
-            ids.push_back(g);
+        for (std::int64_t g = first / granule; g <= last / granule; ++g) {
+            if (n < ids.size())
+                ids[n++] = g;
+            else
+                spill.push_back(g);
+        }
     }
-    return distinct_count(ids);
+    if (!spill.empty()) {
+        spill.insert(spill.end(), ids.begin(), ids.begin() + n);
+        std::sort(spill.begin(), spill.end());
+        return distinct_sorted(spill.begin(), spill.end());
+    }
+    std::sort(ids.begin(), ids.begin() + n);
+    return distinct_sorted(ids.begin(), ids.begin() + n);
 }
 
 } // namespace

@@ -1,6 +1,10 @@
 // Memory-access analysis: shared-memory bank conflicts and global-memory
 // coalescing, computed from the per-lane byte addresses of one warp-wide
 // access.  Kept non-templated so the rules are unit-testable in isolation.
+//
+// All functions are pure and reentrant (fixed-size stack buffers, no shared
+// state): the engine's worker threads call them concurrently, one per block
+// being simulated.
 #pragma once
 
 #include "simt/lane_vec.hpp"

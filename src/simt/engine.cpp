@@ -4,6 +4,11 @@
 #include "simt/shared_memory.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <thread>
 
 namespace satgpu::simt {
 
@@ -63,6 +68,49 @@ std::int64_t run_block(Dim3 block_idx, const LaunchConfig& cfg,
     return smem.bytes_used();
 }
 
+[[nodiscard]] Dim3 block_from_linear(std::int64_t lin, Dim3 grid) noexcept
+{
+    return Dim3{lin % grid.x, (lin / grid.x) % grid.y, lin / (grid.x * grid.y)};
+}
+
+/// Installs the block identity for the overlap detector and writes the
+/// "while executing block (x,y,z)" context line that check_failed appends
+/// to abort reports raised from inside this block.
+class BlockExecutionScope {
+public:
+    BlockExecutionScope(std::int64_t linear, std::uint64_t epoch, Dim3 block,
+                        const std::string& kernel)
+        : block_scope_({linear, epoch})
+    {
+        std::snprintf(check_context(), 96,
+                      "block (%lld,%lld,%lld) of kernel '%s'",
+                      static_cast<long long>(block.x),
+                      static_cast<long long>(block.y),
+                      static_cast<long long>(block.z), kernel.c_str());
+    }
+    ~BlockExecutionScope() { check_context()[0] = '\0'; }
+    BlockExecutionScope(const BlockExecutionScope&) = delete;
+    BlockExecutionScope& operator=(const BlockExecutionScope&) = delete;
+
+private:
+    BlockScope block_scope_;
+};
+
+[[noreturn]] void rethrow_as_block_fault(std::int64_t lin, Dim3 grid,
+                                         const std::string& kernel,
+                                         std::exception_ptr ep)
+{
+    try {
+        std::rethrow_exception(ep);
+    } catch (const BlockFault&) {
+        throw; // already attributed (nested launch)
+    } catch (const std::exception& e) {
+        throw BlockFault(block_from_linear(lin, grid), kernel, e.what(), ep);
+    } catch (...) {
+        std::rethrow_exception(ep); // non-std payloads pass through raw
+    }
+}
+
 } // namespace
 
 LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
@@ -77,15 +125,92 @@ LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
     stats.info = info;
     stats.config = cfg;
 
-    CounterScope scope(stats.counters);
-    for (std::int64_t bz = 0; bz < cfg.grid.z; ++bz)
-        for (std::int64_t by = 0; by < cfg.grid.y; ++by)
-            for (std::int64_t bx = 0; bx < cfg.grid.x; ++bx) {
-                const std::int64_t used =
-                    run_block(Dim3{bx, by, bz}, cfg, program,
-                              opt_.smem_capacity_bytes, stats.counters);
-                stats.smem_used_bytes = std::max(stats.smem_used_bytes, used);
+    const std::int64_t total = cfg.total_blocks();
+    int threads = opt_.num_threads;
+    if (threads <= 0) {
+        const unsigned hc = std::thread::hardware_concurrency();
+        threads = hc == 0 ? 1 : static_cast<int>(hc);
+    }
+    threads = static_cast<int>(
+        std::min<std::int64_t>(threads, total));
+
+    const std::uint64_t epoch = new_launch_epoch();
+
+    auto run_one = [&](std::int64_t lin, PerfCounters& sink) {
+        const Dim3 b = block_from_linear(lin, cfg.grid);
+        BlockExecutionScope scope(lin, epoch, b, info.name);
+        return run_block(b, cfg, program, opt_.smem_capacity_bytes, sink);
+    };
+
+    if (threads <= 1) {
+        CounterScope scope(stats.counters);
+        for (std::int64_t lin = 0; lin < total; ++lin) {
+            std::int64_t used = 0;
+            try {
+                used = run_one(lin, stats.counters);
+            } catch (...) {
+                rethrow_as_block_fault(lin, cfg.grid, info.name,
+                                       std::current_exception());
             }
+            stats.smem_used_bytes = std::max(stats.smem_used_bytes, used);
+        }
+    } else {
+        // Dynamic work-stealing over linear block indices.  Each worker
+        // accumulates into a private sink; per-block counts are schedule
+        // independent and the merge is a commutative sum, so the totals are
+        // bit-identical to the sequential engine no matter which worker ran
+        // which block.
+        struct alignas(64) Worker {
+            PerfCounters counters;
+            std::int64_t smem_peak = 0;
+        };
+        std::vector<Worker> workers(static_cast<std::size_t>(threads));
+        std::atomic<std::int64_t> next{0};
+
+        struct Fault {
+            std::int64_t linear;
+            std::exception_ptr error;
+        };
+        std::optional<Fault> fault;
+        std::mutex fault_mu;
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers.size());
+        for (auto& worker : workers) {
+            pool.emplace_back([&, w = &worker] {
+                CounterScope scope(w->counters);
+                for (;;) {
+                    const std::int64_t lin =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (lin >= total)
+                        break;
+                    try {
+                        const std::int64_t used = run_one(lin, w->counters);
+                        w->smem_peak = std::max(w->smem_peak, used);
+                    } catch (...) {
+                        const std::lock_guard<std::mutex> lk(fault_mu);
+                        if (!fault || lin < fault->linear)
+                            fault = Fault{lin, std::current_exception()};
+                    }
+                }
+            });
+        }
+        for (auto& t : pool)
+            t.join();
+
+        if (fault)
+            rethrow_as_block_fault(fault->linear, cfg.grid, info.name,
+                                   fault->error);
+
+        // Deterministic merge: worker-index order (the sums are commutative
+        // anyway, but fixing the order keeps this robust to future
+        // non-additive stats).
+        for (const auto& worker : workers) {
+            stats.counters.merge(worker.counters);
+            stats.smem_used_bytes =
+                std::max(stats.smem_used_bytes, worker.smem_peak);
+        }
+    }
 
     if (opt_.record_history)
         history_.push_back(stats);

@@ -1,9 +1,23 @@
 // Engine: launches simulated kernels over a grid of blocks.
 //
-// Blocks execute sequentially; within a block, warps are coroutines
-// scheduled round-robin between barriers (rendezvous semantics: a barrier
-// releases once every not-yet-finished warp of the block is suspended at
-// one).  Each launch returns the event counters the timing model consumes.
+// Blocks are independent (as on hardware, which guarantees no inter-block
+// ordering) and execute on a pool of host worker threads; within a block,
+// warps are coroutines scheduled round-robin between barriers (rendezvous
+// semantics: a barrier releases once every not-yet-finished warp of the
+// block is suspended at one).  Each launch returns the event counters the
+// timing model consumes.
+//
+// Determinism guarantee: LaunchStats -- every counter, the shared-memory
+// peak, and all transaction/sector tallies -- and the contents of every
+// output buffer are bit-identical for any Options::num_threads, because
+//  * each block runs single-threaded and is itself deterministic,
+//  * per-block counts accumulate into per-worker sinks whose merge is a
+//    plain field-wise sum (commutative), performed in worker-index order,
+//  * the smem peak is a max over blocks (commutative), and
+//  * kernels follow the disjoint-tile write discipline (no two blocks of
+//    one launch write the same output element; see
+//    DeviceBuffer::debug_detect_overlapping_writes for the checked-mode
+//    enforcement of that rule).
 #pragma once
 
 #include "simt/dim3.hpp"
@@ -11,7 +25,10 @@
 #include "simt/perf_counters.hpp"
 #include "simt/warp_ctx.hpp"
 
+#include <exception>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace satgpu::simt {
@@ -24,8 +41,33 @@ struct LaunchStats {
     std::int64_t smem_used_bytes = 0; // actual peak per-block allocation
 };
 
-/// A warp program: invoked once per warp, returns its coroutine.
+/// A warp program: invoked once per warp, returns its coroutine.  The
+/// factory is invoked concurrently from the engine's worker threads (one
+/// block at a time per thread), so it must be callable from any thread;
+/// capturing DeviceBuffers by reference is fine.
 using WarpProgram = std::function<KernelTask(WarpCtx&)>;
+
+/// Thrown by Engine::launch when a warp program throws: wraps the original
+/// exception and names the faulting block.  When several blocks fault in
+/// one launch, the lowest linear block index wins regardless of thread
+/// count, so fault reports are deterministic.
+class BlockFault : public std::runtime_error {
+public:
+    BlockFault(Dim3 block, std::string kernel, const std::string& inner_what,
+               std::exception_ptr inner_exception)
+        : std::runtime_error("block (" + std::to_string(block.x) + "," +
+                             std::to_string(block.y) + "," +
+                             std::to_string(block.z) + ") of kernel '" +
+                             kernel + "': " + inner_what),
+          block_idx(block), kernel_name(std::move(kernel)),
+          inner(std::move(inner_exception))
+    {
+    }
+
+    Dim3 block_idx;
+    std::string kernel_name;
+    std::exception_ptr inner; // the exception the warp program threw
+};
 
 class Engine {
 public:
@@ -36,12 +78,20 @@ public:
         std::int64_t smem_capacity_bytes = 96 * 1024;
         /// Keep per-launch stats in `history()` (used by Table II).
         bool record_history = true;
+        /// Host threads used to execute independent blocks concurrently.
+        /// 0 = std::thread::hardware_concurrency(); 1 reproduces the
+        /// historical strictly sequential engine.  Counters and outputs
+        /// are bit-identical for every value (see header comment).
+        int num_threads = 0;
     };
 
     Engine() = default;
     explicit Engine(Options opt) : opt_(opt) {}
 
-    /// Execute `program` for every warp of every block in `cfg`.
+    /// Execute `program` for every warp of every block in `cfg`.  Not
+    /// reentrant: one launch at a time per Engine (kernels inside a launch
+    /// run concurrently, but the launch call itself is the host's
+    /// synchronization point, like a cudaDeviceSynchronize'd launch).
     LaunchStats launch(const KernelInfo& info, LaunchConfig cfg,
                        const WarpProgram& program);
 

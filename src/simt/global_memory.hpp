@@ -12,6 +12,8 @@
 #include "simt/access_analysis.hpp"
 #include "simt/lane_vec.hpp"
 
+#include <atomic>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -53,6 +55,21 @@ public:
     [[nodiscard]] std::span<T> host() noexcept { return data_; }
     [[nodiscard]] std::span<const T> host() const noexcept { return data_; }
 
+    /// Debug aid for the parallel engine's disjoint-tile write discipline:
+    /// once enabled, every `store`/`store_vec` records which block wrote
+    /// each element, and a second store from a DIFFERENT block of the SAME
+    /// launch aborts.  Such overlap is a data race under concurrent block
+    /// execution (and nondeterministic on real hardware); `atomic_add` is
+    /// exempt because cross-block atomics are hardware-sanctioned.
+    void debug_detect_overlapping_writes()
+    {
+        // new[]() value-initializes, so every tag starts at 0 ("untouched").
+        // (make_shared<T[]> copy-fills in libstdc++ 12, which atomics
+        // forbid.)
+        overlap_ = std::shared_ptr<std::atomic<std::uint64_t>[]>(
+            new std::atomic<std::uint64_t>[data_.size()]());
+    }
+
     /// Warp-wide load: lane l reads element idx[l]; inactive lanes get T{}.
     [[nodiscard]] LaneVec<T> load(const LaneVec<std::int64_t>& idx,
                                   LaneMask active = kFullMask) const
@@ -89,6 +106,7 @@ public:
                 continue;
             const std::int64_t i = idx.get(l);
             SATGPU_CHECK(i >= 0 && i < size(), "gmem store out of bounds");
+            record_write(i);
             data_[static_cast<std::size_t>(i)] = val.get(l);
             addrs[static_cast<std::size_t>(l)] =
                 i * static_cast<std::int64_t>(sizeof(T));
@@ -105,8 +123,11 @@ public:
 
     /// Warp-wide atomicAdd: lane l adds val[l] to element idx[l].  Lanes
     /// hitting the same element serialize but all contribute (hardware
-    /// semantics).  Returns the OLD values each lane observed, in an
-    /// arbitrary but deterministic serialization order (ascending lane).
+    /// semantics).  Returns the OLD values each lane observed; within a
+    /// warp the serialization order is ascending lane, but -- exactly as on
+    /// hardware -- the interleaving with atomics from OTHER blocks running
+    /// concurrently is unspecified (the final sum is exact for integral T;
+    /// floating-point totals may differ in rounding across schedules).
     LaneVec<T> atomic_add(const LaneVec<std::int64_t>& idx,
                           const LaneVec<T>& val, LaneMask active = kFullMask)
     {
@@ -116,9 +137,19 @@ public:
                 continue;
             const std::int64_t i = idx.get(l);
             SATGPU_CHECK(i >= 0 && i < size(), "gmem atomic out of bounds");
-            old.set(l, data_[static_cast<std::size_t>(i)]);
-            data_[static_cast<std::size_t>(i)] = static_cast<T>(
-                data_[static_cast<std::size_t>(i)] + val.get(l));
+            T& elem = data_[static_cast<std::size_t>(i)];
+            if constexpr (std::is_integral_v<T>) {
+                old.set(l, std::atomic_ref<T>(elem).fetch_add(
+                               val.get(l), std::memory_order_relaxed));
+            } else {
+                std::atomic_ref<T> ref(elem);
+                T prev = ref.load(std::memory_order_relaxed);
+                while (!ref.compare_exchange_weak(
+                    prev, static_cast<T>(prev + val.get(l)),
+                    std::memory_order_relaxed)) {
+                }
+                old.set(l, prev);
+            }
         }
         if (PerfCounters* c = current_counters())
             c->gmem_atomics += static_cast<std::uint64_t>(
@@ -180,9 +211,11 @@ public:
             SATGPU_CHECK(i >= 0 &&
                              i + static_cast<std::int64_t>(N) <= size(),
                          "gmem vector store out of bounds");
-            for (std::size_t k = 0; k < N; ++k)
+            for (std::size_t k = 0; k < N; ++k) {
+                record_write(i + static_cast<std::int64_t>(k));
                 data_[static_cast<std::size_t>(i) + k] =
                     vals[k].get(l);
+            }
             addrs[static_cast<std::size_t>(l)] =
                 i * static_cast<std::int64_t>(sizeof(T));
         }
@@ -197,7 +230,31 @@ public:
     }
 
 private:
+    /// Overlap-detector bookkeeping: tag each element with (launch epoch,
+    /// writer block).  Stale epochs read as "untouched", so no per-launch
+    /// reset pass is needed.  Packing: epoch in the high 40 bits, writer
+    /// linear block index + 1 in the low 24 (grids beyond 2^24 - 1 blocks
+    /// fall outside the detector's remit and are skipped).
+    void record_write(std::int64_t i)
+    {
+        if (!overlap_)
+            return;
+        const BlockIdentity id = current_block();
+        if (id.linear < 0 || id.linear >= (std::int64_t{1} << 24) - 1)
+            return; // outside a simulated block, or untrackably huge grid
+        const std::uint64_t tag =
+            (id.launch_epoch << 24) |
+            static_cast<std::uint64_t>(id.linear + 1);
+        const std::uint64_t prev =
+            overlap_[static_cast<std::ptrdiff_t>(i)].exchange(
+                tag, std::memory_order_relaxed);
+        SATGPU_CHECK(prev == 0 || prev == tag || (prev >> 24) != (tag >> 24),
+                     "overlapping global-memory writes: two blocks of one "
+                     "launch stored to the same element");
+    }
+
     std::vector<T> data_;
+    std::shared_ptr<std::atomic<std::uint64_t>[]> overlap_;
 };
 
 } // namespace satgpu::simt

@@ -5,6 +5,12 @@
 // `co_await w.sync()` is __syncthreads(): the warp suspends until every live
 // warp of its block reaches a barrier, at which point the block scheduler
 // (engine.cpp) resumes all of them.
+//
+// Thread confinement: every coroutine frame of a block (the KernelTasks and
+// any nested SubTasks) is created, resumed, and destroyed by the single host
+// worker thread that owns the block for the duration of the launch.  The
+// promises hold no synchronization and need none; sharing a handle across
+// threads is outside the contract.
 #pragma once
 
 #include <coroutine>

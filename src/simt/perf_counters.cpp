@@ -1,9 +1,13 @@
 #include "simt/perf_counters.hpp"
 
+#include <atomic>
+
 namespace satgpu::simt {
 
 namespace {
 thread_local PerfCounters* g_sink = nullptr;
+thread_local BlockIdentity g_block;
+std::atomic<std::uint64_t> g_launch_epoch{0};
 } // namespace
 
 void PerfCounters::merge(const PerfCounters& o) noexcept
@@ -39,5 +43,19 @@ CounterScope::CounterScope(PerfCounters& sink) noexcept : prev_(g_sink)
 }
 
 CounterScope::~CounterScope() { g_sink = prev_; }
+
+BlockIdentity current_block() noexcept { return g_block; }
+
+BlockScope::BlockScope(BlockIdentity id) noexcept : prev_(g_block)
+{
+    g_block = id;
+}
+
+BlockScope::~BlockScope() { g_block = prev_; }
+
+std::uint64_t new_launch_epoch() noexcept
+{
+    return g_launch_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 } // namespace satgpu::simt

@@ -54,6 +54,12 @@ struct PerfCounters {
 
     void merge(const PerfCounters& o) noexcept;
 
+    /// Field-wise equality: every counter is a plain sum over blocks, so two
+    /// launches of the same kernel must compare equal regardless of how many
+    /// host threads executed them (the determinism tests rely on this).
+    friend bool operator==(const PerfCounters&,
+                           const PerfCounters&) noexcept = default;
+
     [[nodiscard]] std::uint64_t smem_trans() const noexcept
     {
         return smem_ld_trans + smem_st_trans;
@@ -101,5 +107,31 @@ public:
 private:
     PerfCounters* prev_;
 };
+
+/// Identity of the simulated block currently executing on this host thread.
+/// The engine installs one around each block it runs (on whichever worker
+/// thread picked the block up); `linear < 0` means "outside any block".
+/// `launch_epoch` is a process-wide monotone launch id, which lets
+/// per-buffer write trackers distinguish launches without a reset pass.
+struct BlockIdentity {
+    std::int64_t linear = -1;
+    std::uint64_t launch_epoch = 0;
+};
+
+[[nodiscard]] BlockIdentity current_block() noexcept;
+
+class BlockScope {
+public:
+    explicit BlockScope(BlockIdentity id) noexcept;
+    ~BlockScope();
+    BlockScope(const BlockScope&) = delete;
+    BlockScope& operator=(const BlockScope&) = delete;
+
+private:
+    BlockIdentity prev_;
+};
+
+/// Allocate a fresh launch epoch (called once per Engine::launch).
+[[nodiscard]] std::uint64_t new_launch_epoch() noexcept;
 
 } // namespace satgpu::simt

@@ -1,5 +1,10 @@
 // WarpCtx: everything a warp program can see -- its coordinates in the
 // grid, its lane vector, the block's shared memory, and the barrier.
+//
+// A WarpCtx (like the coroutine frames it anchors) is confined to the one
+// host worker thread running its block: the barrier flag and resume point
+// are mutable scheduler state that is never shared across blocks, which is
+// what lets the engine execute blocks concurrently with no locking.
 #pragma once
 
 #include "simt/dim3.hpp"
@@ -17,6 +22,13 @@ public:
         : block_idx_(block_idx), cfg_(cfg), warp_id_(warp_id), smem_(smem)
     {
     }
+
+    // Movable (the scheduler stores warps in a vector) but not copyable: a
+    // duplicated resume point would let two schedulers resume one frame.
+    WarpCtx(WarpCtx&&) noexcept = default;
+    WarpCtx& operator=(WarpCtx&&) noexcept = default;
+    WarpCtx(const WarpCtx&) = delete;
+    WarpCtx& operator=(const WarpCtx&) = delete;
 
     // -- Geometry -----------------------------------------------------------
     [[nodiscard]] Dim3 block_idx() const noexcept { return block_idx_; }

@@ -186,6 +186,102 @@ TEST(EngineFaults, CountersIsolatedAcrossLaunches)
     EXPECT_EQ(s2.counters.gmem_ld_req, 1u); // not 2: fresh counters
 }
 
+// ------------------------------- faults under the parallel scheduler ------
+//
+// Injected faults must still be detected AND attributed to the right block
+// when blocks run on a worker pool: exceptions arrive wrapped in a
+// BlockFault naming the lowest faulting linear block (deterministic for any
+// thread count), and aborts append a "while executing block (x,y,z)"
+// context line from the worker that hit them.
+
+TEST(EngineFaultsParallel, ThrowReportsLowestFaultingBlockDeterministically)
+{
+    for (const int threads : {1, 2, 4, 7}) {
+        simt::Engine eng(simt::Engine::Options{.record_history = false,
+                                               .num_threads = threads});
+        try {
+            eng.launch({"multi_fault", 8, 0}, {{8, 1, 1}, {kWarpSize, 1, 1}},
+                       [&](simt::WarpCtx& w) -> simt::KernelTask {
+                           if (w.block_idx().x >= 3)
+                               throw std::runtime_error("injected");
+                           co_return;
+                       });
+            FAIL() << "launch must rethrow the injected fault (threads="
+                   << threads << ")";
+        } catch (const simt::BlockFault& f) {
+            // Blocks 3..7 all fault; the report must name block 3 no
+            // matter which worker saw its fault first.
+            EXPECT_EQ(f.block_idx, (simt::Dim3{3, 0, 0}))
+                << "threads=" << threads;
+            EXPECT_NE(std::string(f.what()).find("block (3,0,0)"),
+                      std::string::npos)
+                << f.what();
+            EXPECT_NE(std::string(f.what()).find("injected"),
+                      std::string::npos)
+                << f.what();
+        }
+    }
+}
+
+TEST(EngineFaultsParallel, SubTaskBarrierDivergenceNamesBlock)
+{
+    // One block's warps suspend outside any barrier (a scheduler-contract
+    // violation); the abort must name that block even on a worker pool.
+    simt::Engine eng(simt::Engine::Options{.record_history = false,
+                                           .num_threads = 4});
+    EXPECT_DEATH(
+        eng.launch({"diverge", 8, 0}, {{4, 1, 1}, {kWarpSize, 1, 1}},
+                   [&](simt::WarpCtx& w) -> simt::KernelTask {
+                       if (w.block_idx().x == 1)
+                           co_await std::suspend_always{};
+                       co_return;
+                   }),
+        "warp suspended outside a barrier");
+    EXPECT_DEATH(
+        eng.launch({"diverge", 8, 0}, {{4, 1, 1}, {kWarpSize, 1, 1}},
+                   [&](simt::WarpCtx& w) -> simt::KernelTask {
+                       if (w.block_idx().x == 1)
+                           co_await std::suspend_always{};
+                       co_return;
+                   }),
+        "block \\(1,0,0\\) of kernel 'diverge'");
+}
+
+TEST(EngineFaultsParallel, SmemOverAllocationNamesBlock)
+{
+    simt::Engine eng(simt::Engine::Options{.smem_capacity_bytes = 1024,
+                                           .record_history = false,
+                                           .num_threads = 2});
+    EXPECT_DEATH(
+        eng.launch({"smem_cap_par", 8, 2048}, {{3, 1, 1}, {kWarpSize, 1, 1}},
+                   [&](simt::WarpCtx& w) -> simt::KernelTask {
+                       if (w.block_idx().x == 2)
+                           (void)w.smem_alloc<double>("big", 512);
+                       co_return;
+                   }),
+        "block \\(2,0,0\\) of kernel 'smem_cap_par'");
+}
+
+TEST(EngineFaultsParallel, ExceptionTypePropagatesThroughBlockFault)
+{
+    // The wrapper preserves catchability: BlockFault IS-A runtime_error and
+    // carries the original exception for callers that need it.
+    simt::Engine eng(simt::Engine::Options{.record_history = false,
+                                           .num_threads = 2});
+    try {
+        eng.launch({"typed", 8, 0}, {{2, 1, 1}, {kWarpSize, 1, 1}},
+                   [&](simt::WarpCtx& w) -> simt::KernelTask {
+                       if (w.block_idx().x == 1)
+                           throw std::out_of_range("deep fault");
+                       co_return;
+                   });
+        FAIL() << "launch must rethrow";
+    } catch (const simt::BlockFault& f) {
+        ASSERT_TRUE(f.inner);
+        EXPECT_THROW(std::rethrow_exception(f.inner), std::out_of_range);
+    }
+}
+
 TEST(EngineFaults, BrltRejectsOversizedSmemOnTinyEngine)
 {
     // A BRLT launch must fail loudly when the configured device cannot hold

@@ -1,0 +1,259 @@
+// Determinism + differential tests for the parallel block scheduler.
+//
+// The engine may run independent blocks on any number of host threads; the
+// contract (simt/engine.hpp) is that LaunchStats -- every counter, the
+// shared-memory peak, transaction/sector tallies -- and all output buffers
+// are bit-identical to the sequential engine for every thread count.  These
+// tests pin that contract for every SAT algorithm and for synthetic
+// many-small-block workloads designed to force interleaving, and exercise
+// the overlapping-write detector that enforces the disjoint-tile write
+// discipline the guarantee rests on.
+#include "core/random_fill.hpp"
+#include "sat/sat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+namespace sat = satgpu::sat;
+namespace simt = satgpu::simt;
+using satgpu::Matrix;
+using simt::kWarpSize;
+using simt::LaneVec;
+
+namespace {
+
+int hw_threads()
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+/// Thread counts the determinism contract is checked at: sequential
+/// baseline, small pool, prime-sized pool (never divides the block count
+/// evenly), and whatever this host really has.
+std::vector<int> thread_counts()
+{
+    return {1, 2, 7, hw_threads()};
+}
+
+/// Bitwise checksum of a table (FNV-1a over the element bytes), so float
+/// results are compared bit-for-bit rather than by operator== (which would
+/// conflate -0.0 and 0.0).
+template <typename T>
+std::uint64_t bitwise_checksum(const Matrix<T>& m)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const T& v : m.flat()) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(T));
+        h ^= bits;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void expect_stats_equal(const simt::LaunchStats& got,
+                        const simt::LaunchStats& want,
+                        const std::string& label)
+{
+    EXPECT_EQ(got.info.name, want.info.name) << label;
+    EXPECT_EQ(got.config.grid, want.config.grid) << label;
+    EXPECT_EQ(got.config.block, want.config.block) << label;
+    EXPECT_EQ(got.smem_used_bytes, want.smem_used_bytes) << label;
+    EXPECT_TRUE(got.counters == want.counters)
+        << label << ": counters diverged, e.g. gld sectors "
+        << got.counters.gmem_ld_sectors << " vs "
+        << want.counters.gmem_ld_sectors << ", smem trans "
+        << got.counters.smem_trans() << " vs " << want.counters.smem_trans()
+        << ", barriers " << got.counters.barriers << " vs "
+        << want.counters.barriers;
+}
+
+template <typename Tout, typename Tin>
+sat::SatResult<Tout> run_at(const Matrix<Tin>& img, sat::Algorithm algo,
+                            int threads)
+{
+    simt::Engine eng({.record_history = false, .num_threads = threads});
+    return sat::compute_sat<Tout>(eng, img, {algo});
+}
+
+template <typename Tout, typename Tin>
+void expect_thread_count_invariant(const Matrix<Tin>& img,
+                                   sat::Algorithm algo)
+{
+    const auto baseline = run_at<Tout>(img, algo, /*threads=*/1);
+    for (const int t : thread_counts()) {
+        const auto got = run_at<Tout>(img, algo, t);
+        const std::string label = std::string(sat::to_string(algo)) +
+                                  " @ threads=" + std::to_string(t);
+        EXPECT_EQ(bitwise_checksum(got.table), bitwise_checksum(baseline.table))
+            << label;
+        ASSERT_EQ(got.launches.size(), baseline.launches.size()) << label;
+        for (std::size_t i = 0; i < got.launches.size(); ++i)
+            expect_stats_equal(got.launches[i], baseline.launches[i],
+                               label + " launch " + std::to_string(i));
+    }
+}
+
+} // namespace
+
+// -------------------------------- every algorithm, every thread count ------
+
+class ParallelDeterminism : public ::testing::TestWithParam<sat::Algorithm> {
+};
+
+TEST_P(ParallelDeterminism, StatsAndOutputBitIdentical8u32u)
+{
+    Matrix<satgpu::u8> img(160, 224);
+    satgpu::fill_random(img, 1001);
+    expect_thread_count_invariant<satgpu::u32>(img, GetParam());
+}
+
+TEST_P(ParallelDeterminism, StatsAndOutputBitIdentical32f32f)
+{
+    // Integer-valued float input: every partial sum is exactly
+    // representable, so any schedule-dependent reassociation would show up
+    // as a bitwise difference.
+    Matrix<satgpu::f32> img(96, 160);
+    satgpu::fill_random(img, 1002);
+    expect_thread_count_invariant<satgpu::f32>(img, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ParallelDeterminism,
+                         ::testing::ValuesIn(sat::kAllAlgorithms),
+                         [](const auto& pinfo) {
+                             std::string n{sat::to_string(pinfo.param)};
+                             for (char& ch : n)
+                                 if (ch == '-')
+                                     ch = '_';
+                             return n;
+                         });
+
+// ------------------------------------------- many-small-blocks stress ------
+
+namespace {
+
+/// One warp per block, 512 blocks: each block writes its linear id to its
+/// slot (disjoint-tile discipline, checked by the overlap detector), does a
+/// shared-memory round trip across two barriers, and a counted add -- so
+/// every counter class (arith, smem, gmem, barriers) must survive heavy
+/// interleaving bit-exactly.
+simt::KernelTask stress_kernel(simt::WarpCtx& w,
+                               simt::DeviceBuffer<std::int64_t>& out)
+{
+    const std::int64_t linear =
+        w.block_idx().x + w.block_idx().y * w.grid_dim().x;
+    auto sm = w.smem_alloc<std::int64_t>("slot", kWarpSize);
+    sm.store(w.lane(), simt::vadd(w.lane(), LaneVec<std::int64_t>::broadcast(
+                                                linear)));
+    co_await w.sync();
+    const auto v = sm.load(w.lane());
+    co_await w.sync();
+    out.store(LaneVec<std::int64_t>::broadcast(linear),
+              simt::shfl(v, 0), 0x1u);
+}
+
+simt::LaunchStats launch_stress(simt::Engine& eng,
+                                simt::DeviceBuffer<std::int64_t>& out)
+{
+    return eng.launch({"stress", 8, 0}, {{64, 8, 1}, {kWarpSize, 1, 1}},
+                      [&](simt::WarpCtx& w) { return stress_kernel(w, out); });
+}
+
+} // namespace
+
+TEST(ParallelStress, ManySmallBlocksDeterministic)
+{
+    simt::DeviceBuffer<std::int64_t> base_out(64 * 8, -1);
+    base_out.debug_detect_overlapping_writes();
+    simt::Engine base({.record_history = false, .num_threads = 1});
+    const auto want = launch_stress(base, base_out);
+    for (std::int64_t i = 0; i < base_out.size(); ++i)
+        ASSERT_EQ(base_out.host()[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(want.counters.blocks, 512u);
+    EXPECT_EQ(want.counters.barriers, 2u * 512u);
+
+    for (const int t : {2, 7, 13, hw_threads()}) {
+        simt::DeviceBuffer<std::int64_t> out(64 * 8, -1);
+        out.debug_detect_overlapping_writes();
+        simt::Engine eng({.record_history = false, .num_threads = t});
+        const auto got = launch_stress(eng, out);
+        expect_stats_equal(got, want, "stress @ threads=" + std::to_string(t));
+        for (std::int64_t i = 0; i < out.size(); ++i)
+            ASSERT_EQ(out.host()[static_cast<std::size_t>(i)], i)
+                << "threads=" << t;
+    }
+}
+
+TEST(ParallelStress, SmemPeakIsMaxAcrossBlocksForEveryThreadCount)
+{
+    // Blocks allocate different extents; the reported peak must be the max
+    // over blocks, not a function of which worker saw which block last.
+    auto launch = [](int threads) {
+        simt::Engine eng({.record_history = false, .num_threads = threads});
+        return eng
+            .launch({"ragged_smem", 8, 0}, {{37, 1, 1}, {kWarpSize, 1, 1}},
+                    [&](simt::WarpCtx& w) -> simt::KernelTask {
+                        const std::int64_t n =
+                            64 * (w.block_idx().x % 5 + 1);
+                        auto sm = w.smem_alloc<int>("pad", n);
+                        sm.store(w.lane(), LaneVec<int>::broadcast(1));
+                        co_return;
+                    })
+            .smem_used_bytes;
+    };
+    const auto want = launch(1);
+    EXPECT_EQ(want, 64 * 5 * static_cast<std::int64_t>(sizeof(int)));
+    for (const int t : {2, 7, hw_threads()})
+        EXPECT_EQ(launch(t), want) << "threads=" << t;
+}
+
+// ------------------------------------------------- overlap detector --------
+
+TEST(ParallelOverlapDetector, CrossBlockOverlappingStoreDies)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    simt::Engine eng({.record_history = false, .num_threads = 2});
+    simt::DeviceBuffer<int> out(4);
+    out.debug_detect_overlapping_writes();
+    EXPECT_DEATH(
+        eng.launch({"overlap", 8, 0}, {{2, 1, 1}, {kWarpSize, 1, 1}},
+                   [&](simt::WarpCtx&) -> simt::KernelTask {
+                       // Both blocks store element 0: a cross-block race.
+                       out.store(LaneVec<std::int64_t>::broadcast(0),
+                                 LaneVec<int>::broadcast(7), 0x1u);
+                       co_return;
+                   }),
+        "overlapping global-memory writes");
+}
+
+TEST(ParallelOverlapDetector, RelaunchIntoSameBufferIsClean)
+{
+    // Two LAUNCHES writing the same elements are fine (launches are the
+    // host-side sync points); only intra-launch cross-block overlap trips.
+    simt::Engine eng({.record_history = false, .num_threads = 2});
+    simt::DeviceBuffer<int> out(kWarpSize);
+    out.debug_detect_overlapping_writes();
+    for (int pass = 0; pass < 2; ++pass)
+        eng.launch({"repass", 8, 0}, {{1, 1, 1}, {kWarpSize, 1, 1}},
+                   [&](simt::WarpCtx& w) -> simt::KernelTask {
+                       out.store(w.lane(), LaneVec<int>::broadcast(pass));
+                       co_return;
+                   });
+    for (const int v : out.host())
+        EXPECT_EQ(v, 1);
+}
+
+// ------------------------------------------------- history bookkeeping -----
+
+TEST(ParallelHistory, OneEntryPerLaunchRegardlessOfThreads)
+{
+    simt::Engine eng({.num_threads = 7});
+    simt::DeviceBuffer<std::int64_t> out(64 * 8, -1);
+    launch_stress(eng, out);
+    launch_stress(eng, out);
+    ASSERT_EQ(eng.history().size(), 2u);
+    EXPECT_TRUE(eng.history()[0].counters == eng.history()[1].counters);
+}

@@ -170,3 +170,68 @@ TEST_P(SatProperties, DifferencingRecoversTheImage)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SatProperties,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// ------------------------------------------------ degenerate shapes --------
+
+TEST(SatEdgeShapes, DegenerateShapesAgreeForEveryAlgorithm)
+{
+    // 1xN, Nx1 and 1x1 collapse one scan dimension entirely; every
+    // algorithm must still produce the serial result (these shapes have
+    // historically broken tile predication and carry chains).
+    const std::pair<std::int64_t, std::int64_t> shapes[] = {
+        {1, 1},   {1, 7},   {7, 1},    {1, 32},  {32, 1},
+        {1, 257}, {257, 1}, {1, 1333}, {1333, 1}};
+    for (const auto [h, w] : shapes) {
+        Matrix<satgpu::u8> img(h, w);
+        satgpu::fill_random(img, static_cast<std::uint64_t>(h * 10000 + w));
+        const auto want = sat::sat_serial<satgpu::u32>(img);
+        for (const auto algo : sat::kAllAlgorithms)
+            EXPECT_EQ(gpu_sat<satgpu::u32>(img, algo), want)
+                << sat::to_string(algo) << " " << h << "x" << w;
+    }
+}
+
+// ------------------------------------------ overflow / carry edges ---------
+
+TEST(SatOverflowEdge, All255CarriesExactlyAcrossChunkBoundaries)
+{
+    // u8 -> u32 worst case: every pixel 255.  96x2048 spans two of the
+    // ScanRow 1024-element chunks and many 32-wide tiles, so every carry
+    // path (intra-warp, block carry, chunk carry) must propagate the
+    // maximal per-pixel value exactly.  The closed form (x+1)(y+1)*255
+    // doubles as an independent oracle.
+    const std::int64_t h = 96, w = 2048;
+    Matrix<satgpu::u8> img(h, w);
+    for (auto& v : img.flat())
+        v = 255;
+    for (const auto algo : sat::kAllAlgorithms) {
+        const auto s = gpu_sat<satgpu::u32>(img, algo);
+        for (std::int64_t y = 0; y < h; ++y)
+            for (std::int64_t x = 0; x < w; ++x)
+                ASSERT_EQ(s(y, x), static_cast<satgpu::u32>(
+                                       (x + 1) * (y + 1) * 255))
+                    << sat::to_string(algo) << " at " << y << "," << x;
+    }
+}
+
+TEST(SatOverflowEdge, WideningU32ToU64AccumulatesPastU32Range)
+{
+    // u32 inputs at the type's maximum: partial sums exceed 2^32 after a
+    // handful of pixels, so any intermediate truncation to 32 bits would be
+    // caught immediately.
+    const std::int64_t h = 64, w = 96;
+    const satgpu::u32 vmax = 0xFFFFFFFFu;
+    Matrix<satgpu::u32> img(h, w);
+    for (auto& v : img.flat())
+        v = vmax;
+    const auto s = gpu_sat<std::uint64_t>(img, sat::Algorithm::kBrltScanRow);
+    const auto s2 =
+        gpu_sat<std::uint64_t>(img, sat::Algorithm::kScanRowColumn);
+    EXPECT_EQ(s, s2);
+    for (std::int64_t y = 0; y < h; ++y)
+        for (std::int64_t x = 0; x < w; ++x)
+            ASSERT_EQ(s(y, x), static_cast<std::uint64_t>(x + 1) *
+                                   static_cast<std::uint64_t>(y + 1) * vmax)
+                << y << "," << x;
+    EXPECT_GT(s(h - 1, w - 1), std::uint64_t{1} << 32);
+}

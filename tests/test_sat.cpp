@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 namespace sat = satgpu::sat;
 namespace simt = satgpu::simt;
 using satgpu::Matrix;
@@ -238,6 +240,87 @@ TEST(SatScanKind, LadnerFischerMatches)
                                      52, opt);
     expect_sat_matches<float, float>(sat::Algorithm::kScanRowColumn, 128, 96,
                                      53, opt);
+}
+
+// --------------------------------------------- golden-value regression -----
+//
+// Bitwise FNV-1a checksums of whole SAT tables for fixed (seed, shape)
+// inputs, captured from the current implementation.  Unlike the differential
+// tests above (which would pass if the oracle and the kernels drifted
+// TOGETHER), these pin the absolute numeric output: any silent change to
+// random_fill, the serial oracle, or a kernel's arithmetic fails loudly.
+// Float tables are checksummed over their bit patterns, so even a
+// reassociation that stays within tolerance of the oracle is caught.
+
+namespace {
+
+template <typename T>
+std::uint64_t table_checksum(const Matrix<T>& m)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const T& v : m.flat()) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(T));
+        h ^= bits;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+template <typename Tout, typename Tin>
+std::uint64_t golden_run(sat::Algorithm algo, std::int64_t h, std::int64_t w,
+                         std::uint64_t seed)
+{
+    Matrix<Tin> img(h, w);
+    satgpu::fill_random(img, seed);
+    simt::Engine eng({.record_history = false});
+    return table_checksum(sat::compute_sat<Tout>(eng, img, {algo}).table);
+}
+
+} // namespace
+
+TEST(SatGolden, U8ToU32AgreesWithRecordedChecksum)
+{
+    // Integer SATs are exact, so every algorithm must hit the same value.
+    constexpr std::uint64_t kGolden = 0x63305bd51fdc49e3ull;
+    for (const auto algo : sat::kAllAlgorithms)
+        EXPECT_EQ((golden_run<std::uint32_t, std::uint8_t>(algo, 123, 457,
+                                                           2024)),
+                  kGolden)
+            << sat::to_string(algo);
+}
+
+TEST(SatGolden, F32ToF32AgreesWithRecordedChecksum)
+{
+    // Float results could in principle differ between algorithms (different
+    // summation orders); each algorithm therefore pins its own checksum.
+    // For this input they happen to coincide -- fill_random's f32 values
+    // keep every partial sum exactly representable -- which is itself worth
+    // pinning: a kernel change that loses that exactness shows up here.
+    struct Golden {
+        sat::Algorithm algo;
+        std::uint64_t checksum;
+    };
+    const Golden goldens[] = {
+        {sat::Algorithm::kBrltScanRow, 0xfcd80a0ff1b2ebe3ull},
+        {sat::Algorithm::kScanRowColumn, 0xfcd80a0ff1b2ebe3ull},
+        {sat::Algorithm::kOpencvLike, 0xfcd80a0ff1b2ebe3ull},
+    };
+    for (const auto& g : goldens)
+        EXPECT_EQ((golden_run<float, float>(g.algo, 200, 320, 2025)),
+                  g.checksum)
+            << sat::to_string(g.algo);
+}
+
+TEST(SatGolden, U32ToU64AgreesWithRecordedChecksum)
+{
+    constexpr std::uint64_t kGolden = 0x60699c4e8b3d7159ull;
+    EXPECT_EQ((golden_run<std::uint64_t, std::uint32_t>(
+                  sat::Algorithm::kBrltScanRow, 97, 211, 2026)),
+              kGolden);
+    EXPECT_EQ((golden_run<std::uint64_t, std::uint32_t>(
+                  sat::Algorithm::kScanRowBrlt, 97, 211, 2026)),
+              kGolden);
 }
 
 // ------------------------------------------------- component subtasks ------

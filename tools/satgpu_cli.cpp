@@ -29,6 +29,7 @@ struct Args {
     bool unpadded = false;
     bool lf_scan = false;
     std::uint64_t seed = 42;
+    int threads = 0; // 0 = one worker per hardware thread
 };
 
 std::optional<sat::Algorithm> parse_algo(std::string_view s)
@@ -58,6 +59,9 @@ void usage()
         "  --unpadded    use the 32x32 (bank-conflicting) BRLT staging\n"
         "  --lf          use the Ladner-Fischer warp scan\n"
         "  --seed N      input seed (default 42)\n"
+        "  --threads N   host threads simulating blocks; 0 = all hardware\n"
+        "                threads, 1 = sequential (default 0; results and\n"
+        "                counters are identical for every value)\n"
         "  --list        list algorithms and exit\n";
 }
 
@@ -114,6 +118,13 @@ std::optional<Args> parse(int argc, char** argv)
             if (!v)
                 return std::nullopt;
             a.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--threads") {
+            const char* v = next();
+            if (!v || std::sscanf(v, "%d", &a.threads) != 1 ||
+                a.threads < 0) {
+                std::cerr << "bad --threads (want a non-negative count)\n";
+                return std::nullopt;
+            }
         } else {
             std::cerr << "unknown option: " << arg << '\n';
             return std::nullopt;
@@ -134,7 +145,7 @@ int run(const Args& args)
     if (args.lf_scan)
         opt.warp_scan = scan::WarpScanKind::kLadnerFischer;
 
-    simt::Engine eng;
+    simt::Engine eng({.num_threads = args.threads});
     const auto res = sat::compute_sat<Tout>(eng, img, opt);
 
     const model::GpuSpec* gpu = &model::tesla_p100();
