@@ -3,15 +3,19 @@
 // emission.
 #pragma once
 
+#include "core/json_writer.hpp"
 #include "core/table_printer.hpp"
 #include "model/cost_model.hpp"
 #include "model/timing.hpp"
 #include "sat/sat.hpp"
 #include "simt/engine.hpp"
 
+#include <charconv>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace satgpu::bench {
@@ -19,16 +23,53 @@ namespace satgpu::bench {
 /// Engine options for wall-clock benchmarks: history off (its allocations
 /// would pollute the timings), worker count from the SATGPU_THREADS
 /// environment variable (0 or unset = one worker per hardware thread;
-/// results are identical either way, only wall-clock changes).
+/// results are identical either way, only wall-clock changes).  A malformed
+/// value aborts loudly: silently falling back to the default would make a
+/// typo'd SATGPU_THREADS=8x benchmark on the wrong worker count.
 [[nodiscard]] inline simt::Engine::Options bench_engine_options()
 {
     simt::Engine::Options opt{.record_history = false};
     if (const char* env = std::getenv("SATGPU_THREADS")) {
-        const int n = std::atoi(env);
-        if (n >= 0)
-            opt.num_threads = n;
+        int n = 0;
+        const char* const end = env + std::strlen(env);
+        const auto [ptr, ec] = std::from_chars(env, end, n);
+        if (ec != std::errc{} || ptr != end || n < 0) {
+            std::cerr << "SATGPU_THREADS must be a non-negative integer "
+                         "(0 = one worker per hardware thread); got \""
+                      << env << "\"\n";
+            std::exit(2);
+        }
+        opt.num_threads = n;
     }
     return opt;
+}
+
+/// True when a benchmark should emit its results as a machine-readable
+/// JSON document on stdout instead of the human tables: either `--json`
+/// on the command line or a non-empty, non-"0" SATGPU_BENCH_JSON in the
+/// environment (the latter lets CI flip every bench at once).
+[[nodiscard]] inline bool bench_json_requested(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string_view(argv[i]) == "--json")
+            return true;
+    if (const char* env = std::getenv("SATGPU_BENCH_JSON"))
+        return env[0] != '\0' && std::string_view(env) != "0";
+    return false;
+}
+
+/// Open a bench JSON document on `w`: {"schema":"satgpu-bench-v1",
+/// "bench":NAME, ...caller payload keys..., then the caller's
+/// `end_object()` closes it.  All numbers go through std::to_chars
+/// (core/json_writer.hpp), so the bytes are machine independent and
+/// checked-in documents diff cleanly in CI.
+inline void bench_json_prelude(JsonWriter& w, std::string_view name)
+{
+    w.begin_object();
+    w.key("schema");
+    w.value(std::string_view{"satgpu-bench-v1"});
+    w.key("bench");
+    w.value(name);
 }
 
 /// The paper evaluates 1k x 1k .. 16k x 16k square matrices (Sec. VI-A).

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "sat/scanrowcolumn.hpp"
+#include "simt/profiler.hpp"
 
 namespace satgpu::baselines {
 
@@ -30,16 +31,20 @@ simt::KernelTask transpose_warp(simt::WarpCtx& w,
     auto tile = w.smem_alloc<T>("transpose.tile", 32 * 33);
 
     // Warp w stages row w of the tile (coalesced load, conflict-free store).
-    const std::int64_t src_row = row0 + w.warp_id();
-    if (src_row < height) {
-        const auto m = cols_in_range(col0, width);
-        const auto v = in.load(lane + (src_row * width + col0), m);
-        tile.store(lane + std::int64_t{w.warp_id()} * 33, v, m);
+    {
+        const simt::ProfileRange pr{"stage-smem"};
+        const std::int64_t src_row = row0 + w.warp_id();
+        if (src_row < height) {
+            const auto m = cols_in_range(col0, width);
+            const auto v = in.load(lane + (src_row * width + col0), m);
+            tile.store(lane + std::int64_t{w.warp_id()} * 33, v, m);
+        }
     }
     co_await w.sync();
 
     // Warp w drains column w (33-stride: conflict-free) into output row
     // col0 + w (coalesced store).
+    const simt::ProfileRange pr{"drain-smem"};
     const std::int64_t dst_row = col0 + w.warp_id();
     if (dst_row < width) {
         const auto m = cols_in_range(row0, height); // lanes = source rows

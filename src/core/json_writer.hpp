@@ -1,0 +1,145 @@
+// Minimal streaming JSON writer with deterministic formatting.
+//
+// The profiler's contract is BIT-IDENTICAL serialized output for every
+// engine thread count, so the writer avoids every locale- or
+// platform-dependent formatting path: integers and doubles go through
+// std::to_chars (shortest round-trip form for doubles), strings are
+// escaped per RFC 8259, and the layout (no whitespace except a single
+// newline at the end of a document) is fixed.  Non-finite doubles have no
+// JSON spelling; they are emitted as null.
+//
+//   JsonWriter j(os);
+//   j.begin_object();
+//   j.key("name"); j.value("brlt_scanrow");
+//   j.key("sectors"); j.value(std::uint64_t{131072});
+//   j.key("ranges"); j.begin_array(); ... j.end_array();
+//   j.end_object();
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace satgpu {
+
+class JsonWriter {
+public:
+    explicit JsonWriter(std::ostream& os) : os_(os) {}
+    JsonWriter(const JsonWriter&) = delete;
+    JsonWriter& operator=(const JsonWriter&) = delete;
+
+    void begin_object() { open('{'); }
+    void end_object() { close('}'); }
+    void begin_array() { open('['); }
+    void end_array() { close(']'); }
+
+    void key(std::string_view k)
+    {
+        comma();
+        write_string(k);
+        os_ << ':';
+        after_key_ = true;
+    }
+
+    void value(std::string_view s)
+    {
+        comma();
+        write_string(s);
+    }
+    void value(const char* s) { value(std::string_view(s)); }
+    void value(bool b)
+    {
+        comma();
+        os_ << (b ? "true" : "false");
+    }
+    void value(std::uint64_t v) { number(v); }
+    void value(std::int64_t v) { number(v); }
+    void value(int v) { number(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { number(static_cast<std::uint64_t>(v)); }
+    void value(double d)
+    {
+        comma();
+        if (!std::isfinite(d)) {
+            os_ << "null";
+            return;
+        }
+        char buf[32];
+        const auto r = std::to_chars(buf, buf + sizeof(buf), d);
+        os_.write(buf, r.ptr - buf);
+    }
+    void null()
+    {
+        comma();
+        os_ << "null";
+    }
+
+private:
+    template <typename T>
+    void number(T v)
+    {
+        comma();
+        char buf[24];
+        const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+        os_.write(buf, r.ptr - buf);
+    }
+
+    void open(char c)
+    {
+        comma();
+        os_ << c;
+        need_comma_.push_back(false);
+    }
+
+    void close(char c)
+    {
+        need_comma_.pop_back();
+        os_ << c;
+        if (!need_comma_.empty())
+            need_comma_.back() = true;
+        after_key_ = false;
+    }
+
+    void comma()
+    {
+        if (after_key_) {
+            after_key_ = false;
+            return;
+        }
+        if (!need_comma_.empty()) {
+            if (need_comma_.back())
+                os_ << ',';
+            need_comma_.back() = true;
+        }
+    }
+
+    void write_string(std::string_view s)
+    {
+        os_ << '"';
+        for (const char ch : s) {
+            switch (ch) {
+            case '"': os_ << "\\\""; break;
+            case '\\': os_ << "\\\\"; break;
+            case '\n': os_ << "\\n"; break;
+            case '\r': os_ << "\\r"; break;
+            case '\t': os_ << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    const char* hex = "0123456789abcdef";
+                    os_ << "\\u00" << hex[(ch >> 4) & 0xf] << hex[ch & 0xf];
+                } else {
+                    os_ << ch;
+                }
+            }
+        }
+        os_ << '"';
+    }
+
+    std::ostream& os_;
+    std::vector<bool> need_comma_;
+    bool after_key_ = false;
+};
+
+} // namespace satgpu

@@ -13,6 +13,7 @@
 
 #include "sat/tile_io.hpp"
 #include "simt/kernel_task.hpp"
+#include "simt/profiler.hpp"
 
 namespace satgpu::sat {
 
@@ -32,6 +33,7 @@ simt::SubTask<> block_exclusive_carry(simt::WarpCtx& w,
                                       LaneVec<T>& exclusive,
                                       LaneVec<T>& block_total)
 {
+    const simt::ProfileRange prof_range{"block-carry"};
     const int wc = w.warps_per_block();
     auto sm = w.smem_alloc<T>("carry.partials",
                               static_cast<std::int64_t>(wc) * kWarpSize);

@@ -14,6 +14,7 @@
 
 #include "sat/tile_io.hpp"
 #include "simt/kernel_task.hpp"
+#include "simt/profiler.hpp"
 
 #include <algorithm>
 
@@ -41,6 +42,7 @@ template <typename T>
 simt::SubTask<> brlt_transpose(simt::WarpCtx& w, RegTile<T>& data,
                                bool padded = true)
 {
+    const simt::ProfileRange prof_range{"brlt-transpose"};
     const int group = brlt_group_size<T>();
     const std::int64_t stride = padded ? 33 : 32;
     auto sm = w.smem_alloc<T>("brlt.tiles", group * 32 * stride);

@@ -41,21 +41,31 @@ simt::KernelTask brlt_scanrow_warp(simt::WarpCtx& w,
     for (std::int64_t c = 0; c < chunks; ++c) {
         const std::int64_t col0 =
             c * chunk_w + std::int64_t{w.warp_id()} * kWarpSize;
-        load_tile_rows(in, height, width, row0, col0, data);
+        {
+            const simt::ProfileRange pr{"load"};
+            load_tile_rows(in, height, width, row0, col0, data);
+        }
 
         co_await brlt_transpose(w, data, padded_smem);
-        scan::serial_scan_registers(data);
+        {
+            const simt::ProfileRange pr{"scan-row"};
+            scan::serial_scan_registers(data);
+        }
 
         LaneVec<Tout> exclusive, total;
         co_await block_exclusive_carry(w, data[kWarpSize - 1], exclusive,
                                        total);
 
-        const auto offset = simt::vadd(exclusive, run_carry);
-        for (auto& reg : data)
-            reg = simt::vadd(reg, offset);
-        run_carry = simt::vadd(run_carry, total);
+        {
+            const simt::ProfileRange pr{"apply-offset"};
+            const auto offset = simt::vadd(exclusive, run_carry);
+            for (auto& reg : data)
+                reg = simt::vadd(reg, offset);
+            run_carry = simt::vadd(run_carry, total);
+        }
 
         // Transposed store: element (row0+lane, col0+j) -> out row col0+j.
+        const simt::ProfileRange pr{"store"};
         const simt::LaneMask rows = cols_in_range(row0, height);
         for (int j = 0; j < kWarpSize; ++j) {
             if (col0 + j >= width)

@@ -40,35 +40,50 @@ simt::KernelTask scanrow_brlt_warp(simt::WarpCtx& w,
     for (std::int64_t c = 0; c < chunks; ++c) {
         const std::int64_t col0 =
             c * chunk_w + std::int64_t{w.warp_id()} * kWarpSize;
-        load_tile_rows(in, height, width, row0, col0, data);
+        {
+            const simt::ProfileRange pr{"load"};
+            load_tile_rows(in, height, width, row0, col0, data);
+        }
 
-        // Parallel warp scan of each register row (32 independent scans).
-        for (auto& reg : data)
-            reg = scan::warp_inclusive_scan(kind, reg);
+        {
+            // Parallel warp scan of each register row (32 independent
+            // scans).
+            const simt::ProfileRange pr{"scan-row"};
+            for (auto& reg : data)
+                reg = scan::warp_inclusive_scan(kind, reg);
+        }
 
         // Gather the 32 row totals into one lane vector (lane j <- row j).
         LaneVec<Tout> totals{};
-        for (int j = 0; j < kWarpSize; ++j)
-            totals = simt::vselect(
-                lane == LaneVec<std::int64_t>::broadcast(j),
-                simt::shfl(data[static_cast<std::size_t>(j)], kWarpSize - 1),
-                totals);
+        {
+            const simt::ProfileRange pr{"reduce-totals"};
+            for (int j = 0; j < kWarpSize; ++j)
+                totals = simt::vselect(
+                    lane == LaneVec<std::int64_t>::broadcast(j),
+                    simt::shfl(data[static_cast<std::size_t>(j)],
+                               kWarpSize - 1),
+                    totals);
+        }
 
         LaneVec<Tout> exclusive, block_total;
         co_await block_exclusive_carry(w, totals, exclusive, block_total);
 
-        // Add each row's offset (exclusive warp prefix + chunk carry).
-        const auto offsets = simt::vadd(exclusive, run_carry);
-        for (int j = 0; j < kWarpSize; ++j) {
-            const auto bcast = simt::shfl(offsets, j);
-            data[static_cast<std::size_t>(j)] =
-                simt::vadd(data[static_cast<std::size_t>(j)], bcast);
+        {
+            // Add each row's offset (exclusive warp prefix + chunk carry).
+            const simt::ProfileRange pr{"apply-offset"};
+            const auto offsets = simt::vadd(exclusive, run_carry);
+            for (int j = 0; j < kWarpSize; ++j) {
+                const auto bcast = simt::shfl(offsets, j);
+                data[static_cast<std::size_t>(j)] =
+                    simt::vadd(data[static_cast<std::size_t>(j)], bcast);
+            }
+            run_carry = simt::vadd(run_carry, block_total);
         }
-        run_carry = simt::vadd(run_carry, block_total);
 
         co_await brlt_transpose(w, data, padded_smem);
 
         // Transposed store (identical layout to BRLT-ScanRow's store).
+        const simt::ProfileRange pr{"store"};
         const simt::LaneMask rows = cols_in_range(row0, height);
         for (int j = 0; j < kWarpSize; ++j) {
             if (col0 + j >= width)

@@ -16,6 +16,7 @@
 #include "scan/serial_scan.hpp"
 #include "scan/warp_scan.hpp"
 #include "simt/engine.hpp"
+#include "simt/profiler.hpp"
 
 namespace satgpu::sat {
 
@@ -41,20 +42,27 @@ simt::KernelTask scanrow_warp(simt::WarpCtx& w,
         const int groups = static_cast<int>(
             std::min<std::int64_t>(ceil_div(width - c0, kWarpSize),
                                    kWarpSize));
-        for (int j = 0; j < groups; ++j) {
-            const std::int64_t col0 = c0 + std::int64_t{j} * kWarpSize;
-            const auto m = cols_in_range(col0, width);
-            data[static_cast<std::size_t>(j)] =
-                in.load(lane + (row * width + col0), m)
-                    .template cast<Tout>();
+        {
+            const simt::ProfileRange pr{"load"};
+            for (int j = 0; j < groups; ++j) {
+                const std::int64_t col0 = c0 + std::int64_t{j} * kWarpSize;
+                const auto m = cols_in_range(col0, width);
+                data[static_cast<std::size_t>(j)] =
+                    in.load(lane + (row * width + col0), m)
+                        .template cast<Tout>();
+            }
         }
-        // Fig. 4: scan each group, chain the last lane's total forward.
-        for (int j = 0; j < groups; ++j) {
-            auto& reg = data[static_cast<std::size_t>(j)];
-            reg = scan::warp_inclusive_scan(kind, reg);
-            reg = simt::vadd(reg, carry);
-            carry = simt::shfl(reg, kWarpSize - 1);
+        {
+            // Fig. 4: scan each group, chain the last lane's total forward.
+            const simt::ProfileRange pr{"scan-row"};
+            for (int j = 0; j < groups; ++j) {
+                auto& reg = data[static_cast<std::size_t>(j)];
+                reg = scan::warp_inclusive_scan(kind, reg);
+                reg = simt::vadd(reg, carry);
+                carry = simt::shfl(reg, kWarpSize - 1);
+            }
         }
+        const simt::ProfileRange pr{"store"};
         for (int j = 0; j < groups; ++j) {
             const std::int64_t col0 = c0 + std::int64_t{j} * kWarpSize;
             const auto m = cols_in_range(col0, width);
@@ -82,21 +90,31 @@ simt::KernelTask scancolumn_warp(simt::WarpCtx& w,
     for (std::int64_t s = 0; s < steps; ++s) {
         const std::int64_t row0 =
             s * strip_h + std::int64_t{w.warp_id()} * kWarpSize;
-        load_tile_rows(in, height, width, row0, col0, data);
+        {
+            const simt::ProfileRange pr{"load"};
+            load_tile_rows(in, height, width, row0, col0, data);
+        }
 
-        // Serial warp-scan down the columns (Sec. IV-C2): pure register
-        // arithmetic, no shuffles, no divergence.
-        scan::serial_scan_registers(data);
+        {
+            // Serial warp-scan down the columns (Sec. IV-C2): pure register
+            // arithmetic, no shuffles, no divergence.
+            const simt::ProfileRange pr{"scan-column"};
+            scan::serial_scan_registers(data);
+        }
 
         LaneVec<Tout> exclusive, total;
         co_await block_exclusive_carry(w, data[kWarpSize - 1], exclusive,
                                        total);
 
-        const auto offset = simt::vadd(exclusive, run_carry);
-        for (auto& reg : data)
-            reg = simt::vadd(reg, offset);
-        run_carry = simt::vadd(run_carry, total);
+        {
+            const simt::ProfileRange pr{"apply-offset"};
+            const auto offset = simt::vadd(exclusive, run_carry);
+            for (auto& reg : data)
+                reg = simt::vadd(reg, offset);
+            run_carry = simt::vadd(run_carry, total);
+        }
 
+        const simt::ProfileRange pr{"store"};
         store_tile_rows(out, height, width, row0, col0, data);
     }
 }

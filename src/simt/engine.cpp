@@ -1,6 +1,7 @@
 #include "simt/engine.hpp"
 
 #include "core/check.hpp"
+#include "simt/profiler.hpp"
 #include "simt/shared_memory.hpp"
 
 #include <algorithm>
@@ -17,6 +18,20 @@ namespace {
 struct WarpExec {
     WarpCtx ctx;
     KernelTask task;
+    WarpRangeStack ranges; // ProfileRange stack, one per warp
+};
+
+/// Parks the profiler's active-warp pointer on scope exit, so that if a
+/// warp throws mid-resume the coroutine frames (whose ProfileRange
+/// destructors touch the active stack) are torn down against the
+/// profiler's own host stack rather than a dangling WarpExec.
+struct ActiveWarpReset {
+    Profiler* prof;
+    ~ActiveWarpReset()
+    {
+        if (prof)
+            prof->switch_warp(nullptr);
+    }
 };
 
 /// Run all warps of one block to completion under rendezvous barrier
@@ -27,11 +42,13 @@ std::int64_t run_block(Dim3 block_idx, const LaunchConfig& cfg,
 {
     SharedMemory smem(smem_capacity);
     const int warps = static_cast<int>(cfg.warps_per_block());
+    Profiler* const prof = current_profiler();
 
     std::vector<WarpExec> execs;
+    const ActiveWarpReset warp_reset{prof}; // destroyed before execs
     execs.reserve(static_cast<std::size_t>(warps));
     for (int w = 0; w < warps; ++w) {
-        execs.push_back(WarpExec{WarpCtx(block_idx, cfg, w, &smem), {}});
+        execs.push_back(WarpExec{WarpCtx(block_idx, cfg, w, &smem), {}, {}});
         execs.back().task = program(execs.back().ctx);
         SATGPU_CHECK(execs.back().task.valid(),
                      "warp program must return a live coroutine");
@@ -42,12 +59,19 @@ std::int64_t run_block(Dim3 block_idx, const LaunchConfig& cfg,
         for (auto& e : execs) {
             if (e.task.done() || e.ctx.at_barrier())
                 continue;
+            // Tell the profiler which warp's ranges the following counter
+            // increments belong to; park on the scheduler ("no warp")
+            // after the resume so barrier releases stay unattributed.
+            if (prof)
+                prof->switch_warp(&e.ranges);
             // Resume the innermost suspended frame (a nested SubTask's
             // barrier, or the kernel body itself on first resume).
             if (auto rp = e.ctx.resume_point())
                 rp.resume();
             else
                 e.task.resume();
+            if (prof)
+                prof->switch_warp(nullptr);
             if (e.task.done()) {
                 e.task.rethrow_if_failed();
                 ++done;
@@ -139,21 +163,43 @@ LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
     auto run_one = [&](std::int64_t lin, PerfCounters& sink) {
         const Dim3 b = block_from_linear(lin, cfg.grid);
         BlockExecutionScope scope(lin, epoch, b, info.name);
-        return run_block(b, cfg, program, opt_.smem_capacity_bytes, sink);
+        Profiler* const prof = current_profiler();
+        if (prof)
+            prof->begin_block(lin, b);
+        const std::int64_t used =
+            run_block(b, cfg, program, opt_.smem_capacity_bytes, sink);
+        if (prof)
+            prof->end_block();
+        return used;
+    };
+
+    auto attach_report = [&](Profiler& prof) {
+        stats.profile = std::make_shared<const ProfileReport>(
+            prof.build_report(opt_.profile_timeline_tracks,
+                              opt_.profile_top_sites));
     };
 
     if (threads <= 1) {
+        Profiler prof;
         CounterScope scope(stats.counters);
-        for (std::int64_t lin = 0; lin < total; ++lin) {
-            std::int64_t used = 0;
-            try {
-                used = run_one(lin, stats.counters);
-            } catch (...) {
-                rethrow_as_block_fault(lin, cfg.grid, info.name,
-                                       std::current_exception());
+        {
+            // ProfilerScope after CounterScope: its destructor flushes the
+            // profiler's tail delta against the still-installed sink.
+            ProfilerScope pscope(opt_.profile ? &prof : nullptr);
+            for (std::int64_t lin = 0; lin < total; ++lin) {
+                std::int64_t used = 0;
+                try {
+                    used = run_one(lin, stats.counters);
+                } catch (...) {
+                    rethrow_as_block_fault(lin, cfg.grid, info.name,
+                                           std::current_exception());
+                }
+                stats.smem_used_bytes =
+                    std::max(stats.smem_used_bytes, used);
             }
-            stats.smem_used_bytes = std::max(stats.smem_used_bytes, used);
         }
+        if (opt_.profile)
+            attach_report(prof);
     } else {
         // Dynamic work-stealing over linear block indices.  Each worker
         // accumulates into a private sink; per-block counts are schedule
@@ -162,6 +208,7 @@ LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
         // which block.
         struct alignas(64) Worker {
             PerfCounters counters;
+            Profiler prof;
             std::int64_t smem_peak = 0;
         };
         std::vector<Worker> workers(static_cast<std::size_t>(threads));
@@ -179,6 +226,7 @@ LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
         for (auto& worker : workers) {
             pool.emplace_back([&, w = &worker] {
                 CounterScope scope(w->counters);
+                ProfilerScope pscope(opt_.profile ? &w->prof : nullptr);
                 for (;;) {
                     const std::int64_t lin =
                         next.fetch_add(1, std::memory_order_relaxed);
@@ -204,12 +252,19 @@ LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
 
         // Deterministic merge: worker-index order (the sums are commutative
         // anyway, but fixing the order keeps this robust to future
-        // non-additive stats).
+        // non-additive stats).  The profiler merge is keyed sums plus a
+        // post-merge sort of the block records, so it is worker-order
+        // invariant too.
+        Profiler merged_prof;
         for (const auto& worker : workers) {
             stats.counters.merge(worker.counters);
             stats.smem_used_bytes =
                 std::max(stats.smem_used_bytes, worker.smem_peak);
+            if (opt_.profile)
+                merged_prof.merge(worker.prof);
         }
+        if (opt_.profile)
+            attach_report(merged_prof);
     }
 
     if (opt_.record_history)

@@ -27,11 +27,14 @@
 
 #include <exception>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace satgpu::simt {
+
+struct ProfileReport; // profiler.hpp
 
 /// Result of one simulated kernel launch.
 struct LaunchStats {
@@ -39,6 +42,11 @@ struct LaunchStats {
     LaunchConfig config;
     PerfCounters counters;
     std::int64_t smem_used_bytes = 0; // actual peak per-block allocation
+    /// Per-phase / per-site / per-block attribution, present iff the
+    /// launch ran with Options::profile.  Shared (immutable) so history
+    /// copies stay cheap.  Deterministic for every num_threads, like the
+    /// counters themselves.
+    std::shared_ptr<const ProfileReport> profile;
 };
 
 /// A warp program: invoked once per warp, returns its coroutine.  The
@@ -83,6 +91,16 @@ public:
         /// historical strictly sequential engine.  Counters and outputs
         /// are bit-identical for every value (see header comment).
         int num_threads = 0;
+        /// Attach a ProfileReport (phase ranges, hotspot tables, virtual
+        /// timeline) to every LaunchStats.  Off by default: kernels pay a
+        /// thread-local null check per memory access and nothing else.
+        bool profile = false;
+        /// Virtual execution slots for the timeline's greedy schedule.
+        /// Fixed (never derived from the host) so traces are identical on
+        /// every machine and thread count.
+        int profile_timeline_tracks = 8;
+        /// Rows kept per hotspot table (ranked by excess transactions).
+        int profile_top_sites = 10;
     };
 
     Engine() = default;

@@ -11,9 +11,11 @@
 #include "core/matrix.hpp"
 #include "simt/access_analysis.hpp"
 #include "simt/lane_vec.hpp"
+#include "simt/profiler.hpp"
 
 #include <atomic>
 #include <memory>
+#include <source_location>
 #include <span>
 #include <vector>
 
@@ -71,8 +73,12 @@ public:
     }
 
     /// Warp-wide load: lane l reads element idx[l]; inactive lanes get T{}.
+    /// `site` defaults to the caller's location; the profiler's
+    /// uncoalesced-sector hotspot table is keyed by it.
     [[nodiscard]] LaneVec<T> load(const LaneVec<std::int64_t>& idx,
-                                  LaneMask active = kFullMask) const
+                                  LaneMask active = kFullMask,
+                                  std::source_location site = SATGPU_SITE)
+        const
     {
         LaneVec<T> r{};
         ByteAddrs addrs{};
@@ -86,19 +92,24 @@ public:
                 i * static_cast<std::int64_t>(sizeof(T));
         }
         if (PerfCounters* c = current_counters()) {
-            c->gmem_ld_req += 1;
-            c->gmem_ld_sectors += static_cast<std::uint64_t>(
+            const auto sectors = static_cast<std::uint64_t>(
                 gmem_sectors_touched(addrs, active, sizeof(T)));
-            c->gmem_bytes_ld += static_cast<std::uint64_t>(
-                                    active_lane_count(active)) *
-                                sizeof(T);
+            const auto bytes = static_cast<std::uint64_t>(
+                                   active_lane_count(active)) *
+                               sizeof(T);
+            c->gmem_ld_req += 1;
+            c->gmem_ld_sectors += sectors;
+            c->gmem_bytes_ld += bytes;
+            if (Profiler* p = current_profiler())
+                p->record_gmem(site, /*is_store=*/false, sectors, bytes);
         }
         return r;
     }
 
     /// Warp-wide store: lane l writes val[l] to element idx[l].
     void store(const LaneVec<std::int64_t>& idx, const LaneVec<T>& val,
-               LaneMask active = kFullMask)
+               LaneMask active = kFullMask,
+               std::source_location site = SATGPU_SITE)
     {
         ByteAddrs addrs{};
         for (int l = 0; l < kWarpSize; ++l) {
@@ -112,12 +123,16 @@ public:
                 i * static_cast<std::int64_t>(sizeof(T));
         }
         if (PerfCounters* c = current_counters()) {
-            c->gmem_st_req += 1;
-            c->gmem_st_sectors += static_cast<std::uint64_t>(
+            const auto sectors = static_cast<std::uint64_t>(
                 gmem_sectors_touched(addrs, active, sizeof(T)));
-            c->gmem_bytes_st += static_cast<std::uint64_t>(
-                                    active_lane_count(active)) *
-                                sizeof(T);
+            const auto bytes = static_cast<std::uint64_t>(
+                                   active_lane_count(active)) *
+                               sizeof(T);
+            c->gmem_st_req += 1;
+            c->gmem_st_sectors += sectors;
+            c->gmem_bytes_st += bytes;
+            if (Profiler* p = current_profiler())
+                p->record_gmem(site, /*is_store=*/true, sectors, bytes);
         }
     }
 

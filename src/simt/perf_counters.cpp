@@ -35,6 +35,34 @@ void PerfCounters::merge(const PerfCounters& o) noexcept
     warps += o.warps;
 }
 
+PerfCounters counters_delta(const PerfCounters& now,
+                            const PerfCounters& then) noexcept
+{
+    PerfCounters d;
+    d.lane_add = now.lane_add - then.lane_add;
+    d.lane_mul = now.lane_mul - then.lane_mul;
+    d.lane_bool = now.lane_bool - then.lane_bool;
+    d.lane_select = now.lane_select - then.lane_select;
+    d.warp_shfl = now.warp_shfl - then.warp_shfl;
+    d.smem_ld_req = now.smem_ld_req - then.smem_ld_req;
+    d.smem_st_req = now.smem_st_req - then.smem_st_req;
+    d.smem_ld_trans = now.smem_ld_trans - then.smem_ld_trans;
+    d.smem_st_trans = now.smem_st_trans - then.smem_st_trans;
+    d.smem_bytes_ld = now.smem_bytes_ld - then.smem_bytes_ld;
+    d.smem_bytes_st = now.smem_bytes_st - then.smem_bytes_st;
+    d.gmem_ld_req = now.gmem_ld_req - then.gmem_ld_req;
+    d.gmem_st_req = now.gmem_st_req - then.gmem_st_req;
+    d.gmem_ld_sectors = now.gmem_ld_sectors - then.gmem_ld_sectors;
+    d.gmem_st_sectors = now.gmem_st_sectors - then.gmem_st_sectors;
+    d.gmem_bytes_ld = now.gmem_bytes_ld - then.gmem_bytes_ld;
+    d.gmem_bytes_st = now.gmem_bytes_st - then.gmem_bytes_st;
+    d.gmem_atomics = now.gmem_atomics - then.gmem_atomics;
+    d.barriers = now.barriers - then.barriers;
+    d.blocks = now.blocks - then.blocks;
+    d.warps = now.warps - then.warps;
+    return d;
+}
+
 PerfCounters* current_counters() noexcept { return g_sink; }
 
 CounterScope::CounterScope(PerfCounters& sink) noexcept : prev_(g_sink)

@@ -91,6 +91,12 @@ struct PerfCounters {
     }
 };
 
+/// Field-wise difference `now - then`, used by the profiler to attribute
+/// counter increments between two attribution points.  `then` must be an
+/// earlier snapshot of the same monotonically growing sink.
+[[nodiscard]] PerfCounters counters_delta(const PerfCounters& now,
+                                          const PerfCounters& then) noexcept;
+
 /// The simulator routes counts through a scoped thread-local sink so that
 /// kernel code stays free of instrumentation plumbing.  The engine installs
 /// a sink for the duration of each launch; code running outside any launch

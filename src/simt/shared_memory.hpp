@@ -15,9 +15,11 @@
 #include "core/check.hpp"
 #include "simt/access_analysis.hpp"
 #include "simt/lane_vec.hpp"
+#include "simt/profiler.hpp"
 
 #include <cstddef>
 #include <map>
+#include <source_location>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -87,8 +89,11 @@ public:
     [[nodiscard]] std::int64_t size() const noexcept { return count_; }
 
     /// Warp-wide store: lane l writes val[l] at element index idx[l].
+    /// `site` defaults to the caller's location; the profiler's
+    /// bank-conflict hotspot table is keyed by it.
     void store(const LaneVec<std::int64_t>& idx, const LaneVec<T>& val,
-               LaneMask active = kFullMask)
+               LaneMask active = kFullMask,
+               std::source_location site = SATGPU_SITE)
     {
         ByteAddrs addrs{};
         for (int l = 0; l < kWarpSize; ++l) {
@@ -101,18 +106,24 @@ public:
                 base_offset_ + i * static_cast<std::int64_t>(sizeof(T));
         }
         if (PerfCounters* c = current_counters()) {
-            c->smem_st_req += 1;
-            c->smem_st_trans += static_cast<std::uint64_t>(
+            const auto passes = static_cast<std::uint64_t>(
                 smem_conflict_passes(addrs, active, sizeof(T)));
-            c->smem_bytes_st += static_cast<std::uint64_t>(
-                                    active_lane_count(active)) *
-                                sizeof(T);
+            const auto bytes = static_cast<std::uint64_t>(
+                                   active_lane_count(active)) *
+                               sizeof(T);
+            c->smem_st_req += 1;
+            c->smem_st_trans += passes;
+            c->smem_bytes_st += bytes;
+            if (Profiler* p = current_profiler())
+                p->record_smem(site, /*is_store=*/true, passes, bytes);
         }
     }
 
     /// Warp-wide load: lane l reads element idx[l]; inactive lanes get T{}.
     [[nodiscard]] LaneVec<T> load(const LaneVec<std::int64_t>& idx,
-                                  LaneMask active = kFullMask) const
+                                  LaneMask active = kFullMask,
+                                  std::source_location site = SATGPU_SITE)
+        const
     {
         LaneVec<T> r{};
         ByteAddrs addrs{};
@@ -126,12 +137,16 @@ public:
                 base_offset_ + i * static_cast<std::int64_t>(sizeof(T));
         }
         if (PerfCounters* c = current_counters()) {
-            c->smem_ld_req += 1;
-            c->smem_ld_trans += static_cast<std::uint64_t>(
+            const auto passes = static_cast<std::uint64_t>(
                 smem_conflict_passes(addrs, active, sizeof(T)));
-            c->smem_bytes_ld += static_cast<std::uint64_t>(
-                                    active_lane_count(active)) *
-                                sizeof(T);
+            const auto bytes = static_cast<std::uint64_t>(
+                                   active_lane_count(active)) *
+                               sizeof(T);
+            c->smem_ld_req += 1;
+            c->smem_ld_trans += passes;
+            c->smem_bytes_ld += bytes;
+            if (Profiler* p = current_profiler())
+                p->record_smem(site, /*is_store=*/false, passes, bytes);
         }
         return r;
     }

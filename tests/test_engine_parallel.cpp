@@ -10,10 +10,12 @@
 // discipline the guarantee rests on.
 #include "core/random_fill.hpp"
 #include "sat/sat.hpp"
+#include "simt/profiler.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <sstream>
 #include <thread>
 
 namespace sat = satgpu::sat;
@@ -130,6 +132,49 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ParallelDeterminism,
                                      ch = '_';
                              return n;
                          });
+
+// --------------------------- profiler reports under the same contract ------
+
+namespace {
+
+/// Serialize both profiler documents for one profiled run of `algo`.
+template <typename Tout, typename Tin>
+std::pair<std::string, std::string>
+profiled_documents(const Matrix<Tin>& img, sat::Algorithm algo, int threads)
+{
+    simt::Engine eng({.record_history = false,
+                      .num_threads = threads,
+                      .profile = true});
+    const auto res = sat::compute_sat<Tout>(eng, img, {algo});
+    std::ostringstream profile, trace;
+    simt::write_profile_json(profile, res.launches);
+    simt::write_chrome_trace_json(trace, res.launches);
+    return {profile.str(), trace.str()};
+}
+
+} // namespace
+
+/// The determinism contract extends to the profiler: every serialized BYTE
+/// of the profile report and the Chrome trace -- range sums, hotspot
+/// ordering, timeline track assignment -- must match the sequential engine
+/// for every thread count.
+TEST(ParallelProfiler, SerializedReportsBitIdenticalAcrossThreadCounts)
+{
+    Matrix<satgpu::u8> img(160, 224);
+    satgpu::fill_random(img, 2001);
+    for (const auto algo :
+         {sat::Algorithm::kBrltScanRow, sat::Algorithm::kScanRowColumn}) {
+        const auto want =
+            profiled_documents<satgpu::u32>(img, algo, /*threads=*/1);
+        for (const int t : {2, 7, hw_threads()}) {
+            const auto got = profiled_documents<satgpu::u32>(img, algo, t);
+            EXPECT_EQ(got.first, want.first)
+                << sat::to_string(algo) << " profile JSON @ threads=" << t;
+            EXPECT_EQ(got.second, want.second)
+                << sat::to_string(algo) << " trace JSON @ threads=" << t;
+        }
+    }
+}
 
 // ------------------------------------------- many-small-blocks stress ------
 

@@ -1,0 +1,519 @@
+// Tests for the launch-scoped profiler (simt/profiler.hpp): the
+// sum(ranges) + unattributed == LaunchStats::counters identity, phase-name
+// coverage of the instrumented SAT kernels, hotspot attribution (the
+// unpadded-BRLT bank conflicts must point at the BRLT column read), the
+// deterministic virtual timeline, Chrome-trace well-formedness, and the
+// deterministic JSON writer itself.
+#include "core/json_writer.hpp"
+#include "core/random_fill.hpp"
+#include "sat/sat.hpp"
+#include "simt/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace sat = satgpu::sat;
+namespace simt = satgpu::simt;
+using satgpu::JsonWriter;
+using satgpu::Matrix;
+
+namespace {
+
+template <typename Tout, typename Tin>
+sat::SatResult<Tout> run_profiled(const Matrix<Tin>& img, sat::Algorithm algo,
+                                  sat::Options opt = {}, int threads = 1)
+{
+    opt.algorithm = algo;
+    simt::Engine eng({.record_history = false,
+                      .num_threads = threads,
+                      .profile = true});
+    return sat::compute_sat<Tout>(eng, img, opt);
+}
+
+/// sum over all ranges plus the unattributed bucket, field for field.
+simt::PerfCounters attributed_total(const simt::ProfileReport& rep)
+{
+    simt::PerfCounters sum = rep.unattributed;
+    for (const auto& r : rep.ranges)
+        sum.merge(r.counters);
+    return sum;
+}
+
+std::set<std::string> range_names(const simt::ProfileReport& rep)
+{
+    std::set<std::string> names;
+    for (const auto& r : rep.ranges)
+        names.insert(r.name);
+    return names;
+}
+
+} // namespace
+
+// ------------------------- the attribution identity, every algorithm -------
+
+class ProfilerIdentity : public ::testing::TestWithParam<sat::Algorithm> {};
+
+TEST_P(ProfilerIdentity, RangeSumsPlusUnattributedEqualLaunchTotals)
+{
+    Matrix<satgpu::u8> img(96, 160);
+    satgpu::fill_random(img, 7001);
+    const auto res = run_profiled<satgpu::u32>(img, GetParam());
+    ASSERT_FALSE(res.launches.empty());
+    for (std::size_t i = 0; i < res.launches.size(); ++i) {
+        const auto& l = res.launches[i];
+        ASSERT_NE(l.profile, nullptr) << "launch " << i;
+        EXPECT_TRUE(attributed_total(*l.profile) == l.counters)
+            << sat::to_string(GetParam()) << " launch " << i
+            << ": attribution leak (sum over ranges + unattributed != "
+               "launch counters)";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ProfilerIdentity,
+                         ::testing::ValuesIn(sat::kAllAlgorithms),
+                         [](const auto& pinfo) {
+                             std::string n{sat::to_string(pinfo.param)};
+                             for (char& ch : n)
+                                 if (ch == '-')
+                                     ch = '_';
+                             return n;
+                         });
+
+// ---------------------------------------------- phase-name coverage --------
+
+TEST(ProfilerRanges, BrltScanRowPhasesPresent)
+{
+    Matrix<satgpu::u8> img(64, 96);
+    satgpu::fill_random(img, 7002);
+    const auto res =
+        run_profiled<satgpu::u32>(img, sat::Algorithm::kBrltScanRow);
+    const auto names = range_names(*res.launches[0].profile);
+    for (const char* want : {"load", "brlt-transpose", "scan-row",
+                             "block-carry", "apply-offset", "store"})
+        EXPECT_TRUE(names.count(want)) << "missing range: " << want;
+}
+
+TEST(ProfilerRanges, ScanRowBrltPhasesPresent)
+{
+    Matrix<satgpu::u8> img(64, 96);
+    satgpu::fill_random(img, 7003);
+    const auto res =
+        run_profiled<satgpu::u32>(img, sat::Algorithm::kScanRowBrlt);
+    const auto names = range_names(*res.launches[0].profile);
+    for (const char* want :
+         {"load", "scan-row", "reduce-totals", "block-carry", "apply-offset",
+          "brlt-transpose", "store"})
+        EXPECT_TRUE(names.count(want)) << "missing range: " << want;
+}
+
+TEST(ProfilerRanges, ScanRowColumnPhasesPresent)
+{
+    Matrix<satgpu::u8> img(64, 96);
+    satgpu::fill_random(img, 7004);
+    const auto res =
+        run_profiled<satgpu::u32>(img, sat::Algorithm::kScanRowColumn);
+    ASSERT_EQ(res.launches.size(), 2u);
+    const auto row = range_names(*res.launches[0].profile);
+    for (const char* want : {"load", "scan-row", "store"})
+        EXPECT_TRUE(row.count(want)) << "scanrow missing range: " << want;
+    const auto col = range_names(*res.launches[1].profile);
+    for (const char* want : {"load", "scan-column", "block-carry",
+                             "apply-offset", "store"})
+        EXPECT_TRUE(col.count(want)) << "scancolumn missing range: " << want;
+}
+
+TEST(ProfilerRanges, ScanTransposeScanTransposePhasesPresent)
+{
+    Matrix<satgpu::u8> img(64, 96);
+    satgpu::fill_random(img, 7005);
+    const auto res =
+        run_profiled<satgpu::u32>(img, sat::Algorithm::kScanTransposeScan);
+    ASSERT_EQ(res.launches.size(), 4u); // scan, transpose, scan, transpose
+    const auto names = range_names(*res.launches[1].profile);
+    EXPECT_TRUE(names.count("stage-smem"));
+    EXPECT_TRUE(names.count("drain-smem"));
+}
+
+TEST(ProfilerRanges, BarrierReleasesStayUnattributed)
+{
+    // The block-carry subtask syncs three times inside its range, but the
+    // scheduler's barrier-release bookkeeping happens between warps; those
+    // counts must land in `unattributed`, never in a kernel range.
+    Matrix<satgpu::u8> img(64, 64);
+    satgpu::fill_random(img, 7006);
+    const auto res =
+        run_profiled<satgpu::u32>(img, sat::Algorithm::kBrltScanRow);
+    const auto& rep = *res.launches[0].profile;
+    EXPECT_EQ(rep.unattributed.barriers,
+              res.launches[0].counters.barriers);
+    for (const auto& r : rep.ranges)
+        EXPECT_EQ(r.counters.barriers, 0u) << "range " << r.name;
+}
+
+// ------------------------------------------------ hotspot attribution ------
+
+TEST(ProfilerHotspots, SitesAreRepoRelativeFileLinePairs)
+{
+    Matrix<satgpu::u8> img(64, 96);
+    satgpu::fill_random(img, 7007);
+    const auto res =
+        run_profiled<satgpu::u32>(img, sat::Algorithm::kBrltScanRow);
+    const auto& rep = *res.launches[0].profile;
+    EXPECT_FALSE(rep.smem_hotspots.empty());
+    EXPECT_FALSE(rep.gmem_hotspots.empty());
+    for (const auto* table : {&rep.smem_hotspots, &rep.gmem_hotspots}) {
+        for (const auto& h : *table) {
+            EXPECT_NE(h.site.find("src/"), std::string::npos) << h.site;
+            const auto colon = h.site.rfind(':');
+            ASSERT_NE(colon, std::string::npos) << h.site;
+            EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(
+                h.site[colon + 1])))
+                << h.site;
+            EXPECT_GE(h.transactions, h.requests) << h.site;
+            EXPECT_GT(h.bytes, 0u) << h.site;
+        }
+    }
+}
+
+TEST(ProfilerHotspots, PaddedBrltIsConflictFreeUnpaddedIsNot)
+{
+    Matrix<satgpu::u8> img(64, 96);
+    satgpu::fill_random(img, 7008);
+
+    sat::Options padded;
+    padded.padded_smem = true;
+    const auto good =
+        run_profiled<satgpu::u32>(img, sat::Algorithm::kBrltScanRow, padded);
+    for (const auto& h : good.launches[0].profile->smem_hotspots)
+        EXPECT_EQ(h.excess, 0u)
+            << h.site << ": padded 32x33 staging must be conflict free";
+
+    sat::Options unpadded;
+    unpadded.padded_smem = false;
+    const auto bad = run_profiled<satgpu::u32>(
+        img, sat::Algorithm::kBrltScanRow, unpadded);
+    const auto& hs = bad.launches[0].profile->smem_hotspots;
+    ASSERT_FALSE(hs.empty());
+    // The table is ranked by excess; the worst offender must be the BRLT
+    // column read (brlt.hpp), serialized 32-way by the unpadded stride.
+    EXPECT_GT(hs[0].excess, 0u);
+    EXPECT_NE(hs[0].site.find("src/sat/brlt.hpp"), std::string::npos)
+        << hs[0].site;
+    EXPECT_EQ(hs[0].kind, "smem-ld");
+    EXPECT_EQ(hs[0].transactions, hs[0].requests * 32)
+        << "unpadded column read should serialize 32-way";
+}
+
+TEST(ProfilerHotspots, TablesHonorTopSitesLimit)
+{
+    Matrix<satgpu::u8> img(64, 64);
+    satgpu::fill_random(img, 7009);
+    sat::Options opt;
+    opt.algorithm = sat::Algorithm::kBrltScanRow;
+    simt::Engine eng({.record_history = false,
+                      .num_threads = 1,
+                      .profile = true,
+                      .profile_top_sites = 2});
+    const auto res = sat::compute_sat<satgpu::u32>(eng, img, opt);
+    for (const auto& l : res.launches) {
+        EXPECT_LE(l.profile->smem_hotspots.size(), 2u);
+        EXPECT_LE(l.profile->gmem_hotspots.size(), 2u);
+    }
+}
+
+// ---------------------------------------------------- virtual timeline -----
+
+TEST(ProfilerTimeline, SlicesCoverEveryBlockOnBoundedTracks)
+{
+    Matrix<satgpu::u8> img(160, 96);
+    satgpu::fill_random(img, 7010);
+    const auto res =
+        run_profiled<satgpu::u32>(img, sat::Algorithm::kBrltScanRow);
+    const auto& l = res.launches[0];
+    const auto& rep = *l.profile;
+    ASSERT_EQ(rep.timeline.size(), l.counters.blocks);
+    // Tracks: the Options default, clamped to the block count (a 5-block
+    // launch cannot occupy 8 virtual slots).
+    EXPECT_EQ(rep.timeline_tracks,
+              static_cast<int>(std::min<std::uint64_t>(
+                  8, l.counters.blocks)));
+    std::uint64_t makespan = 0;
+    for (std::size_t i = 0; i < rep.timeline.size(); ++i) {
+        const auto& s = rep.timeline[i];
+        EXPECT_EQ(s.linear, static_cast<std::int64_t>(i)); // sorted, dense
+        EXPECT_GE(s.track, 0);
+        EXPECT_LT(s.track, rep.timeline_tracks);
+        EXPECT_LT(s.t_begin, s.t_end);
+        makespan = std::max(makespan, s.t_end);
+    }
+    EXPECT_EQ(rep.total_virtual_cycles, makespan);
+
+    // Slices sharing a track never overlap (it is a Gantt chart).
+    std::map<int, std::vector<std::pair<std::uint64_t, std::uint64_t>>> rows;
+    for (const auto& s : rep.timeline)
+        rows[s.track].emplace_back(s.t_begin, s.t_end);
+    for (auto& [track, spans] : rows) {
+        std::sort(spans.begin(), spans.end());
+        for (std::size_t i = 1; i < spans.size(); ++i)
+            EXPECT_GE(spans[i].first, spans[i - 1].second)
+                << "track " << track << " overlaps";
+    }
+}
+
+TEST(ProfilerTimeline, VirtualCyclesDependOnlyOnCounters)
+{
+    simt::PerfCounters a;
+    a.lane_add = 320;
+    a.barriers = 2;
+    simt::PerfCounters b = a;
+    EXPECT_EQ(simt::block_virtual_cycles(a), simt::block_virtual_cycles(b));
+    b.gmem_ld_sectors = 100; // more memory traffic => strictly longer
+    EXPECT_GT(simt::block_virtual_cycles(b), simt::block_virtual_cycles(a));
+}
+
+// ------------------------------------------------------- off by default ----
+
+TEST(ProfilerToggle, NoReportUnlessRequested)
+{
+    Matrix<satgpu::u8> img(32, 32);
+    satgpu::fill_random(img, 7011);
+    simt::Engine eng({.record_history = false, .num_threads = 1});
+    const auto res = sat::compute_sat<satgpu::u32>(
+        eng, img, {sat::Algorithm::kBrltScanRow});
+    for (const auto& l : res.launches)
+        EXPECT_EQ(l.profile, nullptr);
+}
+
+// ----------------------------------------- serialized documents ------------
+
+namespace jsonv {
+
+/// Minimal recursive-descent JSON well-formedness checker (no external
+/// deps in the test image beyond gtest).  Accepts exactly RFC 8259.
+struct Parser {
+    std::string_view s;
+    std::size_t i = 0;
+
+    bool ws()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                                s[i] == '\r'))
+            ++i;
+        return true;
+    }
+    bool lit(std::string_view l)
+    {
+        if (s.substr(i, l.size()) != l)
+            return false;
+        i += l.size();
+        return true;
+    }
+    bool string()
+    {
+        if (i >= s.size() || s[i] != '"')
+            return false;
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\') {
+                ++i;
+                if (i >= s.size())
+                    return false;
+            }
+            ++i;
+        }
+        return i < s.size() && s[i++] == '"';
+    }
+    bool number()
+    {
+        const std::size_t start = i;
+        if (i < s.size() && s[i] == '-')
+            ++i;
+        while (i < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                s[i] == '.' || s[i] == 'e' || s[i] == 'E' || s[i] == '+' ||
+                s[i] == '-'))
+            ++i;
+        return i > start;
+    }
+    bool value()
+    {
+        ws();
+        if (i >= s.size())
+            return false;
+        switch (s[i]) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return lit("true");
+        case 'f': return lit("false");
+        case 'n': return lit("null");
+        default: return number();
+        }
+    }
+    bool object()
+    {
+        ++i; // '{'
+        ws();
+        if (i < s.size() && s[i] == '}') {
+            ++i;
+            return true;
+        }
+        for (;;) {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (i >= s.size() || s[i++] != ':')
+                return false;
+            if (!value())
+                return false;
+            ws();
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            return i < s.size() && s[i++] == '}';
+        }
+    }
+    bool array()
+    {
+        ++i; // '['
+        ws();
+        if (i < s.size() && s[i] == ']') {
+            ++i;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            ws();
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            return i < s.size() && s[i++] == ']';
+        }
+    }
+    bool document()
+    {
+        if (!value())
+            return false;
+        ws();
+        return i == s.size();
+    }
+};
+
+bool valid(std::string_view doc)
+{
+    return Parser{doc}.document();
+}
+
+} // namespace jsonv
+
+TEST(ProfilerJson, ProfileDocumentIsWellFormed)
+{
+    Matrix<satgpu::u8> img(96, 64);
+    satgpu::fill_random(img, 7012);
+    const auto res =
+        run_profiled<satgpu::u32>(img, sat::Algorithm::kScanRowColumn);
+    std::ostringstream os;
+    simt::write_profile_json(os, res.launches);
+    const std::string doc = os.str();
+    EXPECT_TRUE(jsonv::valid(doc)) << doc.substr(0, 400);
+    EXPECT_NE(doc.find("\"schema\":\"satgpu-profile-v1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ranges\""), std::string::npos);
+    EXPECT_NE(doc.find("\"timeline\""), std::string::npos);
+}
+
+TEST(ProfilerJson, ChromeTraceIsWellFormedWithMonotoneTracks)
+{
+    Matrix<satgpu::u8> img(160, 96);
+    satgpu::fill_random(img, 7013);
+    const auto res =
+        run_profiled<satgpu::u32>(img, sat::Algorithm::kBrltScanRow);
+    std::ostringstream os;
+    simt::write_chrome_trace_json(os, res.launches);
+    const std::string doc = os.str();
+    ASSERT_TRUE(jsonv::valid(doc)) << doc.substr(0, 400);
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"M\""), std::string::npos);
+
+    // Reconstruct (pid, tid) -> [(ts, dur)] from the report itself (the
+    // document mirrors it) and check the per-track slices are monotone
+    // after the per-launch offsets are applied.
+    std::uint64_t offset = 0;
+    for (const auto& l : res.launches) {
+        std::map<int, std::uint64_t> track_end;
+        for (const auto& s : l.profile->timeline) {
+            auto it = track_end.find(s.track);
+            const std::uint64_t prev =
+                it == track_end.end() ? 0 : it->second;
+            EXPECT_GE(offset + s.t_begin, prev);
+            track_end[s.track] = offset + s.t_end;
+        }
+        offset += l.profile->total_virtual_cycles;
+    }
+}
+
+TEST(ProfilerJson, LaunchesWithoutProfileSerializeCountersOnly)
+{
+    Matrix<satgpu::u8> img(32, 32);
+    satgpu::fill_random(img, 7014);
+    simt::Engine eng({.record_history = false, .num_threads = 1});
+    const auto res = sat::compute_sat<satgpu::u32>(
+        eng, img, {sat::Algorithm::kBrltScanRow});
+    std::ostringstream os;
+    simt::write_profile_json(os, res.launches);
+    EXPECT_TRUE(jsonv::valid(os.str()));
+    EXPECT_EQ(os.str().find("\"ranges\""), std::string::npos);
+}
+
+// --------------------------------------------------- JsonWriter itself -----
+
+TEST(JsonWriterTest, EscapesAndNestsDeterministically)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("s");
+    w.value(std::string_view{"a\"b\\c\nd\x01"});
+    w.key("i");
+    w.value(std::int64_t{-42});
+    w.key("u");
+    w.value(std::uint64_t{18446744073709551615ull});
+    w.key("d");
+    w.value(0.5);
+    w.key("nan");
+    w.value(std::nan(""));
+    w.key("b");
+    w.value(true);
+    w.key("a");
+    w.begin_array();
+    w.value(1);
+    w.begin_object();
+    w.end_object();
+    w.null();
+    w.end_array();
+    w.end_object();
+    EXPECT_EQ(os.str(),
+              "{\"s\":\"a\\\"b\\\\c\\nd\\u0001\",\"i\":-42,"
+              "\"u\":18446744073709551615,\"d\":0.5,\"nan\":null,"
+              "\"b\":true,\"a\":[1,{},null]}");
+}
+
+TEST(JsonWriterTest, TrimSourcePathFindsRepoRoot)
+{
+    EXPECT_EQ(simt::trim_source_path("/home/u/repo/src/sat/brlt.hpp"),
+              "src/sat/brlt.hpp");
+    EXPECT_EQ(simt::trim_source_path("C:/x/tests/test_profiler.cpp"),
+              "tests/test_profiler.cpp");
+    EXPECT_EQ(simt::trim_source_path("no/known/root.hpp"),
+              "no/known/root.hpp");
+}

@@ -9,8 +9,10 @@
 #include "core/table_printer.hpp"
 #include "model/timing.hpp"
 #include "sat/sat.hpp"
+#include "simt/profiler.hpp"
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -30,6 +32,8 @@ struct Args {
     bool lf_scan = false;
     std::uint64_t seed = 42;
     int threads = 0; // 0 = one worker per hardware thread
+    std::string profile_path; // --profile: per-launch JSON report
+    std::string trace_path;   // --trace: chrome://tracing timeline
 };
 
 std::optional<sat::Algorithm> parse_algo(std::string_view s)
@@ -62,6 +66,10 @@ void usage()
         "  --threads N   host threads simulating blocks; 0 = all hardware\n"
         "                threads, 1 = sequential (default 0; results and\n"
         "                counters are identical for every value)\n"
+        "  --profile F   write a per-launch profile report (phase ranges,\n"
+        "                hotspot tables, virtual timeline) as JSON to F\n"
+        "  --trace F     write the virtual timeline as a chrome://tracing /\n"
+        "                Perfetto trace-event JSON to F\n"
         "  --list        list algorithms and exit\n";
 }
 
@@ -125,6 +133,16 @@ std::optional<Args> parse(int argc, char** argv)
                 std::cerr << "bad --threads (want a non-negative count)\n";
                 return std::nullopt;
             }
+        } else if (arg == "--profile") {
+            const char* v = next();
+            if (!v)
+                return std::nullopt;
+            a.profile_path = v;
+        } else if (arg == "--trace") {
+            const char* v = next();
+            if (!v)
+                return std::nullopt;
+            a.trace_path = v;
         } else {
             std::cerr << "unknown option: " << arg << '\n';
             return std::nullopt;
@@ -145,8 +163,34 @@ int run(const Args& args)
     if (args.lf_scan)
         opt.warp_scan = scan::WarpScanKind::kLadnerFischer;
 
-    simt::Engine eng({.num_threads = args.threads});
+    const bool profiling =
+        !args.profile_path.empty() || !args.trace_path.empty();
+    simt::Engine eng({.num_threads = args.threads, .profile = profiling});
     const auto res = sat::compute_sat<Tout>(eng, img, opt);
+
+    auto write_json = [](const std::string& path, auto&& writer) {
+        std::ofstream os(path, std::ios::binary);
+        if (!os) {
+            std::cerr << "cannot open " << path << " for writing\n";
+            return false;
+        }
+        writer(os);
+        return bool(os);
+    };
+    if (!args.profile_path.empty()) {
+        if (!write_json(args.profile_path, [&](std::ostream& os) {
+                simt::write_profile_json(os, res.launches);
+            }))
+            return 2;
+        std::cout << "profile report: " << args.profile_path << '\n';
+    }
+    if (!args.trace_path.empty()) {
+        if (!write_json(args.trace_path, [&](std::ostream& os) {
+                simt::write_chrome_trace_json(os, res.launches);
+            }))
+            return 2;
+        std::cout << "chrome trace:   " << args.trace_path << '\n';
+    }
 
     const model::GpuSpec* gpu = &model::tesla_p100();
     if (args.gpu == "v100")
