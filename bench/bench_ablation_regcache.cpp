@@ -13,7 +13,8 @@ int main()
     using namespace satgpu;
     const auto& gpu = model::tesla_p100();
     const auto dt = make_pair_of<f32, f32>();
-    model::CostModel cm;
+    sat::Runtime rt(bench::bench_engine_options());
+    model::CostModel& cm = rt.cost_model();
 
     std::cout << "Ablation: register cache (BRLT-ScanRow) vs scratchpad "
                  "cache, 32f32f on " << gpu.name << "\n\n";

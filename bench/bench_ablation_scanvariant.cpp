@@ -11,7 +11,7 @@ int main()
     using scan::WarpScanKind;
     const auto& gpu = model::tesla_p100();
     const auto dt = make_pair_of<f32, f32>();
-    model::CostModel cm;
+    sat::Runtime rt(bench::bench_engine_options());
 
     std::cout << "Ablation: parallel warp-scan network, 32f32f on "
               << gpu.name << " (us)\n\n";
@@ -23,13 +23,13 @@ int main()
         ks.warp_scan = WarpScanKind::kKoggeStone;
         lf.warp_scan = WarpScanKind::kLadnerFischer;
         const double srb_ks = bench::estimated_us(
-            cm, gpu, sat::Algorithm::kScanRowBrlt, dt, n, ks);
+            rt, gpu, sat::Algorithm::kScanRowBrlt, dt, n, ks);
         const double srb_lf = bench::estimated_us(
-            cm, gpu, sat::Algorithm::kScanRowBrlt, dt, n, lf);
+            rt, gpu, sat::Algorithm::kScanRowBrlt, dt, n, lf);
         const double src_ks = bench::estimated_us(
-            cm, gpu, sat::Algorithm::kScanRowColumn, dt, n, ks);
+            rt, gpu, sat::Algorithm::kScanRowColumn, dt, n, ks);
         const double src_lf = bench::estimated_us(
-            cm, gpu, sat::Algorithm::kScanRowColumn, dt, n, lf);
+            rt, gpu, sat::Algorithm::kScanRowColumn, dt, n, lf);
         const double diff =
             std::max(std::abs(srb_ks - srb_lf) / srb_ks,
                      std::abs(src_ks - src_lf) / src_ks);

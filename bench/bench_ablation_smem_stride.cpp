@@ -11,7 +11,8 @@ int main()
 {
     using namespace satgpu;
     const auto& gpu = model::tesla_p100();
-    model::CostModel cm;
+    sat::Runtime rt(bench::bench_engine_options());
+    model::CostModel& cm = rt.cost_model();
 
     std::cout << "Ablation: BRLT staging stride 33 (padded) vs 32 "
                  "(unpadded), BRLT-ScanRow on " << gpu.name << "\n\n";

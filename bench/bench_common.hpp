@@ -7,6 +7,7 @@
 #include "core/table_printer.hpp"
 #include "model/cost_model.hpp"
 #include "model/timing.hpp"
+#include "sat/runtime.hpp"
 #include "sat/sat.hpp"
 #include "simt/engine.hpp"
 
@@ -88,27 +89,26 @@ struct SeriesPoint {
     double speedup_vs_opencv = 0;
 };
 
-/// Estimated execution time of one algorithm at one size on one GPU.
-[[nodiscard]] inline double estimated_us(model::CostModel& cm,
+/// Estimated execution time of one algorithm at one size on one GPU,
+/// through the runtime's cost model (shared across panels, so the 1k
+/// calibration runs happen once per (algorithm, dtype) per process).
+[[nodiscard]] inline double estimated_us(sat::Runtime& rt,
                                          const model::GpuSpec& gpu,
                                          sat::Algorithm algo, DtypePair dt,
                                          std::int64_t n,
                                          const sat::Options& opt = {})
 {
-    const auto launches = cm.predict(algo, dt, n, n, opt);
-    return model::estimate_total_us(gpu, launches);
+    return rt.predict_us(algo, dt, n, n, gpu, opt);
 }
 
 /// One figure panel: execution time + speedup-vs-OpenCV for a set of
 /// algorithms over the size sweep.
-inline void print_figure_panel(std::ostream& os, const model::GpuSpec& gpu,
-                               DtypePair dt,
+inline void print_figure_panel(std::ostream& os, sat::Runtime& rt,
+                               const model::GpuSpec& gpu, DtypePair dt,
                                const std::vector<sat::Algorithm>& algos,
                                const std::vector<std::int64_t>& sizes,
                                std::string_view panel_name)
 {
-    model::CostModel cm;
-
     os << "\n== " << panel_name << "  [" << gpu.name << ", "
        << pair_name(dt) << "] ==\n";
 
@@ -125,7 +125,7 @@ inline void print_figure_panel(std::ostream& os, const model::GpuSpec& gpu,
         std::vector<double> times;
         times.reserve(algos.size());
         for (auto a : algos)
-            times.push_back(estimated_us(cm, gpu, a, dt, n));
+            times.push_back(estimated_us(rt, gpu, a, dt, n));
         double opencv = 0;
         for (std::size_t i = 0; i < algos.size(); ++i)
             if (algos[i] == sat::Algorithm::kOpencvLike)

@@ -8,6 +8,7 @@ int main()
     using sat::Algorithm;
     const auto& gpu = model::tesla_v100();
     const auto sizes = bench::paper_sizes();
+    sat::Runtime rt(bench::bench_engine_options());
 
     const std::vector<Algorithm> with_npp{
         Algorithm::kBrltScanRow, Algorithm::kScanRowBrlt,
@@ -18,13 +19,13 @@ int main()
         Algorithm::kScanRowColumn, Algorithm::kOpencvLike};
 
     std::cout << "Figure 7: SAT on Tesla V100 (simulated timing model)\n";
-    bench::print_figure_panel(std::cout, gpu,
+    bench::print_figure_panel(std::cout, rt, gpu,
                               make_pair_of<u8, u32>(), with_npp, sizes,
                               "Fig. 7(a,b) 8u32u");
-    bench::print_figure_panel(std::cout, gpu,
+    bench::print_figure_panel(std::cout, rt, gpu,
                               make_pair_of<f32, f32>(), no_npp, sizes,
                               "Fig. 7(c,d) 32f32f");
-    bench::print_figure_panel(std::cout, gpu,
+    bench::print_figure_panel(std::cout, rt, gpu,
                               make_pair_of<f64, f64>(), no_npp, sizes,
                               "Fig. 7(e,f) 64f64f");
     return 0;

@@ -95,7 +95,7 @@ int main()
     simt::DeviceBuffer<i32> mid(kN * kN);
     const auto shfl_pass = e2.launch(
         {"haar_rows_shfl", 24, 0},
-        {{1, sat::ceil_div(kN, 8), 1}, {8 * simt::kWarpSize, 1, 1}},
+        {{1, satgpu::ceil_div(kN, 8), 1}, {8 * simt::kWarpSize, 1, 1}},
         [&](simt::WarpCtx& w) {
             return haar_rows_shfl_warp<i32>(w, in, kN, kN, mid);
         });

@@ -68,7 +68,7 @@ simt::LaunchStats launch_naive_rows(simt::Engine& eng,
                                     std::int64_t height, std::int64_t width,
                                     simt::DeviceBuffer<Tout>& out)
 {
-    const simt::LaunchConfig cfg{{1, sat::ceil_div(height, 256), 1},
+    const simt::LaunchConfig cfg{{1, ceil_div(height, 256), 1},
                                  {256, 1, 1}};
     return eng.launch({"naive_rows", 12, 0}, cfg, [&](simt::WarpCtx& w) {
         return naive_row_warp<Tout, Tsrc>(w, in, height, width, out);
@@ -80,7 +80,7 @@ simt::LaunchStats launch_naive_cols(simt::Engine& eng,
                                     simt::DeviceBuffer<Tout>& data,
                                     std::int64_t height, std::int64_t width)
 {
-    const simt::LaunchConfig cfg{{sat::ceil_div(width, 256), 1, 1},
+    const simt::LaunchConfig cfg{{ceil_div(width, 256), 1, 1},
                                  {256, 1, 1}};
     return eng.launch({"naive_cols", 12, 0}, cfg, [&](simt::WarpCtx& w) {
         return naive_col_warp<Tout>(w, data, height, width);

@@ -20,7 +20,7 @@
 
 namespace satgpu::baselines {
 
-using sat::ceil_div;
+using satgpu::ceil_div;
 using sat::cols_in_range;
 using simt::kWarpSize;
 using simt::LaneVec;

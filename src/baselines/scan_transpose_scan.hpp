@@ -60,8 +60,8 @@ simt::LaunchStats launch_transpose(simt::Engine& eng,
                                    simt::DeviceBuffer<T>& out)
 {
     const simt::LaunchConfig cfg{
-        {sat::ceil_div(width, simt::kWarpSize),
-         sat::ceil_div(height, simt::kWarpSize), 1},
+        {ceil_div(width, simt::kWarpSize),
+         ceil_div(height, simt::kWarpSize), 1},
         {32 * simt::kWarpSize, 1, 1}};
     const simt::KernelInfo info{
         "gmem_transpose", 16,

@@ -35,7 +35,7 @@ simt::KernelTask smem_tile_scanrow_warp(simt::WarpCtx& w,
                                         std::int64_t width,
                                         simt::DeviceBuffer<Tout>& out)
 {
-    using sat::ceil_div;
+    using satgpu::ceil_div;
     using sat::cols_in_range;
     using simt::kWarpSize;
     using simt::LaneVec;
@@ -98,7 +98,7 @@ simt::LaunchStats launch_smem_tile_pass(simt::Engine& eng,
                                         simt::DeviceBuffer<Tout>& out)
 {
     const simt::LaunchConfig cfg{
-        {1, sat::ceil_div(height, simt::kWarpSize), 1},
+        {1, ceil_div(height, simt::kWarpSize), 1},
         {kSmemTileWarps * simt::kWarpSize, 1, 1}};
     const simt::KernelInfo info{
         "smem_tile_scanrow", 24,

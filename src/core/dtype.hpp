@@ -5,9 +5,14 @@
 //   e.g. 8u32s reads unsigned chars and accumulates into int32.
 #pragma once
 
+#include "core/check.hpp"
+
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 
 namespace satgpu {
 
@@ -70,6 +75,81 @@ template <typename Tin, typename Tout>
     std::string s{dtype_name(p.in)};
     s += dtype_name(p.out);
     return s;
+}
+
+/// The seven (input, output) pairs the paper evaluates (Sec. VI-A).  The
+/// runtime registry, the CLI and the dtype-sweeping benches all iterate
+/// this list.
+inline constexpr DtypePair kPaperDtypePairs[] = {
+    {Dtype::u8_, Dtype::i32_},  {Dtype::u8_, Dtype::u32_},
+    {Dtype::u8_, Dtype::f32_},  {Dtype::i32_, Dtype::i32_},
+    {Dtype::u32_, Dtype::u32_}, {Dtype::f32_, Dtype::f32_},
+    {Dtype::f64_, Dtype::f64_},
+};
+
+/// Parse one dtype token ("8u", "32s", ...) from the front of `s`,
+/// consuming it.  Returns nullopt (and leaves `s` untouched) on no match.
+[[nodiscard]] constexpr std::optional<Dtype>
+parse_dtype_prefix(std::string_view& s) noexcept
+{
+    for (const Dtype t : {Dtype::u8_, Dtype::i32_, Dtype::u32_, Dtype::f32_,
+                          Dtype::f64_}) {
+        const std::string_view name = dtype_name(t);
+        if (s.substr(0, name.size()) == name) {
+            s.remove_prefix(name.size());
+            return t;
+        }
+    }
+    return std::nullopt;
+}
+
+/// Parse a whole dtype name ("8u", "32f", ...).
+[[nodiscard]] constexpr std::optional<Dtype>
+parse_dtype(std::string_view s) noexcept
+{
+    const auto t = parse_dtype_prefix(s);
+    return (t && s.empty()) ? t : std::nullopt;
+}
+
+/// Parse a TaTb pair name ("8u32s", "64f64f", ...).  Any in/out
+/// combination of the five dtypes parses; callers decide whether the pair
+/// is one they support (e.g. sat::find_kernel for the paper's seven).
+[[nodiscard]] constexpr std::optional<DtypePair>
+parse_dtype_pair(std::string_view s) noexcept
+{
+    const auto in = parse_dtype_prefix(s);
+    if (!in)
+        return std::nullopt;
+    const auto out = parse_dtype_prefix(s);
+    if (!out || !s.empty())
+        return std::nullopt;
+    return DtypePair{*in, *out};
+}
+
+/// Invoke `f(std::type_identity<Tin>{}, std::type_identity<Tout>{})` for
+/// the paper dtype pair `p`; aborts on a pair outside kPaperDtypePairs.
+/// This is the ONE runtime-tag -> template bridge; every former
+/// string/if-else dispatch ladder (CLI, cost model, registry) routes
+/// through it.
+template <typename F>
+constexpr decltype(auto) visit_paper_pair(DtypePair p, F&& f)
+{
+    using std::type_identity;
+    if (p == DtypePair{Dtype::u8_, Dtype::i32_})
+        return f(type_identity<u8>{}, type_identity<i32>{});
+    if (p == DtypePair{Dtype::u8_, Dtype::u32_})
+        return f(type_identity<u8>{}, type_identity<u32>{});
+    if (p == DtypePair{Dtype::u8_, Dtype::f32_})
+        return f(type_identity<u8>{}, type_identity<f32>{});
+    if (p == DtypePair{Dtype::i32_, Dtype::i32_})
+        return f(type_identity<i32>{}, type_identity<i32>{});
+    if (p == DtypePair{Dtype::u32_, Dtype::u32_})
+        return f(type_identity<u32>{}, type_identity<u32>{});
+    if (p == DtypePair{Dtype::f32_, Dtype::f32_})
+        return f(type_identity<f32>{}, type_identity<f32>{});
+    if (p == DtypePair{Dtype::f64_, Dtype::f64_})
+        return f(type_identity<f64>{}, type_identity<f64>{});
+    SATGPU_CHECK(false, "dtype pair outside the paper's seven");
 }
 
 } // namespace satgpu

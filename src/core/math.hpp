@@ -1,0 +1,25 @@
+// Small integer helpers shared by every layer (kernels, launch-shape
+// rules, the cost model and the profiler all need the same ceiling
+// division when tiling work over warps/blocks/sectors).
+#pragma once
+
+#include <cstdint>
+
+namespace satgpu {
+
+/// Ceiling division for non-negative quantities: how many chunks of `b`
+/// cover `a`.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a,
+                                              std::int64_t b) noexcept
+{
+    return (a + b - 1) / b;
+}
+
+/// Counter-domain overload (the profiler divides 64-bit event tallies).
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace satgpu

@@ -10,7 +10,6 @@ namespace satgpu::model {
 namespace {
 
 using sat::Algorithm;
-using sat::ceil_div;
 using simt::kWarpSize;
 
 template <typename Tin, typename Tout>
@@ -29,26 +28,11 @@ std::vector<simt::LaunchStats> dispatch_calibration(Algorithm algo,
                                                     DtypePair dt,
                                                     const sat::Options& opt)
 {
-    using satgpu::f32;
-    using satgpu::f64;
-    using satgpu::i32;
-    using satgpu::u32;
-    using satgpu::u8;
-    if (dt == make_pair_of<u8, u32>())
-        return run_calibration<u8, u32>(algo, opt);
-    if (dt == make_pair_of<u8, i32>())
-        return run_calibration<u8, i32>(algo, opt);
-    if (dt == make_pair_of<u8, f32>())
-        return run_calibration<u8, f32>(algo, opt);
-    if (dt == make_pair_of<i32, i32>())
-        return run_calibration<i32, i32>(algo, opt);
-    if (dt == make_pair_of<u32, u32>())
-        return run_calibration<u32, u32>(algo, opt);
-    if (dt == make_pair_of<f32, f32>())
-        return run_calibration<f32, f32>(algo, opt);
-    if (dt == make_pair_of<f64, f64>())
-        return run_calibration<f64, f64>(algo, opt);
-    SATGPU_CHECK(false, "unsupported dtype pair in cost model");
+    return visit_paper_pair(dt, [&]<typename Tin, typename Tout>(
+                                    std::type_identity<Tin>,
+                                    std::type_identity<Tout>) {
+        return run_calibration<Tin, Tout>(algo, opt);
+    });
 }
 
 std::uint64_t scaled(std::uint64_t v, double f)
@@ -123,6 +107,8 @@ CostModel::expected_configs(Algorithm algo, DtypePair dt, std::int64_t h,
                 {{ceil_div(h, kWarpSize), ceil_div(w, kWarpSize), 1},
                  {32 * kWarpSize, 1, 1}}};
     }
+    case Algorithm::kAuto:
+        break; // resolved before prediction (Runtime::plan)
     }
     SATGPU_CHECK(false, "unknown algorithm");
 }

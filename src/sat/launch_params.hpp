@@ -3,6 +3,7 @@
 // pressure, and a register budget estimate for the occupancy model.
 #pragma once
 
+#include "core/math.hpp"
 #include "simt/dim3.hpp"
 
 namespace satgpu::sat {
@@ -22,12 +23,6 @@ template <typename Tout>
 {
     return 32 * static_cast<int>(sizeof(Tout) / 4 == 0 ? 1 : sizeof(Tout) / 4)
            + 24;
-}
-
-[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a,
-                                              std::int64_t b) noexcept
-{
-    return (a + b - 1) / b;
 }
 
 } // namespace satgpu::sat

@@ -1,0 +1,208 @@
+#include "sat/runtime.hpp"
+
+#include "core/random_fill.hpp"
+#include "model/cost_model.hpp"
+#include "model/timing.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace satgpu::sat {
+
+// ------------------------------------------------------------ AnyMatrix ----
+
+AnyMatrix AnyMatrix::zeros(Dtype t, std::int64_t h, std::int64_t w)
+{
+    AnyMatrix m;
+    switch (t) {
+    case Dtype::u8_: m.v_ = Matrix<u8>(h, w); break;
+    case Dtype::i32_: m.v_ = Matrix<i32>(h, w); break;
+    case Dtype::u32_: m.v_ = Matrix<u32>(h, w); break;
+    case Dtype::f32_: m.v_ = Matrix<f32>(h, w); break;
+    case Dtype::f64_: m.v_ = Matrix<f64>(h, w); break;
+    }
+    SATGPU_CHECK(!m.empty(), "unknown dtype");
+    return m;
+}
+
+AnyMatrix AnyMatrix::random(Dtype t, std::int64_t h, std::int64_t w,
+                            std::uint64_t seed)
+{
+    AnyMatrix m = zeros(t, h, w);
+    std::visit(
+        [&](auto& mat) {
+            if constexpr (!std::is_same_v<std::decay_t<decltype(mat)>,
+                                          std::monostate>)
+                fill_random(mat, seed);
+        },
+        m.v_);
+    return m;
+}
+
+Dtype AnyMatrix::dtype() const
+{
+    SATGPU_CHECK(!empty(), "empty AnyMatrix has no dtype");
+    return visit([](const auto& m) {
+        return dtype_of<typename std::decay_t<decltype(m)>::value_type>::value;
+    });
+}
+
+std::int64_t AnyMatrix::height() const
+{
+    return visit([](const auto& m) { return m.height(); });
+}
+
+std::int64_t AnyMatrix::width() const
+{
+    return visit([](const auto& m) { return m.width(); });
+}
+
+// ------------------------------------------------------------- registry ----
+
+namespace {
+
+template <typename Tin, typename Tout>
+KernelEntry make_entry()
+{
+    KernelEntry e;
+    e.dtypes = make_pair_of<Tin, Tout>();
+    e.exec = [](simt::Engine& eng, simt::BufferPool& pool,
+                const AnyMatrix& image, const Options& opt) {
+        Options with_pool = opt;
+        with_pool.pool = &pool;
+        auto r = compute_sat<Tout>(eng, image.as<Tin>(), with_pool);
+        return RuntimeResult{AnyMatrix(std::move(r.table)),
+                             std::move(r.launches)};
+    };
+    e.reference = [](const AnyMatrix& image) {
+        return AnyMatrix(sat_serial<Tout>(image.as<Tin>()));
+    };
+    return e;
+}
+
+std::array<KernelEntry, std::size(kPaperDtypePairs)> build_registry()
+{
+    std::array<KernelEntry, std::size(kPaperDtypePairs)> reg;
+    std::size_t i = 0;
+    for (const DtypePair p : kPaperDtypePairs)
+        reg[i++] = visit_paper_pair(
+            p, []<typename Tin, typename Tout>(std::type_identity<Tin>,
+                                               std::type_identity<Tout>) {
+                return make_entry<Tin, Tout>();
+            });
+    return reg;
+}
+
+} // namespace
+
+std::span<const KernelEntry> kernel_registry()
+{
+    static const auto reg = build_registry();
+    return reg;
+}
+
+const KernelEntry* find_kernel(DtypePair p)
+{
+    for (const KernelEntry& e : kernel_registry())
+        if (e.dtypes == p)
+            return &e;
+    return nullptr;
+}
+
+// ----------------------------------------------------------------- Plan ----
+
+std::vector<simt::LaunchConfig> Plan::launch_configs() const
+{
+    return model::CostModel::expected_configs(resolved_, req_.dtypes,
+                                              req_.height, req_.width);
+}
+
+RuntimeResult Plan::execute(const AnyMatrix& image) const
+{
+    SATGPU_CHECK(rt_ != nullptr && entry_ != nullptr,
+                 "executing a default-constructed Plan");
+    SATGPU_CHECK(image.dtype() == req_.dtypes.in,
+                 "input dtype does not match the plan");
+    SATGPU_CHECK(image.height() == req_.height &&
+                     image.width() == req_.width,
+                 "input shape does not match the plan");
+    Options opt;
+    opt.algorithm = resolved_;
+    opt.warp_scan = req_.warp_scan;
+    opt.padded_smem = req_.padded_smem;
+    return entry_->exec(rt_->eng_, rt_->pool_, image, opt);
+}
+
+std::vector<RuntimeResult>
+Plan::execute_batch(std::span<const AnyMatrix> images) const
+{
+    std::vector<RuntimeResult> out;
+    out.reserve(images.size());
+    for (const AnyMatrix& img : images)
+        out.push_back(execute(img));
+    return out;
+}
+
+// -------------------------------------------------------------- Runtime ----
+
+Runtime::Runtime(simt::Engine::Options eng_opt)
+    : eng_(eng_opt), cm_(std::make_unique<model::CostModel>())
+{
+}
+
+Runtime::~Runtime() = default;
+
+double Runtime::predict_us(Algorithm algo, DtypePair dt, std::int64_t height,
+                           std::int64_t width, const model::GpuSpec& gpu,
+                           const Options& opt)
+{
+    const auto launches = cm_->predict(algo, dt, height, width, opt);
+    return model::estimate_total_us(gpu, launches);
+}
+
+AnyMatrix Runtime::reference(const AnyMatrix& image, Dtype out) const
+{
+    const KernelEntry* e = find_kernel({image.dtype(), out});
+    SATGPU_CHECK(e != nullptr, "unsupported dtype pair");
+    return e->reference(image);
+}
+
+Plan Runtime::plan(const PlanRequest& req)
+{
+    SATGPU_CHECK(req.height > 0 && req.width > 0,
+                 "plan needs a positive shape");
+    Plan p;
+    p.rt_ = this;
+    p.req_ = req;
+    p.entry_ = find_kernel(req.dtypes);
+    SATGPU_CHECK(p.entry_ != nullptr,
+                 "dtype pair outside the paper's seven supported pairs");
+
+    if (req.algorithm == Algorithm::kAuto) {
+        const model::GpuSpec& gpu = req.gpu ? *req.gpu : model::tesla_p100();
+        Options opt;
+        opt.warp_scan = req.warp_scan;
+        opt.padded_smem = req.padded_smem;
+        p.scores_.reserve(std::size(kAllAlgorithms));
+        for (const Algorithm a : kAllAlgorithms)
+            p.scores_.push_back({a, predict_us(a, req.dtypes, req.height,
+                                               req.width, gpu, opt)});
+        std::stable_sort(p.scores_.begin(), p.scores_.end(),
+                         [](const AlgoScore& a, const AlgoScore& b) {
+                             return a.predicted_us < b.predicted_us;
+                         });
+        p.resolved_ = p.scores_.front().algo;
+    } else {
+        p.resolved_ = req.algorithm;
+    }
+
+    const auto in_bytes = static_cast<std::int64_t>(dtype_size(req.dtypes.in));
+    const auto out_bytes =
+        static_cast<std::int64_t>(dtype_size(req.dtypes.out));
+    p.workspace_bytes_ =
+        req.height * req.width *
+        (in_bytes + scratch_images(p.resolved_) * out_bytes);
+    return p;
+}
+
+} // namespace satgpu::sat

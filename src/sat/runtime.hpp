@@ -1,0 +1,246 @@
+// Type-erased SAT runtime: plan once, execute many.
+//
+// The templated sat::compute_sat<Tout, Tin> is the tuned inner layer; this
+// is the servable outer layer the ROADMAP's "production primitive" goal
+// asks for.  It erases the compile-time dtype pair behind a runtime tag
+// (AnyMatrix over core/dtype.hpp's vocabulary), resolves everything
+// decision-shaped at plan time, and keeps execution allocation-free via a
+// simt::BufferPool:
+//
+//   sat::Runtime rt;
+//   auto plan = rt.plan({.height = 1024, .width = 1024,
+//                        .dtypes = *parse_dtype_pair("8u32u"),
+//                        .algorithm = sat::Algorithm::kAuto});
+//   auto res  = plan.execute(sat::AnyMatrix::random(Dtype::u8_, 1024,
+//                                                   1024, /*seed=*/42));
+//   // res.table holds the 32u SAT; plan.algorithm() says what kAuto chose.
+//
+// plan() resolves: the dtype pair -> kernel-registry entry (one entry per
+// paper pair, populated once from the templated launch chain), the
+// algorithm (Algorithm::kAuto asks model::CostModel to predict every
+// candidate's time on the target GPU and picks the fastest, keeping the
+// scores for introspection), the launch shapes, and the device workspace
+// footprint.  execute() / execute_batch() then run the launches with every
+// device buffer leased from the runtime's BufferPool, so steady-state
+// serving performs zero device allocations (asserted by tests).
+#pragma once
+
+#include "model/gpu_specs.hpp"
+#include "sat/sat.hpp"
+#include "simt/buffer_pool.hpp"
+
+#include <span>
+#include <variant>
+#include <vector>
+
+namespace satgpu::model {
+class CostModel; // cost_model.hpp; keeps this header light
+}
+
+namespace satgpu::sat {
+
+/// A matrix with its element type erased behind a Dtype tag.  Holds any of
+/// the paper's five element types by value.
+class AnyMatrix {
+public:
+    AnyMatrix() = default;
+    template <typename T>
+    AnyMatrix(Matrix<T> m) : v_(std::move(m)) // NOLINT(google-explicit-*)
+    {
+    }
+
+    /// An h x w zero matrix of dtype `t`.
+    [[nodiscard]] static AnyMatrix zeros(Dtype t, std::int64_t h,
+                                         std::int64_t w);
+    /// An h x w matrix of dtype `t` filled by core's seeded fill_random
+    /// (same values the templated tests/benches see for that seed).
+    [[nodiscard]] static AnyMatrix random(Dtype t, std::int64_t h,
+                                          std::int64_t w, std::uint64_t seed);
+
+    [[nodiscard]] bool empty() const noexcept
+    {
+        return std::holds_alternative<std::monostate>(v_);
+    }
+    [[nodiscard]] Dtype dtype() const;
+    [[nodiscard]] std::int64_t height() const;
+    [[nodiscard]] std::int64_t width() const;
+
+    /// Checked typed view; aborts when T does not match dtype().
+    template <typename T>
+    [[nodiscard]] const Matrix<T>& as() const
+    {
+        const auto* m = std::get_if<Matrix<T>>(&v_);
+        SATGPU_CHECK(m != nullptr, "AnyMatrix dtype mismatch");
+        return *m;
+    }
+    template <typename T>
+    [[nodiscard]] Matrix<T>& as()
+    {
+        auto* m = std::get_if<Matrix<T>>(&v_);
+        SATGPU_CHECK(m != nullptr, "AnyMatrix dtype mismatch");
+        return *m;
+    }
+
+    /// Visit the underlying Matrix<T> (aborts when empty).
+    template <typename F>
+    decltype(auto) visit(F&& f) const
+    {
+        return std::visit(
+            [&](const auto& m) -> decltype(auto) {
+                if constexpr (std::is_same_v<std::decay_t<decltype(m)>,
+                                             std::monostate>) {
+                    SATGPU_CHECK(false, "visiting an empty AnyMatrix");
+                    return std::forward<F>(f)(Matrix<u8>{}); // unreachable
+                } else {
+                    return std::forward<F>(f)(m);
+                }
+            },
+            v_);
+    }
+
+    /// Exact elementwise equality (same dtype, same shape, same bits).
+    friend bool operator==(const AnyMatrix& a, const AnyMatrix& b)
+    {
+        return a.v_ == b.v_;
+    }
+
+private:
+    std::variant<std::monostate, Matrix<u8>, Matrix<i32>, Matrix<u32>,
+                 Matrix<f32>, Matrix<f64>>
+        v_;
+};
+
+/// Result of one type-erased execution: the SAT table (dtype = the plan's
+/// output dtype) plus the per-kernel stats the timing model consumes.
+struct RuntimeResult {
+    AnyMatrix table;
+    std::vector<simt::LaunchStats> launches;
+};
+
+/// One registry row: the type-erased entry points for a single (input,
+/// output) dtype pair, bound to the templated implementations at build
+/// time.
+struct KernelEntry {
+    DtypePair dtypes;
+    /// Runs compute_sat<Tout, Tin> with every buffer leased from `pool`.
+    RuntimeResult (*exec)(simt::Engine&, simt::BufferPool&, const AnyMatrix&,
+                          const Options&);
+    /// Serial CPU oracle (paper Alg. 1) at this pair.
+    AnyMatrix (*reference)(const AnyMatrix&);
+};
+
+/// The kernel registry: one entry per paper dtype pair, populated once
+/// from the templated launch functions.
+[[nodiscard]] std::span<const KernelEntry> kernel_registry();
+
+/// Registry lookup; nullptr for pairs outside the paper's seven.
+[[nodiscard]] const KernelEntry* find_kernel(DtypePair p);
+
+/// One cost-model candidate considered by Algorithm::kAuto.
+struct AlgoScore {
+    Algorithm algo;
+    double predicted_us; ///< model-estimated end-to-end time on the GPU
+};
+
+struct PlanRequest {
+    std::int64_t height = 0;
+    std::int64_t width = 0;
+    DtypePair dtypes{Dtype::u8_, Dtype::u32_};
+    /// kAuto lets the cost model choose; anything else is taken verbatim.
+    Algorithm algorithm = Algorithm::kAuto;
+    scan::WarpScanKind warp_scan = scan::WarpScanKind::kKoggeStone;
+    bool padded_smem = true;
+    /// Target GPU for kAuto's predicted-time ranking (and nothing else;
+    /// execution is hardware agnostic).  Null means Tesla P100.
+    const model::GpuSpec* gpu = nullptr;
+};
+
+class Runtime;
+
+/// A resolved execution recipe: dtype pair, algorithm, launch shapes and
+/// buffer sizes are fixed; execute() can run any number of same-shaped
+/// images.  Plans borrow their Runtime (pool + engine + cost model) and
+/// must not outlive it.
+class Plan {
+public:
+    [[nodiscard]] Algorithm algorithm() const noexcept { return resolved_; }
+    [[nodiscard]] Algorithm requested() const noexcept
+    {
+        return req_.algorithm;
+    }
+    [[nodiscard]] DtypePair dtypes() const noexcept { return req_.dtypes; }
+    [[nodiscard]] std::int64_t height() const noexcept { return req_.height; }
+    [[nodiscard]] std::int64_t width() const noexcept { return req_.width; }
+    /// Cost-model ranking, best first.  Non-empty iff requested() == kAuto.
+    [[nodiscard]] const std::vector<AlgoScore>& scores() const noexcept
+    {
+        return scores_;
+    }
+    /// Device bytes execute() leases per image: input staging plus the
+    /// algorithm's scratch images.
+    [[nodiscard]] std::int64_t workspace_bytes() const noexcept
+    {
+        return workspace_bytes_;
+    }
+    /// Launch geometry the resolved algorithm will use at this shape.
+    [[nodiscard]] std::vector<simt::LaunchConfig> launch_configs() const;
+
+    /// Run one image (dtype and shape must match the plan).
+    [[nodiscard]] RuntimeResult execute(const AnyMatrix& image) const;
+    /// Stream a batch of same-shaped images through the one plan; pooled
+    /// buffers are recycled between images, so after the first image the
+    /// whole batch allocates nothing.
+    [[nodiscard]] std::vector<RuntimeResult>
+    execute_batch(std::span<const AnyMatrix> images) const;
+
+private:
+    friend class Runtime;
+    Runtime* rt_ = nullptr;
+    PlanRequest req_;
+    Algorithm resolved_ = Algorithm::kBrltScanRow;
+    const KernelEntry* entry_ = nullptr;
+    std::vector<AlgoScore> scores_;
+    std::int64_t workspace_bytes_ = 0;
+};
+
+/// The library-style entry point: owns the engine, the buffer pool and a
+/// cached cost model; hands out Plans.
+class Runtime {
+public:
+    explicit Runtime(simt::Engine::Options eng_opt = {.record_history =
+                                                          false});
+    ~Runtime();
+    Runtime(const Runtime&) = delete;
+    Runtime& operator=(const Runtime&) = delete;
+
+    /// Resolve a request into an executable Plan.  Aborts on an
+    /// unsupported dtype pair or a non-positive shape.
+    [[nodiscard]] Plan plan(const PlanRequest& req);
+
+    /// Predicted end-to-end time of one algorithm at one shape on one GPU
+    /// (the same estimate kAuto ranks by; benches sweep through this).
+    [[nodiscard]] double predict_us(Algorithm algo, DtypePair dt,
+                                    std::int64_t height, std::int64_t width,
+                                    const model::GpuSpec& gpu,
+                                    const Options& opt = {});
+
+    /// Serial CPU oracle at any supported pair (verification paths).
+    [[nodiscard]] AnyMatrix reference(const AnyMatrix& image,
+                                      Dtype out) const;
+
+    [[nodiscard]] simt::Engine& engine() noexcept { return eng_; }
+    [[nodiscard]] simt::BufferPool& pool() noexcept { return pool_; }
+    [[nodiscard]] simt::BufferPool::Stats pool_stats() const
+    {
+        return pool_.stats();
+    }
+    [[nodiscard]] model::CostModel& cost_model() noexcept { return *cm_; }
+
+private:
+    friend class Plan;
+    simt::Engine eng_;
+    simt::BufferPool pool_;
+    std::unique_ptr<model::CostModel> cm_; // owned; defined in cost_model.hpp
+};
+
+} // namespace satgpu::sat

@@ -27,6 +27,7 @@
 #include "sat/cpu_reference.hpp"
 #include "sat/scanrow_brlt.hpp"
 #include "sat/scanrowcolumn.hpp"
+#include "simt/buffer_pool.hpp"
 
 #include <string_view>
 #include <vector>
@@ -41,6 +42,7 @@ enum class Algorithm {
     kNppLike,
     kNaiveScanScan,
     kScanTransposeScan, // Bilgic et al. [17]: explicit gmem transpose
+    kAuto, // resolved by Runtime::plan via the cost model; never executed
 };
 
 [[nodiscard]] constexpr std::string_view to_string(Algorithm a) noexcept
@@ -53,6 +55,7 @@ enum class Algorithm {
     case Algorithm::kNppLike: return "NPP";
     case Algorithm::kNaiveScanScan: return "NaiveScanScan";
     case Algorithm::kScanTransposeScan: return "ScanTransposeScan";
+    case Algorithm::kAuto: return "Auto";
     }
     return "?";
 }
@@ -72,6 +75,11 @@ struct Options {
     /// BRLT staging stride: true = 32x33 (conflict free, the paper's
     /// choice), false = 32x32 (the bank-conflict ablation).
     bool padded_smem = true;
+    /// When set, every device buffer (input staging and per-algorithm
+    /// scratch) is leased from this pool instead of freshly allocated.
+    /// Results are bit-identical either way; the runtime layer always
+    /// passes its pool.  Not owned.
+    simt::BufferPool* pool = nullptr;
 };
 
 template <typename Tout>
@@ -80,7 +88,28 @@ struct SatResult {
     std::vector<simt::LaunchStats> launches;
 };
 
-/// Compute the inclusive SAT of `image` on the simulated GPU.
+/// Device scratch buffers (beyond the input staging buffer) an algorithm
+/// leases per invocation, in units of full h*w images of Tout.  Feeds the
+/// runtime's workspace accounting.
+[[nodiscard]] constexpr int scratch_images(Algorithm a) noexcept
+{
+    switch (a) {
+    case Algorithm::kBrltScanRow:
+    case Algorithm::kScanRowBrlt:
+    case Algorithm::kScanRowColumn: return 2;
+    case Algorithm::kOpencvLike:
+    case Algorithm::kNppLike:
+    case Algorithm::kNaiveScanScan: return 1;
+    case Algorithm::kScanTransposeScan: return 4;
+    case Algorithm::kAuto: break;
+    }
+    return 0;
+}
+
+/// Compute the inclusive SAT of `image` on the simulated GPU.  All device
+/// buffers come from Options::pool when one is set (and are returned to it
+/// before this function returns), so repeated calls at one shape allocate
+/// nothing after the first.
 template <typename Tout, typename Tin>
 [[nodiscard]] SatResult<Tout> compute_sat(simt::Engine& eng,
                                           const Matrix<Tin>& image,
@@ -89,82 +118,92 @@ template <typename Tout, typename Tin>
     const std::int64_t h = image.height();
     const std::int64_t w = image.width();
     SATGPU_EXPECTS(h > 0 && w > 0);
-    auto in = simt::DeviceBuffer<Tin>::from_matrix(image);
+    auto in_lease = simt::acquire_or_new<Tin>(opt.pool, h * w);
+    std::copy(image.flat().begin(), image.flat().end(),
+              in_lease->host().begin());
+    const simt::DeviceBuffer<Tin>& in = *in_lease;
+    const auto scratch = [&](std::int64_t count) {
+        return simt::acquire_or_new<Tout>(opt.pool, count);
+    };
     SatResult<Tout> res;
 
     switch (opt.algorithm) {
     case Algorithm::kBrltScanRow: {
-        simt::DeviceBuffer<Tout> mid(w * h), out(h * w);
+        auto mid = scratch(w * h), out = scratch(h * w);
         res.launches.push_back(launch_brlt_scanrow_pass<Tout>(
-            eng, in, h, w, mid, opt.padded_smem));
+            eng, in, h, w, *mid, opt.padded_smem));
         res.launches.push_back(launch_brlt_scanrow_pass<Tout>(
-            eng, mid, w, h, out, opt.padded_smem));
-        res.table = out.to_matrix(h, w);
+            eng, *mid, w, h, *out, opt.padded_smem));
+        res.table = out->to_matrix(h, w);
         break;
     }
     case Algorithm::kScanRowBrlt: {
-        simt::DeviceBuffer<Tout> mid(w * h), out(h * w);
+        auto mid = scratch(w * h), out = scratch(h * w);
         res.launches.push_back(launch_scanrow_brlt_pass<Tout>(
-            eng, in, h, w, mid, opt.warp_scan, opt.padded_smem));
+            eng, in, h, w, *mid, opt.warp_scan, opt.padded_smem));
         res.launches.push_back(launch_scanrow_brlt_pass<Tout>(
-            eng, mid, w, h, out, opt.warp_scan, opt.padded_smem));
-        res.table = out.to_matrix(h, w);
+            eng, *mid, w, h, *out, opt.warp_scan, opt.padded_smem));
+        res.table = out->to_matrix(h, w);
         break;
     }
     case Algorithm::kScanRowColumn: {
-        simt::DeviceBuffer<Tout> mid(h * w), out(h * w);
+        auto mid = scratch(h * w), out = scratch(h * w);
         res.launches.push_back(
-            launch_scanrow_pass<Tout>(eng, in, h, w, mid, opt.warp_scan));
+            launch_scanrow_pass<Tout>(eng, in, h, w, *mid, opt.warp_scan));
         res.launches.push_back(
-            launch_scancolumn_pass<Tout>(eng, mid, h, w, out));
-        res.table = out.to_matrix(h, w);
+            launch_scancolumn_pass<Tout>(eng, *mid, h, w, *out));
+        res.table = out->to_matrix(h, w);
         break;
     }
     case Algorithm::kOpencvLike: {
-        simt::DeviceBuffer<Tout> buf(h * w);
+        auto buf = scratch(h * w);
         if constexpr (std::is_same_v<Tin, std::uint8_t>) {
             res.launches.push_back(baselines::launch_opencv_horizontal_8u(
-                eng, in, h, w, buf));
+                eng, in, h, w, *buf));
         } else {
             res.launches.push_back(baselines::launch_opencv_horizontal<Tout>(
-                eng, in, h, w, buf));
+                eng, in, h, w, *buf));
         }
         res.launches.push_back(
-            baselines::launch_opencv_vertical<Tout>(eng, buf, h, w));
-        res.table = buf.to_matrix(h, w);
+            baselines::launch_opencv_vertical<Tout>(eng, *buf, h, w));
+        res.table = buf->to_matrix(h, w);
         break;
     }
     case Algorithm::kNppLike: {
-        simt::DeviceBuffer<Tout> buf(h * w);
+        auto buf = scratch(h * w);
         res.launches.push_back(
-            baselines::launch_npp_scanrow<Tout>(eng, in, h, w, buf));
+            baselines::launch_npp_scanrow<Tout>(eng, in, h, w, *buf));
         res.launches.push_back(
-            baselines::launch_npp_scancol<Tout>(eng, buf, h, w));
-        res.table = buf.to_matrix(h, w);
+            baselines::launch_npp_scancol<Tout>(eng, *buf, h, w));
+        res.table = buf->to_matrix(h, w);
         break;
     }
     case Algorithm::kScanTransposeScan: {
-        simt::DeviceBuffer<Tout> a(h * w), b(w * h), c(w * h), d(h * w);
+        auto a = scratch(h * w), b = scratch(w * h), c = scratch(w * h),
+             d = scratch(h * w);
         res.launches.push_back(
-            launch_scanrow_pass<Tout>(eng, in, h, w, a, opt.warp_scan));
+            launch_scanrow_pass<Tout>(eng, in, h, w, *a, opt.warp_scan));
         res.launches.push_back(
-            baselines::launch_transpose<Tout>(eng, a, h, w, b));
+            baselines::launch_transpose<Tout>(eng, *a, h, w, *b));
         res.launches.push_back(
-            launch_scanrow_pass<Tout>(eng, b, w, h, c, opt.warp_scan));
+            launch_scanrow_pass<Tout>(eng, *b, w, h, *c, opt.warp_scan));
         res.launches.push_back(
-            baselines::launch_transpose<Tout>(eng, c, w, h, d));
-        res.table = d.to_matrix(h, w);
+            baselines::launch_transpose<Tout>(eng, *c, w, h, *d));
+        res.table = d->to_matrix(h, w);
         break;
     }
     case Algorithm::kNaiveScanScan: {
-        simt::DeviceBuffer<Tout> buf(h * w);
+        auto buf = scratch(h * w);
         res.launches.push_back(
-            baselines::launch_naive_rows<Tout>(eng, in, h, w, buf));
+            baselines::launch_naive_rows<Tout>(eng, in, h, w, *buf));
         res.launches.push_back(
-            baselines::launch_naive_cols<Tout>(eng, buf, h, w));
-        res.table = buf.to_matrix(h, w);
+            baselines::launch_naive_cols<Tout>(eng, *buf, h, w));
+        res.table = buf->to_matrix(h, w);
         break;
     }
+    case Algorithm::kAuto:
+        SATGPU_CHECK(false, "Algorithm::kAuto must be resolved by "
+                            "Runtime::plan before execution");
     }
     return res;
 }

@@ -1,0 +1,195 @@
+// Pooled device-buffer allocation (the simulated cudaMalloc cache).
+//
+// Every SAT invocation needs an input staging buffer plus one to four
+// full-image scratch/output buffers; allocating them per call is exactly
+// the churn a production service cannot afford (real CUDA allocators
+// synchronize the device).  BufferPool recycles DeviceBuffer<T> storage
+// across calls: acquire() hands out a Lease that returns the buffer to the
+// pool on destruction, and a reused buffer is re-cleared to T{} so results
+// are bit-identical to a freshly value-initialized DeviceBuffer.
+//
+// Free lists are keyed by (element type, exact element count) -- SAT plans
+// run the same shapes repeatedly, so exact matching keeps the accounting
+// trivial and the reuse rate at 100% after warm-up (asserted by tests).
+// The pool is mutex-guarded: leases are acquired/released on the host
+// side, but engine worker threads may destroy leases captured in warp
+// programs, and the TSan job runs over it.
+#pragma once
+
+#include "core/check.hpp"
+#include "simt/global_memory.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <typeindex>
+#include <utility>
+#include <vector>
+
+namespace satgpu::simt {
+
+class BufferPool {
+public:
+    struct Stats {
+        std::uint64_t allocations = 0; ///< fresh DeviceBuffer constructions
+        std::uint64_t reuses = 0;      ///< acquisitions served from the pool
+        std::uint64_t outstanding = 0; ///< leases currently live
+        std::uint64_t bytes_allocated = 0; ///< total bytes ever allocated
+    };
+
+    /// RAII handle over a pooled DeviceBuffer<T>.  Move-only; returns the
+    /// buffer to its pool on destruction.  A default-constructed or
+    /// moved-from lease holds nothing.  Leases created by acquire_or_new
+    /// with a null pool own the buffer outright and free it on destruction.
+    template <typename T>
+    class Lease {
+    public:
+        Lease() = default;
+        Lease(Lease&& o) noexcept
+            : pool_(std::exchange(o.pool_, nullptr)),
+              buf_(std::move(o.buf_))
+        {
+        }
+        Lease& operator=(Lease&& o) noexcept
+        {
+            if (this != &o) {
+                release();
+                pool_ = std::exchange(o.pool_, nullptr);
+                buf_ = std::move(o.buf_);
+            }
+            return *this;
+        }
+        Lease(const Lease&) = delete;
+        Lease& operator=(const Lease&) = delete;
+        ~Lease() { release(); }
+
+        [[nodiscard]] DeviceBuffer<T>& operator*() noexcept { return *buf_; }
+        [[nodiscard]] const DeviceBuffer<T>& operator*() const noexcept
+        {
+            return *buf_;
+        }
+        [[nodiscard]] DeviceBuffer<T>* operator->() noexcept
+        {
+            return buf_.get();
+        }
+        [[nodiscard]] const DeviceBuffer<T>* operator->() const noexcept
+        {
+            return buf_.get();
+        }
+        [[nodiscard]] explicit operator bool() const noexcept
+        {
+            return static_cast<bool>(buf_);
+        }
+
+    private:
+        friend class BufferPool;
+        Lease(BufferPool* pool, std::shared_ptr<DeviceBuffer<T>> buf)
+            : pool_(pool), buf_(std::move(buf))
+        {
+        }
+        void release()
+        {
+            if (buf_ && pool_)
+                pool_->put_back<T>(std::move(buf_));
+            pool_ = nullptr;
+            buf_.reset();
+        }
+
+        BufferPool* pool_ = nullptr;
+        std::shared_ptr<DeviceBuffer<T>> buf_;
+    };
+
+    /// Lease a DeviceBuffer<T> of exactly `count` elements.  The buffer's
+    /// contents are T{} either way (fresh buffers value-initialize; reused
+    /// ones are re-cleared), so pooled and unpooled execution produce
+    /// bit-identical tables.
+    template <typename T>
+    [[nodiscard]] Lease<T> acquire(std::int64_t count)
+    {
+        SATGPU_EXPECTS(count >= 0);
+        std::shared_ptr<DeviceBuffer<T>> buf;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = free_.find(Key{std::type_index(typeid(T)), count});
+            if (it != free_.end() && !it->second.empty()) {
+                buf = std::static_pointer_cast<DeviceBuffer<T>>(
+                    std::move(it->second.back()));
+                it->second.pop_back();
+                ++stats_.reuses;
+            } else {
+                ++stats_.allocations;
+                stats_.bytes_allocated +=
+                    static_cast<std::uint64_t>(count) * sizeof(T);
+            }
+            ++stats_.outstanding;
+        }
+        if (buf) {
+            auto h = buf->host();
+            std::fill(h.begin(), h.end(), T{});
+        } else {
+            buf = std::make_shared<DeviceBuffer<T>>(count);
+        }
+        return Lease<T>(this, std::move(buf));
+    }
+
+    /// Drop every cached buffer (outstanding leases are unaffected; they
+    /// are freed on return instead of re-pooled only if the pool itself is
+    /// gone, so keep the pool alive while leases are live).
+    void trim()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        free_.clear();
+    }
+
+    [[nodiscard]] Stats stats() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return stats_;
+    }
+
+    /// A pool-less one-shot lease: owns its buffer and frees it on
+    /// destruction.  Lets pool-optional call sites use one handle type.
+    template <typename T>
+    [[nodiscard]] static Lease<T> owned(std::int64_t count)
+    {
+        return Lease<T>(nullptr, std::make_shared<DeviceBuffer<T>>(count));
+    }
+
+private:
+    struct Key {
+        std::type_index type;
+        std::int64_t count;
+        friend bool operator<(const Key& a, const Key& b)
+        {
+            return std::tie(a.type, a.count) < std::tie(b.type, b.count);
+        }
+    };
+
+    template <typename T>
+    void put_back(std::shared_ptr<DeviceBuffer<T>> buf)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        SATGPU_EXPECTS(stats_.outstanding > 0);
+        --stats_.outstanding;
+        free_[Key{std::type_index(typeid(T)), buf->size()}].push_back(
+            std::static_pointer_cast<void>(std::move(buf)));
+    }
+
+    mutable std::mutex mu_;
+    std::map<Key, std::vector<std::shared_ptr<void>>> free_;
+    Stats stats_;
+};
+
+/// Lease from `pool` when one is provided; otherwise a one-shot owned
+/// buffer with identical semantics.  This is how the templated
+/// sat::compute_sat stays pool-optional.
+template <typename T>
+[[nodiscard]] BufferPool::Lease<T> acquire_or_new(BufferPool* pool,
+                                                  std::int64_t count)
+{
+    return pool ? pool->acquire<T>(count) : BufferPool::owned<T>(count);
+}
+
+} // namespace satgpu::simt

@@ -1,6 +1,7 @@
 #include "simt/profiler.hpp"
 
 #include "core/json_writer.hpp"
+#include "core/math.hpp"
 #include "simt/engine.hpp"
 
 #include <algorithm>
@@ -14,12 +15,6 @@ thread_local Profiler* g_profiler = nullptr;
 
 constexpr std::string_view kSiteKindNames[] = {"smem-ld", "smem-st",
                                                "gmem-ld", "gmem-st"};
-
-[[nodiscard]] std::uint64_t ceil_div_u64(std::uint64_t a,
-                                         std::uint64_t b) noexcept
-{
-    return (a + b - 1) / b;
-}
 
 } // namespace
 
@@ -45,7 +40,7 @@ std::uint64_t block_virtual_cycles(const PerfCounters& c) noexcept
     // a pipeline slot each, sector traffic stands in for DRAM time, and
     // barriers for the __syncthreads latency.  Only relative magnitudes
     // matter -- the timeline is a Gantt chart, not a clock.
-    const std::uint64_t arith_instr = ceil_div_u64(c.lane_arith(), kWarpSize);
+    const std::uint64_t arith_instr = ceil_div(c.lane_arith(), std::uint64_t{kWarpSize});
     return arith_instr + c.warp_shfl + 4 * c.smem_trans() +
            4 * (c.gmem_ld_req + c.gmem_st_req) + 8 * c.gmem_sectors() +
            8 * c.gmem_atomics + 40 * c.barriers + 25;
@@ -215,7 +210,7 @@ ProfileReport Profiler::build_report(int timeline_tracks,
         const bool is_smem = key.second < 2;
         const std::uint64_t floor =
             is_smem ? a.requests
-                    : ceil_div_u64(a.bytes, kGmemSectorBytes);
+                    : ceil_div(a.bytes, std::uint64_t{kGmemSectorBytes});
         s.excess = a.transactions > floor ? a.transactions - floor : 0;
         (is_smem ? smem : gmem).push_back(std::move(s));
     }

@@ -71,7 +71,7 @@ simt::KernelTask dct8_rows_warp(simt::WarpCtx& w,
                                 std::int64_t height, std::int64_t width,
                                 simt::DeviceBuffer<T>& out)
 {
-    using sat::ceil_div;
+    using satgpu::ceil_div;
     using simt::kWarpSize;
     const std::int64_t row0 = w.block_idx().y * kWarpSize;
     const std::int64_t chunk_w =
@@ -125,7 +125,7 @@ template <typename T>
                           std::int64_t pw, simt::DeviceBuffer<T>& dst) {
         return eng.launch(
             info,
-            {{1, sat::ceil_div(ph, simt::kWarpSize), 1},
+            {{1, ceil_div(ph, simt::kWarpSize), 1},
              {std::int64_t{wc} * simt::kWarpSize, 1, 1}},
             [&](simt::WarpCtx& wctx) {
                 return detail::dct8_rows_warp<T>(wctx, src, ph, pw, dst);

@@ -38,7 +38,7 @@ simt::KernelTask haar_rows_warp(simt::WarpCtx& w,
     const std::int64_t row0 = w.block_idx().y * kWarpSize;
     const std::int64_t chunk_w =
         std::int64_t{w.warps_per_block()} * kWarpSize;
-    const std::int64_t chunks = sat::ceil_div(width, chunk_w);
+    const std::int64_t chunks = ceil_div(width, chunk_w);
     const auto lane = LaneVec<std::int64_t>::lane_index();
     RegTile<T> data;
 
@@ -85,7 +85,7 @@ simt::LaunchStats launch_haar_rows_pass(simt::Engine& eng,
 {
     const int wc = sat::warps_per_block<T>();
     const simt::LaunchConfig cfg{
-        {1, sat::ceil_div(height, kWarpSize), 1},
+        {1, ceil_div(height, kWarpSize), 1},
         {std::int64_t{wc} * kWarpSize, 1, 1}};
     const simt::KernelInfo info{"haar_rows_brlt",
                                 sat::regs_per_thread<T>(),

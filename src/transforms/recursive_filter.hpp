@@ -25,7 +25,7 @@ namespace satgpu::transforms {
 
 namespace detail {
 
-using sat::ceil_div;
+using satgpu::ceil_div;
 using sat::cols_in_range;
 using simt::kWarpSize;
 using simt::LaneVec;
@@ -107,14 +107,14 @@ template <typename T>
     const std::int64_t row_wc = 8; // 256-thread blocks
     res.launches.push_back(eng.launch(
         {"iir_rows", 24, 0},
-        {{1, detail::ceil_div(h, row_wc), 1},
+        {{1, ceil_div(h, row_wc), 1},
          {row_wc * simt::kWarpSize, 1, 1}},
         [&](simt::WarpCtx& wc) {
             return detail::iir_rows_warp<T>(wc, in, h, w, feedback, mid);
         }));
     res.launches.push_back(eng.launch(
         {"iir_cols", sat::regs_per_thread<T>(), 0},
-        {{detail::ceil_div(w, row_wc * simt::kWarpSize), 1, 1},
+        {{ceil_div(w, row_wc * simt::kWarpSize), 1, 1},
          {row_wc * simt::kWarpSize, 1, 1}},
         [&](simt::WarpCtx& wc) {
             return detail::iir_cols_warp<T>(wc, mid, h, w, feedback, out);

@@ -1,6 +1,7 @@
 // Tests for the core utilities: Matrix, dtype vocabulary, fills, the table
 // printer and the stopwatch.
 #include "core/dtype.hpp"
+#include "core/math.hpp"
 #include "core/matrix.hpp"
 #include "core/random_fill.hpp"
 #include "core/stopwatch.hpp"
@@ -71,6 +72,26 @@ TEST(Matrix, EmptyMatrix)
     EXPECT_EQ(m.size(), 0);
     const auto t = transpose(m);
     EXPECT_TRUE(t.empty());
+}
+
+TEST(CeilDiv, SignedRoundsUp)
+{
+    EXPECT_EQ(ceil_div(std::int64_t{0}, std::int64_t{32}), 0);
+    EXPECT_EQ(ceil_div(std::int64_t{1}, std::int64_t{32}), 1);
+    EXPECT_EQ(ceil_div(std::int64_t{32}, std::int64_t{32}), 1);
+    EXPECT_EQ(ceil_div(std::int64_t{33}, std::int64_t{32}), 2);
+    EXPECT_EQ(ceil_div(std::int64_t{97}, std::int64_t{32}), 4);
+    static_assert(ceil_div(std::int64_t{130}, std::int64_t{32}) == 5);
+}
+
+TEST(CeilDiv, UnsignedCounterDomain)
+{
+    // The profiler divides 64-bit event tallies; exercise values past the
+    // signed overload's comfortable range.
+    EXPECT_EQ(ceil_div(std::uint64_t{0}, std::uint64_t{32}), 0U);
+    EXPECT_EQ(ceil_div(std::uint64_t{31}, std::uint64_t{32}), 1U);
+    const std::uint64_t big = (std::uint64_t{1} << 63) + 1;
+    EXPECT_EQ(ceil_div(big, std::uint64_t{2}), (std::uint64_t{1} << 62) + 1);
 }
 
 TEST(Dtype, NamesMatchPaperNotation)

@@ -181,7 +181,7 @@ TEST(SatEdgeShapes, DegenerateShapesAgreeForEveryAlgorithm)
     const std::pair<std::int64_t, std::int64_t> shapes[] = {
         {1, 1},   {1, 7},   {7, 1},    {1, 32},  {32, 1},
         {1, 257}, {257, 1}, {1, 1333}, {1333, 1}};
-    for (const auto [h, w] : shapes) {
+    for (const auto& [h, w] : shapes) {
         Matrix<satgpu::u8> img(h, w);
         satgpu::fill_random(img, static_cast<std::uint64_t>(h * 10000 + w));
         const auto want = sat::sat_serial<satgpu::u32>(img);

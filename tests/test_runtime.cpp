@@ -1,0 +1,329 @@
+// Tests for the type-erased SAT runtime (sat/runtime.hpp): registry
+// coverage of the paper's seven dtype pairs, plan/execute identity with
+// the templated compute_sat and the serial CPU oracle, buffer-pool reuse
+// guarantees, batched execution, and the cost-model kAuto policy.
+#include "core/random_fill.hpp"
+#include "sat/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sat = satgpu::sat;
+namespace simt = satgpu::simt;
+using satgpu::Dtype;
+using satgpu::DtypePair;
+using satgpu::Matrix;
+
+namespace {
+
+// Ragged, non-multiple-of-32 shape: exercises every partial-tile path.
+constexpr std::int64_t kH = 97;
+constexpr std::int64_t kW = 130;
+
+/// Runtime result == templated compute_sat result (exact, all dtypes) and
+/// == serial oracle (exact for integers, 1e-3 for floats, matching the
+/// tolerance test_sat.cpp uses for the templated layer).
+void expect_runtime_identical(sat::Runtime& rt, DtypePair dt,
+                              sat::Algorithm algo)
+{
+    const auto image = sat::AnyMatrix::random(dt.in, kH, kW, /*seed=*/7);
+    const auto plan = rt.plan(
+        {.height = kH, .width = kW, .dtypes = dt, .algorithm = algo});
+    const auto got = plan.execute(image);
+
+    satgpu::visit_paper_pair(
+        dt, [&]<typename Tin, typename Tout>(std::type_identity<Tin>,
+                                             std::type_identity<Tout>) {
+            // The type-erased path must be bit-identical to the templated
+            // path: same kernels, same order, pooled buffers zeroed like
+            // fresh ones.
+            simt::Engine eng;
+            const auto templated =
+                sat::compute_sat<Tout>(eng, image.as<Tin>(), {algo});
+            EXPECT_EQ(got.table.as<Tout>(), templated.table)
+                << sat::to_string(algo) << " " << pair_name(dt);
+            EXPECT_EQ(got.launches.size(), templated.launches.size());
+
+            const auto oracle = sat::sat_serial<Tout>(image.as<Tin>());
+            if constexpr (std::is_floating_point_v<Tout>) {
+                EXPECT_LE(satgpu::max_abs_diff(got.table.as<Tout>(), oracle),
+                          1e-3)
+                    << sat::to_string(algo) << " " << pair_name(dt);
+            } else {
+                EXPECT_EQ(got.table.as<Tout>(), oracle)
+                    << sat::to_string(algo) << " " << pair_name(dt);
+            }
+        });
+}
+
+} // namespace
+
+// ------------------------------------------------------------ AnyMatrix ----
+
+TEST(AnyMatrix, ZerosCarriesDtypeAndShape)
+{
+    const auto m = sat::AnyMatrix::zeros(Dtype::f32_, 3, 5);
+    EXPECT_FALSE(m.empty());
+    EXPECT_EQ(m.dtype(), Dtype::f32_);
+    EXPECT_EQ(m.height(), 3);
+    EXPECT_EQ(m.width(), 5);
+    EXPECT_EQ(m.as<satgpu::f32>()(2, 4), 0.0F);
+}
+
+TEST(AnyMatrix, RandomMatchesTypedFillRandom)
+{
+    const auto any = sat::AnyMatrix::random(Dtype::u8_, 4, 6, /*seed=*/11);
+    Matrix<satgpu::u8> typed(4, 6);
+    satgpu::fill_random(typed, /*seed=*/11);
+    EXPECT_EQ(any.as<satgpu::u8>(), typed);
+}
+
+TEST(AnyMatrix, EqualityComparesDtypeShapeAndBits)
+{
+    const auto a = sat::AnyMatrix::random(Dtype::i32_, 2, 2, 1);
+    const auto b = sat::AnyMatrix::random(Dtype::i32_, 2, 2, 1);
+    const auto c = sat::AnyMatrix::random(Dtype::i32_, 2, 2, 2);
+    const auto d = sat::AnyMatrix::random(Dtype::u32_, 2, 2, 1);
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+    EXPECT_FALSE(a == d); // same bits pattern but a different dtype
+}
+
+TEST(AnyMatrix, DefaultConstructedIsEmpty)
+{
+    EXPECT_TRUE(sat::AnyMatrix{}.empty());
+}
+
+// --------------------------------------------------------- dtype parsing ----
+
+TEST(DtypeParsing, AllSevenPaperPairsRoundTrip)
+{
+    for (const DtypePair p : satgpu::kPaperDtypePairs) {
+        const auto parsed = satgpu::parse_dtype_pair(satgpu::pair_name(p));
+        ASSERT_TRUE(parsed.has_value()) << satgpu::pair_name(p);
+        EXPECT_TRUE(*parsed == p);
+    }
+}
+
+TEST(DtypeParsing, RejectsMalformedStrings)
+{
+    EXPECT_FALSE(satgpu::parse_dtype_pair("").has_value());
+    EXPECT_FALSE(satgpu::parse_dtype_pair("8u").has_value());
+    EXPECT_FALSE(satgpu::parse_dtype_pair("8u32q").has_value());
+    EXPECT_FALSE(satgpu::parse_dtype_pair("16u32u").has_value());
+    EXPECT_FALSE(satgpu::parse_dtype_pair("8u32u junk").has_value());
+}
+
+// ------------------------------------------------------------- registry ----
+
+TEST(KernelRegistry, OneEntryPerPaperPair)
+{
+    EXPECT_EQ(sat::kernel_registry().size(),
+              std::size(satgpu::kPaperDtypePairs));
+    for (const DtypePair p : satgpu::kPaperDtypePairs) {
+        const auto* e = sat::find_kernel(p);
+        ASSERT_NE(e, nullptr) << satgpu::pair_name(p);
+        EXPECT_TRUE(e->dtypes == p);
+        EXPECT_NE(e->exec, nullptr);
+        EXPECT_NE(e->reference, nullptr);
+    }
+}
+
+TEST(KernelRegistry, RejectsNonPaperPairs)
+{
+    // 8u -> 64f is computable in principle but not one of Table 3's pairs.
+    EXPECT_EQ(sat::find_kernel({Dtype::u8_, Dtype::f64_}), nullptr);
+}
+
+// ------------------------------------------------- plan/execute identity ----
+
+// Every paper dtype pair x every concrete algorithm, on one shared runtime
+// (so later combinations also prove pooled-buffer reuse does not perturb
+// results).
+TEST(RuntimeIdentity, AllPairsAllAlgorithmsMatchTemplatedAndOracle)
+{
+    sat::Runtime rt;
+    for (const DtypePair dt : satgpu::kPaperDtypePairs)
+        for (const sat::Algorithm algo : sat::kAllAlgorithms)
+            expect_runtime_identical(rt, dt, algo);
+}
+
+TEST(RuntimePlan, ResolvesShapeDtypeAndWorkspace)
+{
+    sat::Runtime rt;
+    const auto dt = satgpu::make_pair_of<satgpu::u8, satgpu::u32>();
+    const auto plan =
+        rt.plan({.height = 64,
+                 .width = 48,
+                 .dtypes = dt,
+                 .algorithm = sat::Algorithm::kScanTransposeScan});
+    EXPECT_EQ(plan.algorithm(), sat::Algorithm::kScanTransposeScan);
+    EXPECT_EQ(plan.requested(), sat::Algorithm::kScanTransposeScan);
+    EXPECT_EQ(plan.height(), 64);
+    EXPECT_EQ(plan.width(), 48);
+    EXPECT_TRUE(plan.scores().empty()); // no ranking unless kAuto
+    // 1 input staging image (u8) + 4 scratch images (u32).
+    EXPECT_EQ(plan.workspace_bytes(), 64 * 48 * (1 + 4 * 4));
+    EXPECT_FALSE(plan.launch_configs().empty());
+}
+
+TEST(RuntimePlan, LaunchConfigsMatchExecution)
+{
+    sat::Runtime rt;
+    const auto dt = satgpu::make_pair_of<satgpu::f32, satgpu::f32>();
+    const auto plan = rt.plan({.height = kH,
+                               .width = kW,
+                               .dtypes = dt,
+                               .algorithm = sat::Algorithm::kBrltScanRow});
+    const auto configs = plan.launch_configs();
+    const auto res =
+        plan.execute(sat::AnyMatrix::random(dt.in, kH, kW, /*seed=*/3));
+    ASSERT_EQ(configs.size(), res.launches.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(configs[i].grid, res.launches[i].config.grid);
+        EXPECT_EQ(configs[i].block, res.launches[i].config.block);
+    }
+}
+
+// ------------------------------------------------------ buffer pooling ----
+
+TEST(RuntimePooling, SecondExecutePerformsZeroAllocations)
+{
+    sat::Runtime rt;
+    const auto dt = satgpu::make_pair_of<satgpu::u8, satgpu::u32>();
+    const auto plan = rt.plan({.height = kH,
+                               .width = kW,
+                               .dtypes = dt,
+                               .algorithm = sat::Algorithm::kBrltScanRow});
+    const auto image = sat::AnyMatrix::random(dt.in, kH, kW, /*seed=*/5);
+
+    const auto first = plan.execute(image);
+    const auto warm = rt.pool_stats();
+    EXPECT_GT(warm.allocations, 0U);
+    EXPECT_EQ(warm.outstanding, 0U); // everything returned to the pool
+
+    const auto second = plan.execute(image);
+    const auto after = rt.pool_stats();
+    EXPECT_EQ(after.allocations, warm.allocations); // zero new allocations
+    EXPECT_GT(after.reuses, warm.reuses);
+    EXPECT_EQ(after.bytes_allocated, warm.bytes_allocated);
+    EXPECT_TRUE(first.table == second.table); // reuse is bit-invisible
+}
+
+TEST(RuntimePooling, BatchReusesWarmBuffersAcrossImages)
+{
+    sat::Runtime rt;
+    const auto dt = satgpu::make_pair_of<satgpu::f64, satgpu::f64>();
+    const auto plan = rt.plan({.height = 65,
+                               .width = 33,
+                               .dtypes = dt,
+                               .algorithm = sat::Algorithm::kScanRowBrlt});
+
+    std::vector<sat::AnyMatrix> images;
+    for (std::uint64_t s = 0; s < 4; ++s)
+        images.push_back(sat::AnyMatrix::random(dt.in, 65, 33, s));
+
+    const auto warm = [&] {
+        auto r = plan.execute(images[0]); // warm-up allocates the pool
+        return rt.pool_stats();
+    }();
+
+    const auto results = plan.execute_batch(images);
+    const auto after = rt.pool_stats();
+    EXPECT_EQ(after.allocations, warm.allocations); // batch allocated nothing
+    EXPECT_GT(after.reuses, warm.reuses);
+
+    ASSERT_EQ(results.size(), images.size());
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        const auto single = plan.execute(images[i]);
+        EXPECT_TRUE(results[i].table == single.table) << "image " << i;
+    }
+}
+
+TEST(RuntimePooling, DistinctShapesAllocateDistinctBuffers)
+{
+    sat::Runtime rt;
+    const auto dt = satgpu::make_pair_of<satgpu::u8, satgpu::u32>();
+    const auto small = rt.plan({.height = 32,
+                                .width = 32,
+                                .dtypes = dt,
+                                .algorithm = sat::Algorithm::kOpencvLike});
+    (void)small.execute(sat::AnyMatrix::random(dt.in, 32, 32, 1));
+    const auto before = rt.pool_stats();
+
+    const auto big = rt.plan({.height = 64,
+                              .width = 64,
+                              .dtypes = dt,
+                              .algorithm = sat::Algorithm::kOpencvLike});
+    (void)big.execute(sat::AnyMatrix::random(dt.in, 64, 64, 1));
+    // The pool matches on exact (type, count): a bigger image cannot steal
+    // the smaller image's buffers.
+    EXPECT_GT(rt.pool_stats().allocations, before.allocations);
+}
+
+// ---------------------------------------------------------------- kAuto ----
+
+TEST(RuntimeAuto, RanksAllCandidatesAndNeverPicksNaive)
+{
+    sat::Runtime rt;
+    const DtypePair pairs[] = {
+        satgpu::make_pair_of<satgpu::u8, satgpu::u32>(),
+        satgpu::make_pair_of<satgpu::f32, satgpu::f32>(),
+        satgpu::make_pair_of<satgpu::f64, satgpu::f64>(),
+    };
+    for (const DtypePair dt : pairs) {
+        const auto plan = rt.plan({.height = 1024,
+                                   .width = 1024,
+                                   .dtypes = dt,
+                                   .algorithm = sat::Algorithm::kAuto});
+        EXPECT_EQ(plan.requested(), sat::Algorithm::kAuto);
+        ASSERT_EQ(plan.scores().size(), std::size(sat::kAllAlgorithms));
+        EXPECT_EQ(plan.scores().front().algo, plan.algorithm());
+        for (std::size_t i = 1; i < plan.scores().size(); ++i)
+            EXPECT_LE(plan.scores()[i - 1].predicted_us,
+                      plan.scores()[i].predicted_us);
+        // The paper's headline result: the two-pass blocked algorithms beat
+        // the naive full-pass scan-scan at every evaluated shape.
+        EXPECT_NE(plan.algorithm(), sat::Algorithm::kNaiveScanScan)
+            << satgpu::pair_name(dt);
+    }
+}
+
+TEST(RuntimeAuto, AutoPlanExecutesCorrectly)
+{
+    sat::Runtime rt;
+    const auto dt = satgpu::make_pair_of<satgpu::u8, satgpu::f32>();
+    const auto plan = rt.plan({.height = 96,
+                               .width = 41,
+                               .dtypes = dt,
+                               .algorithm = sat::Algorithm::kAuto});
+    const auto image = sat::AnyMatrix::random(dt.in, 96, 41, /*seed=*/9);
+    const auto res = plan.execute(image);
+    const auto want = rt.reference(image, dt.out);
+    EXPECT_LE(satgpu::max_abs_diff(res.table.as<satgpu::f32>(),
+                                   want.as<satgpu::f32>()),
+              1e-3F);
+}
+
+TEST(RuntimeAuto, PredictUsIsPositiveAndMonotonicInArea)
+{
+    sat::Runtime rt;
+    const auto dt = satgpu::make_pair_of<satgpu::u8, satgpu::u32>();
+    const auto& gpu = satgpu::model::tesla_p100();
+    const double t1k = rt.predict_us(sat::Algorithm::kBrltScanRow, dt, 1024,
+                                     1024, gpu);
+    const double t4k = rt.predict_us(sat::Algorithm::kBrltScanRow, dt, 4096,
+                                     4096, gpu);
+    EXPECT_GT(t1k, 0.0);
+    EXPECT_GT(t4k, 4.0 * t1k); // 16x the pixels must cost well over 4x
+}
+
+// ------------------------------------------------------------ reference ----
+
+TEST(RuntimeReference, MatchesSerialOracle)
+{
+    sat::Runtime rt;
+    const auto image = sat::AnyMatrix::random(Dtype::u8_, 13, 17, /*seed=*/2);
+    const auto any = rt.reference(image, Dtype::u32_);
+    const auto typed = sat::sat_serial<satgpu::u32>(image.as<satgpu::u8>());
+    EXPECT_EQ(any.as<satgpu::u32>(), typed);
+}

@@ -2,13 +2,17 @@
 // verify it against the serial reference, dump per-kernel event counters
 // and model-estimated times for a chosen GPU.
 //
+// Built on the type-erased runtime (sat/runtime.hpp): the dtype string is
+// a runtime tag, not a template ladder, and `--batch N` streams N images
+// through one plan with pooled device buffers.
+//
 //   satgpu_cli --algo brlt-scanrow --size 1024x1024 --dtype 8u32u
 //              --gpu p100 --verify   (one command line)
+//   satgpu_cli --algo auto --dtype 64f64f -v   (cost-model selection)
 //   satgpu_cli --list
-#include "core/random_fill.hpp"
 #include "core/table_printer.hpp"
 #include "model/timing.hpp"
-#include "sat/sat.hpp"
+#include "sat/runtime.hpp"
 #include "simt/profiler.hpp"
 
 #include <cstring>
@@ -16,6 +20,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -27,7 +32,9 @@ struct Args {
     std::int64_t width = 1024;
     std::string dtype = "8u32u";
     std::string gpu = "p100";
+    int batch = 1;
     bool verify = false;
+    bool verbose = false;
     bool unpadded = false;
     bool lf_scan = false;
     std::uint64_t seed = 42;
@@ -38,6 +45,8 @@ struct Args {
 
 std::optional<sat::Algorithm> parse_algo(std::string_view s)
 {
+    if (s == "auto")
+        return sat::Algorithm::kAuto;
     for (auto a : sat::kAllAlgorithms) {
         std::string name{sat::to_string(a)};
         for (char& c : name)
@@ -53,13 +62,17 @@ void usage()
     std::cout <<
         "usage: satgpu_cli [options]\n"
         "  --algo A      brlt-scanrow | scanrow-brlt | scanrowcolumn |\n"
-        "                opencv | npp | naivescanscan | scantransposescan\n"
-        "                (default brlt-scanrow)\n"
+        "                opencv | npp | naivescanscan | scantransposescan |\n"
+        "                auto (cost-model pick; default brlt-scanrow)\n"
         "  --size HxW    matrix size (default 1024x1024)\n"
         "  --dtype D     8u32s | 8u32u | 8u32f | 32s32s | 32u32u | 32f32f |\n"
         "                64f64f (default 8u32u)\n"
         "  --gpu G       m40 | p100 | v100 (default p100)\n"
-        "  --verify      check the result against the serial reference\n"
+        "  --batch N     run N images (seeds seed..seed+N-1) through ONE\n"
+        "                plan, reusing pooled device buffers (default 1)\n"
+        "  --verify      check every result against the serial reference\n"
+        "  -v|--verbose  print cost-model scores (for --algo auto), the\n"
+        "                plan's workspace, and buffer-pool statistics\n"
         "  --unpadded    use the 32x32 (bank-conflicting) BRLT staging\n"
         "  --lf          use the Ladner-Fischer warp scan\n"
         "  --seed N      input seed (default 42)\n"
@@ -84,6 +97,7 @@ std::optional<Args> parse(int argc, char** argv)
         if (arg == "--list") {
             for (auto algo : sat::kAllAlgorithms)
                 std::cout << sat::to_string(algo) << '\n';
+            std::cout << "Auto\n";
             std::exit(0);
         } else if (arg == "--help" || arg == "-h") {
             usage();
@@ -115,8 +129,16 @@ std::optional<Args> parse(int argc, char** argv)
             if (!v)
                 return std::nullopt;
             a.gpu = v;
+        } else if (arg == "--batch") {
+            const char* v = next();
+            if (!v || std::sscanf(v, "%d", &a.batch) != 1 || a.batch < 1) {
+                std::cerr << "bad --batch (want a positive count)\n";
+                return std::nullopt;
+            }
         } else if (arg == "--verify") {
             a.verify = true;
+        } else if (arg == "-v" || arg == "--verbose") {
+            a.verbose = true;
         } else if (arg == "--unpadded") {
             a.unpadded = true;
         } else if (arg == "--lf") {
@@ -151,22 +173,65 @@ std::optional<Args> parse(int argc, char** argv)
     return a;
 }
 
-template <typename Tin, typename Tout>
 int run(const Args& args)
 {
-    Matrix<Tin> img(args.height, args.width);
-    fill_random(img, args.seed);
+    const auto pair = parse_dtype_pair(args.dtype);
+    if (!pair || !sat::find_kernel(*pair)) {
+        std::cerr << "unknown or unsupported dtype pair: " << args.dtype
+                  << '\n';
+        return 2;
+    }
 
-    sat::Options opt;
-    opt.algorithm = args.algo;
-    opt.padded_smem = !args.unpadded;
-    if (args.lf_scan)
-        opt.warp_scan = scan::WarpScanKind::kLadnerFischer;
+    const model::GpuSpec* gpu = &model::tesla_p100();
+    if (args.gpu == "v100")
+        gpu = &model::tesla_v100();
+    else if (args.gpu == "m40")
+        gpu = &model::tesla_m40();
+    else if (args.gpu != "p100") {
+        std::cerr << "unknown gpu: " << args.gpu << '\n';
+        return 2;
+    }
 
     const bool profiling =
         !args.profile_path.empty() || !args.trace_path.empty();
-    simt::Engine eng({.num_threads = args.threads, .profile = profiling});
-    const auto res = sat::compute_sat<Tout>(eng, img, opt);
+    sat::Runtime rt({.record_history = false,
+                     .num_threads = args.threads,
+                     .profile = profiling});
+
+    const auto plan = rt.plan({.height = args.height,
+                               .width = args.width,
+                               .dtypes = *pair,
+                               .algorithm = args.algo,
+                               .warp_scan =
+                                   args.lf_scan
+                                       ? scan::WarpScanKind::kLadnerFischer
+                                       : scan::WarpScanKind::kKoggeStone,
+                               .padded_smem = !args.unpadded,
+                               .gpu = gpu});
+
+    if (args.algo == sat::Algorithm::kAuto)
+        std::cout << "auto selected: " << sat::to_string(plan.algorithm())
+                  << " (cost model, " << gpu->name << ")\n";
+    if (args.verbose) {
+        if (!plan.scores().empty()) {
+            TablePrinter scores({"candidate", "predicted time (us)"});
+            for (const auto& s : plan.scores())
+                scores.add_row({std::string(sat::to_string(s.algo)),
+                                TablePrinter::fmt(s.predicted_us, 2)});
+            scores.print(std::cout);
+        }
+        std::cout << "plan workspace: " << plan.workspace_bytes()
+                  << " device bytes per image\n\n";
+    }
+
+    std::vector<sat::AnyMatrix> images;
+    images.reserve(static_cast<std::size_t>(args.batch));
+    for (int i = 0; i < args.batch; ++i)
+        images.push_back(sat::AnyMatrix::random(
+            pair->in, args.height, args.width,
+            args.seed + static_cast<std::uint64_t>(i)));
+    const auto results = plan.execute_batch(images);
+    const auto& res = results.front();
 
     auto write_json = [](const std::string& path, auto&& writer) {
         std::ofstream os(path, std::ios::binary);
@@ -192,19 +257,11 @@ int run(const Args& args)
         std::cout << "chrome trace:   " << args.trace_path << '\n';
     }
 
-    const model::GpuSpec* gpu = &model::tesla_p100();
-    if (args.gpu == "v100")
-        gpu = &model::tesla_v100();
-    else if (args.gpu == "m40")
-        gpu = &model::tesla_m40();
-    else if (args.gpu != "p100") {
-        std::cerr << "unknown gpu: " << args.gpu << '\n';
-        return 2;
-    }
-
-    std::cout << sat::to_string(args.algo) << " " << args.dtype << " "
-              << args.height << "x" << args.width << " on " << gpu->name
-              << "\n\n";
+    std::cout << sat::to_string(plan.algorithm()) << " " << args.dtype << " "
+              << args.height << "x" << args.width << " on " << gpu->name;
+    if (args.batch > 1)
+        std::cout << " (batch of " << args.batch << " through one plan)";
+    std::cout << "\n\n";
     TablePrinter t({"kernel", "grid", "block", "gld sectors", "gst sectors",
                     "smem trans", "shuffles", "adds", "barriers",
                     "est. time (us)"});
@@ -233,14 +290,31 @@ int run(const Args& args)
     }
     t.print(std::cout);
     std::cout << "\ntotal estimated time: " << TablePrinter::fmt(total, 2)
-              << " us\n";
+              << " us per image\n";
+
+    if (args.verbose) {
+        const auto ps = rt.pool_stats();
+        std::cout << "buffer pool: " << ps.allocations << " allocations, "
+                  << ps.reuses << " reuses, " << ps.bytes_allocated
+                  << " bytes allocated\n";
+    }
 
     if (args.verify) {
-        const auto want = sat::sat_serial<Tout>(img);
-        const bool ok = res.table == want;
+        bool all_ok = true;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto want = rt.reference(images[i], pair->out);
+            if (!(results[i].table == want)) {
+                all_ok = false;
+                std::cout << "image " << i << ": FAIL\n";
+            }
+        }
         std::cout << "verification vs serial reference: "
-                  << (ok ? "PASS" : "FAIL") << '\n';
-        return ok ? 0 : 1;
+                  << (all_ok ? "PASS" : "FAIL")
+                  << (args.batch > 1
+                          ? " (" + std::to_string(args.batch) + " images)"
+                          : "")
+                  << '\n';
+        return all_ok ? 0 : 1;
     }
     return 0;
 }
@@ -254,21 +328,5 @@ int main(int argc, char** argv)
         usage();
         return 2;
     }
-    const std::string& d = args->dtype;
-    if (d == "8u32s")
-        return run<satgpu::u8, satgpu::i32>(*args);
-    if (d == "8u32u")
-        return run<satgpu::u8, satgpu::u32>(*args);
-    if (d == "8u32f")
-        return run<satgpu::u8, satgpu::f32>(*args);
-    if (d == "32s32s")
-        return run<satgpu::i32, satgpu::i32>(*args);
-    if (d == "32u32u")
-        return run<satgpu::u32, satgpu::u32>(*args);
-    if (d == "32f32f")
-        return run<satgpu::f32, satgpu::f32>(*args);
-    if (d == "64f64f")
-        return run<satgpu::f64, satgpu::f64>(*args);
-    std::cerr << "unknown dtype: " << d << '\n';
-    return 2;
+    return run(*args);
 }
