@@ -130,6 +130,7 @@ RuntimeResult Plan::execute(const AnyMatrix& image) const
     opt.algorithm = resolved_;
     opt.warp_scan = req_.warp_scan;
     opt.padded_smem = req_.padded_smem;
+    opt.check = req_.check;
     return entry_->exec(rt_->eng_, rt_->pool_, image, opt);
 }
 

@@ -153,6 +153,10 @@ struct PlanRequest {
     /// Target GPU for kAuto's predicted-time ranking (and nothing else;
     /// execution is hardware agnostic).  Null means Tesla P100.
     const model::GpuSpec* gpu = nullptr;
+    /// Run the warp-synchronous hazard checker on every launch this plan
+    /// executes; findings land on RuntimeResult::launches[i].hazards.
+    /// Observational only -- tables are bit-identical with it on or off.
+    bool check = false;
 };
 
 class Runtime;

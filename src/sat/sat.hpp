@@ -80,6 +80,11 @@ struct Options {
     /// Results are bit-identical either way; the runtime layer always
     /// passes its pool.  Not owned.
     simt::BufferPool* pool = nullptr;
+    /// Run the warp-synchronous hazard checker for this computation's
+    /// launches (simt/hazard_checker.hpp): each LaunchStats in
+    /// SatResult::launches carries a HazardReport.  Purely observational
+    /// -- the table is bit-identical with checking on or off.
+    bool check = false;
 };
 
 template <typename Tout>
@@ -118,6 +123,7 @@ template <typename Tout, typename Tin>
     const std::int64_t h = image.height();
     const std::int64_t w = image.width();
     SATGPU_EXPECTS(h > 0 && w > 0);
+    const simt::CheckScope check_scope(eng, opt.check);
     auto in_lease = simt::acquire_or_new<Tin>(opt.pool, h * w);
     std::copy(image.flat().begin(), image.flat().end(),
               in_lease->host().begin());

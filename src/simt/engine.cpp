@@ -1,6 +1,7 @@
 #include "simt/engine.hpp"
 
 #include "core/check.hpp"
+#include "simt/hazard_checker.hpp"
 #include "simt/profiler.hpp"
 #include "simt/shared_memory.hpp"
 
@@ -21,16 +22,20 @@ struct WarpExec {
     WarpRangeStack ranges; // ProfileRange stack, one per warp
 };
 
-/// Parks the profiler's active-warp pointer on scope exit, so that if a
-/// warp throws mid-resume the coroutine frames (whose ProfileRange
-/// destructors touch the active stack) are torn down against the
-/// profiler's own host stack rather than a dangling WarpExec.
+/// Parks the profiler's active-warp pointer (and the hazard checker's
+/// active-warp id) on scope exit, so that if a warp throws mid-resume the
+/// coroutine frames (whose ProfileRange destructors touch the active
+/// stack) are torn down against the profiler's own host stack rather than
+/// a dangling WarpExec.
 struct ActiveWarpReset {
     Profiler* prof;
+    HazardChecker* chk;
     ~ActiveWarpReset()
     {
         if (prof)
             prof->switch_warp(nullptr);
+        if (chk)
+            chk->set_active_warp(-1);
     }
 };
 
@@ -43,9 +48,10 @@ std::int64_t run_block(Dim3 block_idx, const LaunchConfig& cfg,
     SharedMemory smem(smem_capacity);
     const int warps = static_cast<int>(cfg.warps_per_block());
     Profiler* const prof = current_profiler();
+    HazardChecker* const chk = current_hazard_checker();
 
     std::vector<WarpExec> execs;
-    const ActiveWarpReset warp_reset{prof}; // destroyed before execs
+    const ActiveWarpReset warp_reset{prof, chk}; // destroyed before execs
     execs.reserve(static_cast<std::size_t>(warps));
     for (int w = 0; w < warps; ++w) {
         execs.push_back(WarpExec{WarpCtx(block_idx, cfg, w, &smem), {}, {}});
@@ -64,6 +70,8 @@ std::int64_t run_block(Dim3 block_idx, const LaunchConfig& cfg,
             // after the resume so barrier releases stay unattributed.
             if (prof)
                 prof->switch_warp(&e.ranges);
+            if (chk)
+                chk->set_active_warp(e.ctx.warp_id());
             // Resume the innermost suspended frame (a nested SubTask's
             // barrier, or the kernel body itself on first resume).
             if (auto rp = e.ctx.resume_point())
@@ -72,6 +80,8 @@ std::int64_t run_block(Dim3 block_idx, const LaunchConfig& cfg,
                 e.task.resume();
             if (prof)
                 prof->switch_warp(nullptr);
+            if (chk)
+                chk->set_active_warp(-1);
             if (e.task.done()) {
                 e.task.rethrow_if_failed();
                 ++done;
@@ -83,6 +93,30 @@ std::int64_t run_block(Dim3 block_idx, const LaunchConfig& cfg,
         if (done == execs.size())
             break;
         // Barrier release: every live warp is suspended at a sync point.
+        if (chk) {
+            if (done > 0) {
+                // synccheck's "thread exited without executing barrier":
+                // some warp already returned, yet its siblings reached a
+                // __syncthreads().  Attribute the finding to the barrier
+                // the lowest-id waiting warp is suspended at, and name the
+                // lowest-id finished warp as the diverged one.
+                int finished = -1;
+                const WarpExec* waiting = nullptr;
+                for (const auto& e : execs) {
+                    if (e.task.done()) {
+                        if (finished < 0)
+                            finished = e.ctx.warp_id();
+                    } else if (waiting == nullptr) {
+                        waiting = &e;
+                    }
+                }
+                if (finished >= 0 && waiting != nullptr)
+                    chk->record_barrier_divergence(
+                        finished, waiting->ctx.warp_id(),
+                        waiting->ctx.barrier_site());
+            }
+            chk->barrier_release();
+        }
         counters.barriers += 1;
         for (auto& e : execs)
             e.ctx.clear_barrier();
@@ -164,10 +198,15 @@ LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
         const Dim3 b = block_from_linear(lin, cfg.grid);
         BlockExecutionScope scope(lin, epoch, b, info.name);
         Profiler* const prof = current_profiler();
+        HazardChecker* const chk = current_hazard_checker();
         if (prof)
             prof->begin_block(lin, b);
+        if (chk)
+            chk->begin_block(lin);
         const std::int64_t used =
             run_block(b, cfg, program, opt_.smem_capacity_bytes, sink);
+        if (chk)
+            chk->end_block();
         if (prof)
             prof->end_block();
         return used;
@@ -179,13 +218,20 @@ LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
                               opt_.profile_top_sites));
     };
 
+    auto attach_hazards = [&](const HazardChecker& chk) {
+        stats.hazards =
+            std::make_shared<const HazardReport>(chk.build_report());
+    };
+
     if (threads <= 1) {
         Profiler prof;
+        HazardChecker chk;
         CounterScope scope(stats.counters);
         {
             // ProfilerScope after CounterScope: its destructor flushes the
             // profiler's tail delta against the still-installed sink.
             ProfilerScope pscope(opt_.profile ? &prof : nullptr);
+            HazardCheckerScope hscope(opt_.check ? &chk : nullptr);
             for (std::int64_t lin = 0; lin < total; ++lin) {
                 std::int64_t used = 0;
                 try {
@@ -200,6 +246,8 @@ LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
         }
         if (opt_.profile)
             attach_report(prof);
+        if (opt_.check)
+            attach_hazards(chk);
     } else {
         // Dynamic work-stealing over linear block indices.  Each worker
         // accumulates into a private sink; per-block counts are schedule
@@ -209,6 +257,7 @@ LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
         struct alignas(64) Worker {
             PerfCounters counters;
             Profiler prof;
+            HazardChecker check;
             std::int64_t smem_peak = 0;
         };
         std::vector<Worker> workers(static_cast<std::size_t>(threads));
@@ -227,6 +276,7 @@ LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
             pool.emplace_back([&, w = &worker] {
                 CounterScope scope(w->counters);
                 ProfilerScope pscope(opt_.profile ? &w->prof : nullptr);
+                HazardCheckerScope hscope(opt_.check ? &w->check : nullptr);
                 for (;;) {
                     const std::int64_t lin =
                         next.fetch_add(1, std::memory_order_relaxed);
@@ -256,15 +306,20 @@ LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
         // post-merge sort of the block records, so it is worker-order
         // invariant too.
         Profiler merged_prof;
+        HazardChecker merged_chk;
         for (const auto& worker : workers) {
             stats.counters.merge(worker.counters);
             stats.smem_used_bytes =
                 std::max(stats.smem_used_bytes, worker.smem_peak);
             if (opt_.profile)
                 merged_prof.merge(worker.prof);
+            if (opt_.check)
+                merged_chk.merge(worker.check);
         }
         if (opt_.profile)
             attach_report(merged_prof);
+        if (opt_.check)
+            attach_hazards(merged_chk);
     }
 
     if (opt_.record_history)

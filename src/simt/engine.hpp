@@ -35,6 +35,7 @@
 namespace satgpu::simt {
 
 struct ProfileReport; // profiler.hpp
+struct HazardReport;  // hazard_checker.hpp
 
 /// Result of one simulated kernel launch.
 struct LaunchStats {
@@ -47,6 +48,10 @@ struct LaunchStats {
     /// copies stay cheap.  Deterministic for every num_threads, like the
     /// counters themselves.
     std::shared_ptr<const ProfileReport> profile;
+    /// Warp-synchronous hazard findings, present iff the launch ran with
+    /// Options::check; empty report = clean.  Deterministic for every
+    /// num_threads, like the profile.
+    std::shared_ptr<const HazardReport> hazards;
 };
 
 /// A warp program: invoked once per warp, returns its coroutine.  The
@@ -101,6 +106,13 @@ public:
         int profile_timeline_tracks = 8;
         /// Rows kept per hotspot table (ranked by excess transactions).
         int profile_top_sites = 10;
+        /// Run the warp-synchronous hazard checker (racecheck/synccheck
+        /// analog, hazard_checker.hpp) and attach a HazardReport to every
+        /// LaunchStats.  Purely observational: outputs and counters are
+        /// bit-identical with the checker on or off.  Off by default:
+        /// kernels pay a thread-local null check per access and nothing
+        /// else.
+        bool check = false;
     };
 
     Engine() = default;
@@ -121,9 +133,36 @@ public:
 
     [[nodiscard]] const Options& options() const noexcept { return opt_; }
 
+    /// Toggle the hazard checker for subsequent launches (Options::check).
+    /// Not synchronized against an in-flight launch; callers flip it only
+    /// between launches (see CheckScope).
+    void set_check(bool on) noexcept { opt_.check = on; }
+
 private:
     Options opt_;
     std::vector<LaunchStats> history_;
+};
+
+/// Scoped elevation of Engine::Options::check: enables the hazard checker
+/// for launches performed during the scope's lifetime (it never disables
+/// an engine-level setting) and restores the previous value on exit.  This
+/// is how per-call opt-ins -- sat::Options::check, PlanRequest::check, the
+/// CLI's --check -- reach the engine without reconstructing it.
+class CheckScope {
+public:
+    CheckScope(Engine& eng, bool enable) noexcept
+        : eng_(&eng), prev_(eng.options().check)
+    {
+        if (enable)
+            eng_->set_check(true);
+    }
+    ~CheckScope() { eng_->set_check(prev_); }
+    CheckScope(const CheckScope&) = delete;
+    CheckScope& operator=(const CheckScope&) = delete;
+
+private:
+    Engine* eng_;
+    bool prev_;
 };
 
 } // namespace satgpu::simt

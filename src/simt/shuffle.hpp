@@ -3,9 +3,20 @@
 // Shuffles are the only inter-thread communication channel the paper's
 // kernels use inside a warp (Sec. IV-1).  Each call counts as one warp-wide
 // shuffle instruction, matching the paper's N_scan_row_sfl accounting.
+//
+// Every shuffle takes an `active` participation mask (defaulting to the
+// full warp, like the kernels' unconditional __shfl_*_sync(0xffffffff, ...)
+// calls).  On hardware a lane that sources a non-participating lane reads
+// an undefined value; here the value is still deterministic (the simulator
+// keeps all 32 register lanes live), but when a HazardChecker is installed
+// (Engine::Options::check) such a read is flagged as a
+// shuffle-inactive-source hazard at the call's file:line.
 #pragma once
 
+#include "simt/hazard_checker.hpp"
 #include "simt/lane_vec.hpp"
+
+#include <source_location>
 
 namespace satgpu::simt {
 
@@ -15,6 +26,15 @@ inline void count_shfl() noexcept
     if (PerfCounters* c = current_counters())
         c->warp_shfl += 1;
 }
+
+/// Hazard hook: active lane `dest` is about to read lane `src`, which is
+/// outside the call's active mask.
+inline void check_shfl_source(HazardChecker* hc, LaneMask active, int dest,
+                              int src, const std::source_location& site)
+{
+    if (hc && lane_active(active, dest) && !lane_active(active, src))
+        hc->record_shuffle_source(dest, src, site);
+}
 } // namespace detail
 
 /// __shfl_up_sync: lane l receives the value of lane l - delta within its
@@ -22,18 +42,23 @@ inline void count_shfl() noexcept
 /// value.  `width` must be a power of two <= 32.
 template <typename T>
 [[nodiscard]] LaneVec<T> shfl_up(const LaneVec<T>& v, int delta,
-                                 int width = kWarpSize)
+                                 int width = kWarpSize,
+                                 LaneMask active = kFullMask,
+                                 std::source_location site = SATGPU_SITE)
 {
     SATGPU_EXPECTS(width > 0 && width <= kWarpSize &&
                    (width & (width - 1)) == 0);
     SATGPU_EXPECTS(delta >= 0);
     detail::count_shfl();
+    HazardChecker* const hc = current_hazard_checker();
     LaneVec<T> r;
     for (int l = 0; l < kWarpSize; ++l) {
         const int seg = l / width;
         const int idx = l % width;
         const int src = idx - delta;
-        r.set(l, src >= 0 ? v.get(seg * width + src) : v.get(l));
+        const int from = src >= 0 ? seg * width + src : l;
+        detail::check_shfl_source(hc, active, l, from, site);
+        r.set(l, v.get(from));
     }
     return r;
 }
@@ -41,36 +66,50 @@ template <typename T>
 /// __shfl_down_sync: lane l receives lane l + delta within its segment.
 template <typename T>
 [[nodiscard]] LaneVec<T> shfl_down(const LaneVec<T>& v, int delta,
-                                   int width = kWarpSize)
+                                   int width = kWarpSize,
+                                   LaneMask active = kFullMask,
+                                   std::source_location site = SATGPU_SITE)
 {
     SATGPU_EXPECTS(width > 0 && width <= kWarpSize &&
                    (width & (width - 1)) == 0);
     SATGPU_EXPECTS(delta >= 0);
     detail::count_shfl();
+    HazardChecker* const hc = current_hazard_checker();
     LaneVec<T> r;
     for (int l = 0; l < kWarpSize; ++l) {
         const int seg = l / width;
         const int idx = l % width;
         const int src = idx + delta;
-        r.set(l, src < width ? v.get(seg * width + src) : v.get(l));
+        const int from = src < width ? seg * width + src : l;
+        detail::check_shfl_source(hc, active, l, from, site);
+        r.set(l, v.get(from));
     }
     return r;
 }
 
-/// __shfl_sync: every lane receives the value of srcLane (mod width, within
-/// its own segment).
+/// __shfl_sync: every lane receives the value of srcLane within its own
+/// segment.  CUDA defines an out-of-range srcLane as srcLane mod width
+/// (PTX masks the unsigned lane id); a NEGATIVE srcLane has no defined
+/// meaning on hardware, so it is rejected as a contract violation rather
+/// than silently wrapped by the signed bit-mask.
 template <typename T>
 [[nodiscard]] LaneVec<T> shfl(const LaneVec<T>& v, int src_lane,
-                              int width = kWarpSize)
+                              int width = kWarpSize,
+                              LaneMask active = kFullMask,
+                              std::source_location site = SATGPU_SITE)
 {
     SATGPU_EXPECTS(width > 0 && width <= kWarpSize &&
                    (width & (width - 1)) == 0);
+    SATGPU_EXPECTS(src_lane >= 0);
     detail::count_shfl();
+    const int src_in_seg = src_lane % width; // == src_lane & (width - 1)
+    HazardChecker* const hc = current_hazard_checker();
     LaneVec<T> r;
     for (int l = 0; l < kWarpSize; ++l) {
         const int seg = l / width;
-        const int src = seg * width + (src_lane & (width - 1));
-        r.set(l, v.get(src));
+        const int from = seg * width + src_in_seg;
+        detail::check_shfl_source(hc, active, l, from, site);
+        r.set(l, v.get(from));
     }
     return r;
 }
@@ -78,16 +117,21 @@ template <typename T>
 /// __shfl_xor_sync: lane l receives lane l ^ lane_mask within its segment.
 template <typename T>
 [[nodiscard]] LaneVec<T> shfl_xor(const LaneVec<T>& v, int lane_mask,
-                                  int width = kWarpSize)
+                                  int width = kWarpSize,
+                                  LaneMask active = kFullMask,
+                                  std::source_location site = SATGPU_SITE)
 {
     SATGPU_EXPECTS(width > 0 && width <= kWarpSize &&
                    (width & (width - 1)) == 0);
     detail::count_shfl();
+    HazardChecker* const hc = current_hazard_checker();
     LaneVec<T> r;
     for (int l = 0; l < kWarpSize; ++l) {
         const int src = l ^ lane_mask;
-        r.set(l, src < kWarpSize && (src / width) == (l / width) ? v.get(src)
-                                                                 : v.get(l));
+        const int from =
+            src < kWarpSize && (src / width) == (l / width) ? src : l;
+        detail::check_shfl_source(hc, active, l, from, site);
+        r.set(l, v.get(from));
     }
     return r;
 }

@@ -2,30 +2,53 @@
 // mask utilities.  Not needed by the paper's SAT kernels themselves, but
 // part of any usable warp-level substrate (and used by the histogram and
 // transform extensions).
+//
+// On hardware the predicate contribution of a thread outside the sync
+// mask is undefined; here the result is deterministic (`pred & active`),
+// but when a HazardChecker is installed (Engine::Options::check) a
+// predicate with bits outside `active` is flagged as a
+// vote-inactive-predicate hazard at the call's file:line.
 #pragma once
 
+#include "simt/hazard_checker.hpp"
 #include "simt/lane_vec.hpp"
+
+#include <source_location>
 
 namespace satgpu::simt {
 
+namespace detail {
+inline void check_vote_mask(LaneMask pred, LaneMask active,
+                            const std::source_location& site)
+{
+    if ((pred & ~active) != 0)
+        if (HazardChecker* hc = current_hazard_checker())
+            hc->record_vote_predicate(pred, active, site);
+}
+} // namespace detail
+
 /// __ballot_sync: one bit per active lane whose predicate is true.
 [[nodiscard]] inline LaneMask ballot(LaneMask pred,
-                                     LaneMask active = kFullMask) noexcept
+                                     LaneMask active = kFullMask,
+                                     std::source_location site = SATGPU_SITE)
 {
+    detail::check_vote_mask(pred, active, site);
     return pred & active;
 }
 
 /// __any_sync.
-[[nodiscard]] inline bool any(LaneMask pred,
-                              LaneMask active = kFullMask) noexcept
+[[nodiscard]] inline bool any(LaneMask pred, LaneMask active = kFullMask,
+                              std::source_location site = SATGPU_SITE)
 {
+    detail::check_vote_mask(pred, active, site);
     return (pred & active) != 0;
 }
 
 /// __all_sync.
-[[nodiscard]] inline bool all(LaneMask pred,
-                              LaneMask active = kFullMask) noexcept
+[[nodiscard]] inline bool all(LaneMask pred, LaneMask active = kFullMask,
+                              std::source_location site = SATGPU_SITE)
 {
+    detail::check_vote_mask(pred, active, site);
     return (pred & active) == active;
 }
 

@@ -12,6 +12,7 @@
 #include "simt/lane_vec.hpp"
 #include "simt/shared_memory.hpp"
 
+#include <source_location>
 #include <string_view>
 
 namespace satgpu::simt {
@@ -87,8 +88,15 @@ public:
         void await_resume() const noexcept {}
     };
 
-    /// __syncthreads(): `co_await w.sync();`
-    [[nodiscard]] SyncAwaiter sync() noexcept { return {this}; }
+    /// __syncthreads(): `co_await w.sync();`.  The call site is recorded so
+    /// the hazard checker can attribute barrier-divergence findings to the
+    /// barrier the surviving warps were waiting at.
+    [[nodiscard]] SyncAwaiter sync(std::source_location site
+                                   = SATGPU_SITE) noexcept
+    {
+        barrier_site_ = site;
+        return {this};
+    }
 
     // -- Scheduler interface (engine internal) ------------------------------
     [[nodiscard]] bool at_barrier() const noexcept { return at_barrier_; }
@@ -96,6 +104,11 @@ public:
     [[nodiscard]] std::coroutine_handle<> resume_point() const noexcept
     {
         return resume_point_;
+    }
+    /// Site of this warp's most recent sync() call.
+    [[nodiscard]] const std::source_location& barrier_site() const noexcept
+    {
+        return barrier_site_;
     }
 
 private:
@@ -105,6 +118,7 @@ private:
     SharedMemory* smem_;
     bool at_barrier_ = false;
     std::coroutine_handle<> resume_point_;
+    std::source_location barrier_site_{};
 };
 
 } // namespace satgpu::simt

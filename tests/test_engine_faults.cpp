@@ -88,6 +88,21 @@ TEST(EngineFaults, SmemRedeclarationWithDifferentExtentDies)
         "different");
 }
 
+TEST(EngineFaults, SmemRedeclarationWithDifferentTypeDies)
+{
+    // Same byte extent (2 floats == 1 double) must not slip through: the
+    // arena would be silently type-punned across warps.
+    simt::Engine eng;
+    EXPECT_DEATH(
+        eng.launch({"pun", 8, 512}, one_warp(),
+                   [&](simt::WarpCtx& w) -> simt::KernelTask {
+                       (void)w.smem_alloc<float>("t", 2);
+                       (void)w.smem_alloc<double>("t", 1);
+                       co_return;
+                   }),
+        "different element type");
+}
+
 TEST(EngineFaults, OversizedBlockRejected)
 {
     simt::Engine eng;

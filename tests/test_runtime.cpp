@@ -239,6 +239,28 @@ TEST(RuntimePooling, BatchReusesWarmBuffersAcrossImages)
     }
 }
 
+TEST(RuntimePooling, ReclearContributesNoCountersToNextLaunch)
+{
+    // acquire()'s re-clear of a dirty reused buffer is host-side
+    // bookkeeping, not simulated traffic: it must not leak a single
+    // global-memory (or any other) counter into whatever launch runs
+    // next.  Pins the invariant the BENCH JSON byte-identity relies on.
+    simt::BufferPool pool;
+    {
+        auto lease = pool.acquire<std::uint32_t>(1024);
+        auto host = lease->host();
+        std::fill(host.begin(), host.end(), 0xdeadbeefu); // dirty it
+    }
+    simt::PerfCounters c;
+    {
+        simt::CounterScope scope(c);
+        auto lease = pool.acquire<std::uint32_t>(1024); // re-clears
+        for (const std::uint32_t v : lease->host())
+            ASSERT_EQ(v, 0u);
+    }
+    EXPECT_EQ(c, simt::PerfCounters{});
+}
+
 TEST(RuntimePooling, DistinctShapesAllocateDistinctBuffers)
 {
     sat::Runtime rt;

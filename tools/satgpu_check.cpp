@@ -1,0 +1,165 @@
+// satgpu_check: hazard-checker sweep over the whole shipped kernel zoo.
+//
+// Default mode runs every algorithm x every paper dtype pair x a set of
+// ragged shapes (warp-misaligned heights and widths exercise the
+// predicated tile edges) with the warp-synchronous hazard checker enabled
+// AND verifies each table against the serial reference; any hazard or any
+// mismatch makes the exit status nonzero.  CI runs this as the
+// "sanitizer" gate for the SIMT substrate.
+//
+// --self-test inverts the expectation: it runs the two deliberately
+// broken kernel variants (sat/broken_kernels.hpp) and FAILS unless the
+// checker flags both -- the missing-barrier BRLT must be attributed to
+// the exact file:line of the offending tile store -- while their outputs
+// remain correct under the deterministic scheduler (the scenario golden
+// tests cannot catch).
+#include "sat/broken_kernels.hpp"
+#include "sat/runtime.hpp"
+#include "simt/hazard_checker.hpp"
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace {
+
+using namespace satgpu;
+
+struct Shape {
+    std::int64_t h, w;
+};
+
+// Ragged on purpose: none is a multiple of 32 in both dimensions.
+constexpr Shape kShapes[] = {{33, 31}, {97, 130}, {130, 97}};
+
+int run_sweep(int threads)
+{
+    sat::Runtime rt({.record_history = false, .num_threads = threads});
+    int checked = 0;
+    std::uint64_t hazards = 0;
+    int mismatches = 0;
+
+    for (const sat::Algorithm algo : sat::kAllAlgorithms)
+        for (const DtypePair pair : kPaperDtypePairs)
+            for (const Shape s : kShapes) {
+                const auto plan = rt.plan({.height = s.h,
+                                           .width = s.w,
+                                           .dtypes = pair,
+                                           .algorithm = algo,
+                                           .check = true});
+                const auto image = sat::AnyMatrix::random(
+                    pair.in, s.h, s.w, /*seed=*/7);
+                const auto res = plan.execute(image);
+                ++checked;
+
+                const std::uint64_t hz = simt::total_hazards(res.launches);
+                if (hz != 0) {
+                    hazards += hz;
+                    std::cout << "HAZARD " << sat::to_string(algo) << " "
+                              << pair_name(pair) << " " << s.h << "x" << s.w
+                              << ":\n";
+                    for (const auto& l : res.launches) {
+                        if (!l.hazards)
+                            continue;
+                        for (const auto& h : l.hazards->hazards)
+                            std::cout << "  [" << l.info.name << "] "
+                                      << simt::to_string(h.kind) << " at "
+                                      << h.site << " x" << h.count << '\n';
+                    }
+                }
+                if (!(res.table == rt.reference(image, pair.out))) {
+                    ++mismatches;
+                    std::cout << "MISMATCH " << sat::to_string(algo) << " "
+                              << pair_name(pair) << " " << s.h << "x" << s.w
+                              << '\n';
+                }
+            }
+
+    std::cout << "swept " << checked << " (algorithm, dtype, shape) runs: "
+              << hazards << " hazard(s), " << mismatches
+              << " reference mismatch(es)\n";
+    return hazards == 0 && mismatches == 0 ? 0 : 1;
+}
+
+/// Expect `kind` among the run's findings, attributed to `site`.
+bool expect_hazard(const sat::broken::BrokenRun& run, simt::HazardKind kind,
+                   const std::string& site, const char* what)
+{
+    if (!run.output_correct) {
+        std::cout << what
+                  << ": output unexpectedly wrong (the fixtures must stay "
+                     "correct under the deterministic scheduler)\n";
+        return false;
+    }
+    if (!run.stats.hazards) {
+        std::cout << what << ": no hazard report attached\n";
+        return false;
+    }
+    for (const auto& h : run.stats.hazards->hazards)
+        if (h.kind == kind && h.site == site) {
+            std::cout << what << ": flagged " << simt::to_string(h.kind)
+                      << " at " << h.site << " x" << h.count
+                      << " (output still correct) -- as expected\n";
+            return true;
+        }
+    std::cout << what << ": expected " << simt::to_string(kind) << " at "
+              << site << ", checker reported:\n";
+    for (const auto& h : run.stats.hazards->hazards)
+        std::cout << "  " << simt::to_string(h.kind) << " at " << h.site
+                  << " x" << h.count << '\n';
+    if (run.stats.hazards->clean())
+        std::cout << "  (nothing)\n";
+    return false;
+}
+
+int run_self_test(int threads)
+{
+    simt::Engine eng({.record_history = false,
+                      .num_threads = threads,
+                      .check = true});
+
+    const auto brlt = sat::broken::run_brlt_missing_barrier(eng);
+    const std::string brlt_site =
+        std::string(sat::broken::kFile) + ":" +
+        std::to_string(sat::broken::brlt_store_line());
+    bool ok = expect_hazard(brlt, simt::HazardKind::kSmemWaw, brlt_site,
+                            "missing-barrier BRLT");
+
+    const auto carry = sat::broken::run_unsynced_smem_tile(eng);
+    const std::string carry_site =
+        std::string(sat::broken::kFile) + ":" +
+        std::to_string(sat::broken::carry_load_line());
+    ok &= expect_hazard(carry, simt::HazardKind::kSmemRaw, carry_site,
+                        "unsynced smem tile");
+
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    bool self_test = false;
+    int threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--self-test") {
+            self_test = true;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = std::atoi(argv[++i]);
+        } else {
+            std::cout << "usage: satgpu_check [--self-test] [--threads N]\n"
+                         "  default: run every algorithm x dtype pair x "
+                         "ragged shape\n"
+                         "           with the hazard checker on; exit 1 on "
+                         "any hazard\n"
+                         "           or reference mismatch\n"
+                         "  --self-test: run the deliberately broken kernel "
+                         "variants;\n"
+                         "           exit 1 unless both are flagged at the "
+                         "expected sites\n";
+            return arg == "--help" || arg == "-h" ? 0 : 2;
+        }
+    }
+    return self_test ? run_self_test(threads) : run_sweep(threads);
+}

@@ -13,6 +13,7 @@
 #include "core/table_printer.hpp"
 #include "model/timing.hpp"
 #include "sat/runtime.hpp"
+#include "simt/hazard_checker.hpp"
 #include "simt/profiler.hpp"
 
 #include <cstring>
@@ -39,8 +40,10 @@ struct Args {
     bool lf_scan = false;
     std::uint64_t seed = 42;
     int threads = 0; // 0 = one worker per hardware thread
+    bool check = false;       // --check: warp-synchronous hazard checker
     std::string profile_path; // --profile: per-launch JSON report
     std::string trace_path;   // --trace: chrome://tracing timeline
+    std::string hazards_path; // --hazards: hazard report JSON
 };
 
 std::optional<sat::Algorithm> parse_algo(std::string_view s)
@@ -79,6 +82,11 @@ void usage()
         "  --threads N   host threads simulating blocks; 0 = all hardware\n"
         "                threads, 1 = sequential (default 0; results and\n"
         "                counters are identical for every value)\n"
+        "  --check       run the warp-synchronous hazard checker\n"
+        "                (racecheck/synccheck analog) on every launch and\n"
+        "                report findings; exit 1 if any hazard is found\n"
+        "  --hazards F   write the hazard report as JSON to F (implies\n"
+        "                --check)\n"
         "  --profile F   write a per-launch profile report (phase ranges,\n"
         "                hotspot tables, virtual timeline) as JSON to F\n"
         "  --trace F     write the virtual timeline as a chrome://tracing /\n"
@@ -155,6 +163,14 @@ std::optional<Args> parse(int argc, char** argv)
                 std::cerr << "bad --threads (want a non-negative count)\n";
                 return std::nullopt;
             }
+        } else if (arg == "--check") {
+            a.check = true;
+        } else if (arg == "--hazards") {
+            const char* v = next();
+            if (!v)
+                return std::nullopt;
+            a.hazards_path = v;
+            a.check = true;
         } else if (arg == "--profile") {
             const char* v = next();
             if (!v)
@@ -207,7 +223,8 @@ int run(const Args& args)
                                        ? scan::WarpScanKind::kLadnerFischer
                                        : scan::WarpScanKind::kKoggeStone,
                                .padded_smem = !args.unpadded,
-                               .gpu = gpu});
+                               .gpu = gpu,
+                               .check = args.check});
 
     if (args.algo == sat::Algorithm::kAuto)
         std::cout << "auto selected: " << sat::to_string(plan.algorithm())
@@ -256,6 +273,13 @@ int run(const Args& args)
             return 2;
         std::cout << "chrome trace:   " << args.trace_path << '\n';
     }
+    if (!args.hazards_path.empty()) {
+        if (!write_json(args.hazards_path, [&](std::ostream& os) {
+                simt::write_hazard_json(os, res.launches);
+            }))
+            return 2;
+        std::cout << "hazard report:  " << args.hazards_path << '\n';
+    }
 
     std::cout << sat::to_string(plan.algorithm()) << " " << args.dtype << " "
               << args.height << "x" << args.width << " on " << gpu->name;
@@ -299,6 +323,35 @@ int run(const Args& args)
                   << " bytes allocated\n";
     }
 
+    bool hazard_free = true;
+    if (args.check) {
+        std::uint64_t total_hz = 0;
+        for (const auto& res_i : results)
+            total_hz += simt::total_hazards(res_i.launches);
+        if (total_hz == 0) {
+            std::cout << "hazard check: clean ("
+                      << results.size() * res.launches.size()
+                      << " launches)\n";
+        } else {
+            hazard_free = false;
+            std::cout << "hazard check: " << total_hz << " hazard(s)\n";
+            for (const auto& l : res.launches) {
+                if (!l.hazards || l.hazards->clean())
+                    continue;
+                for (const auto& h : l.hazards->hazards) {
+                    std::cout << "  [" << l.info.name << "] "
+                              << simt::to_string(h.kind) << " at " << h.site;
+                    if (!h.other_site.empty())
+                        std::cout << " (conflicts with " << h.other_site
+                                  << ")";
+                    if (!h.note.empty())
+                        std::cout << " on '" << h.note << "'";
+                    std::cout << " x" << h.count << '\n';
+                }
+            }
+        }
+    }
+
     if (args.verify) {
         bool all_ok = true;
         for (std::size_t i = 0; i < results.size(); ++i) {
@@ -314,9 +367,9 @@ int run(const Args& args)
                           ? " (" + std::to_string(args.batch) + " images)"
                           : "")
                   << '\n';
-        return all_ok ? 0 : 1;
+        return all_ok && hazard_free ? 0 : 1;
     }
-    return 0;
+    return hazard_free ? 0 : 1;
 }
 
 } // namespace
