@@ -24,10 +24,7 @@ simt::KernelTask naive_row_warp(simt::WarpCtx& w,
     const std::int64_t row0 =
         w.block_idx().y * w.block_dim().x + std::int64_t{w.warp_id()} *
                                                 simt::kWarpSize;
-    simt::LaneMask m = 0;
-    for (int l = 0; l < simt::kWarpSize; ++l)
-        if (row0 + l < height)
-            m |= (1u << l);
+    const simt::LaneMask m = simt::lanes_in_range(row0, height);
     if (m == 0)
         co_return;
 

@@ -50,10 +50,7 @@ simt::KernelTask npp_scancol_warp(simt::WarpCtx& w,
     for (std::int64_t r0 = 0; r0 < height; r0 += chunk_h) {
         const std::int64_t row0 = r0 + std::int64_t{w.warp_id()} * kWarpSize;
         // Row mask: lane l handles row row0 + l.
-        simt::LaneMask m = 0;
-        for (int l = 0; l < kWarpSize; ++l)
-            if (row0 + l < height)
-                m |= (1u << l);
+        const simt::LaneMask m = simt::lanes_in_range(row0, height);
 
         // Strided (uncoalesced) column load: the warp's lanes sit `width`
         // elements apart, touching one sector each.

@@ -34,17 +34,27 @@ void fill_random(Matrix<T>& m, std::uint64_t seed, T lo, T hi)
     }
 }
 
+/// Integer-VALUED random fill in [0, hi] for any element type, including
+/// float/double matrices (whole-number data keeps every partial sum
+/// exactly representable, so different scan orders agree bitwise).  The
+/// fuzzer shrinks `hi` with the image area so even f32 SATs of 4k x 4k
+/// inputs stay below the 2^24 exactness ceiling.
+template <typename T>
+void fill_random_ints(Matrix<T>& m, std::uint64_t seed, int hi)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> dist(0, hi);
+    for (T& v : m.flat())
+        v = static_cast<T>(dist(rng));
+}
+
 /// Default fill: small non-negative INTEGER values (also for float/double
-/// matrices, where integer-valued data keeps every partial sum exactly
-/// representable, so different scan orders agree bitwise).  Values <= 15
-/// keep a 16k x 16k total below 2^32 for 32-bit accumulators.
+/// matrices; see fill_random_ints).  Values <= 15 keep a 16k x 16k total
+/// below 2^32 for 32-bit accumulators.
 template <typename T>
 void fill_random(Matrix<T>& m, std::uint64_t seed = 42)
 {
-    std::mt19937_64 rng(seed);
-    std::uniform_int_distribution<int> dist(0, 15);
-    for (T& v : m.flat())
-        v = static_cast<T>(dist(rng));
+    fill_random_ints(m, seed, 15);
 }
 
 /// Fill with a known closed-form pattern: m(y, x) = (x + 2y) % 7.

@@ -54,6 +54,17 @@ inline std::atomic<std::uint32_t>& carry_load_line_slot() noexcept
     return carry_load_line_slot().load();
 }
 
+/// __LINE__ of the tiled-carry variant's premature prefix load.
+inline std::atomic<std::uint32_t>& tiled_carry_line_slot() noexcept
+{
+    static std::atomic<std::uint32_t> line{0};
+    return line;
+}
+[[nodiscard]] inline std::uint32_t tiled_carry_line() noexcept
+{
+    return tiled_carry_line_slot().load();
+}
+
 /// brlt_transpose with the per-round barrier hoisted OUT of the round
 /// loop: round r+1's warps overwrite staging tiles that round r's warps
 /// wrote and read in the same barrier interval (smem-waw / smem-war on
@@ -119,6 +130,38 @@ simt::SubTask<> block_exclusive_carry_unsynced(simt::WarpCtx& w,
                                          kWarpSize);
     { carry_load_line_slot() = __LINE__; block_total = sm.load(lane + std::int64_t{wc - 1} * kWarpSize); }
 
+    co_await w.sync();
+}
+
+/// The tiled executor's carry composition, miniaturized and broken: warp
+/// w stands for macro-tile w of a strip.  It publishes its tile's
+/// aggregate into smem slot w, then IMMEDIATELY reads the slots of every
+/// tile to its left to form its carry prefix -- without the barrier that
+/// must separate publication from consumption (sat/tiled.hpp avoids the
+/// problem structurally: carries are reduced on the host between
+/// launches).  Round-robin runs each warp to its first suspension point
+/// in id order, so lower tiles' aggregates are already published and the
+/// prefix comes out right; on hardware warp w races every warp t < w
+/// (smem-raw on "tile.carries").
+template <typename T>
+simt::KernelTask broken_tiled_carry_warp(simt::WarpCtx& w,
+                                         const simt::DeviceBuffer<T>& totals,
+                                         simt::DeviceBuffer<T>& prefix)
+{
+    const int wc = w.warps_per_block();
+    auto sm = w.smem_alloc<T>("tile.carries", wc);
+    const LaneMask lane0 = 1u;
+    const auto slot = LaneVec<std::int64_t>::broadcast(w.warp_id());
+
+    sm.store(slot, totals.load(slot, lane0), lane0);
+    // BUG: no co_await w.sync() here -- tile w's prefix gather below reads
+    // slots its producer warps may not have published yet.
+    LaneVec<T> acc{};
+    for (int t = 0; t < w.warp_id(); ++t) {
+        const auto src = LaneVec<std::int64_t>::broadcast(t);
+        { tiled_carry_line_slot() = __LINE__; acc = simt::vadd(acc, sm.load(src, lane0)); }
+    }
+    prefix.store(slot, acc, lane0);
     co_await w.sync();
 }
 
@@ -236,6 +279,41 @@ simt::KernelTask broken_carry_warp(simt::WarpCtx& w,
                 run.output_correct = false;
                 break;
             }
+        }
+    }
+    return run;
+}
+
+/// Launch the unpublished tiled-carry prefix on one 8-warp block (tile
+/// w's aggregate is the constant w+1) and verify every prefix.
+[[nodiscard]] inline BrokenRun run_tiled_carry_prefix(simt::Engine& eng)
+{
+    using T = std::uint32_t;
+    constexpr int kWarps = 8;
+
+    simt::DeviceBuffer<T> totals(kWarps);
+    {
+        auto host = totals.host();
+        for (int i = 0; i < kWarps; ++i)
+            host[static_cast<std::size_t>(i)] = static_cast<T>(i + 1);
+    }
+    simt::DeviceBuffer<T> prefix(kWarps);
+
+    const simt::KernelInfo info{"broken_tiled_carry_prefix", 32,
+                                kWarps * static_cast<std::int64_t>(sizeof(T))};
+    const simt::LaunchConfig cfg{{1, 1, 1}, {kWarps * kWarpSize, 1, 1}};
+    BrokenRun run;
+    run.stats = eng.launch(info, cfg, [&](simt::WarpCtx& wc) {
+        return broken_tiled_carry_warp<T>(wc, totals, prefix);
+    });
+
+    run.output_correct = true;
+    const auto ph = prefix.host();
+    for (int warp = 0; warp < kWarps; ++warp) {
+        const T want = static_cast<T>(warp * (warp + 1) / 2);
+        if (ph[static_cast<std::size_t>(warp)] != want) {
+            run.output_correct = false;
+            break;
         }
     }
     return run;

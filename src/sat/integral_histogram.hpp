@@ -47,10 +47,7 @@ inline simt::KernelTask bin_mask_warp(simt::WarpCtx& w,
         (w.block_idx().x * w.warps_per_block() + w.warp_id()) *
         simt::kWarpSize;
     const auto lane = simt::LaneVec<std::int64_t>::lane_index();
-    simt::LaneMask m = 0;
-    for (int l = 0; l < simt::kWarpSize; ++l)
-        if (base + l < n)
-            m |= (1u << l);
+    const simt::LaneMask m = simt::lanes_in_range(base, n);
     if (m == 0)
         co_return;
     const auto v = img.load(lane + base, m);

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <array>
+#include <optional>
+#include <utility>
 
 namespace satgpu::sat {
 
@@ -74,6 +76,16 @@ KernelEntry make_entry()
         return RuntimeResult{AnyMatrix(std::move(r.table)),
                              std::move(r.launches)};
     };
+    e.exec_tiled = [](simt::Engine& eng, simt::BufferPool& pool,
+                      const AnyMatrix& image, const Options& opt,
+                      const TileGeometry& tile) {
+        Options with_pool = opt;
+        with_pool.pool = &pool;
+        auto r = compute_sat_tiled<Tout>(eng, image.as<Tin>(), tile,
+                                         with_pool);
+        return RuntimeResult{AnyMatrix(std::move(r.table)),
+                             std::move(r.launches)};
+    };
     e.reference = [](const AnyMatrix& image) {
         return AnyMatrix(sat_serial<Tout>(image.as<Tin>()));
     };
@@ -131,6 +143,9 @@ RuntimeResult Plan::execute(const AnyMatrix& image) const
     opt.warp_scan = req_.warp_scan;
     opt.padded_smem = req_.padded_smem;
     opt.check = req_.check;
+    if (req_.tile.enabled())
+        return entry_->exec_tiled(rt_->eng_, rt_->pool_, image, opt,
+                                  req_.tile);
     return entry_->exec(rt_->eng_, rt_->pool_, image, opt);
 }
 
@@ -161,6 +176,46 @@ double Runtime::predict_us(Algorithm algo, DtypePair dt, std::int64_t height,
     return model::estimate_total_us(gpu, launches);
 }
 
+double Runtime::predict_tiled_us(Algorithm algo, DtypePair dt,
+                                 std::int64_t height, std::int64_t width,
+                                 const TileGeometry& tile,
+                                 const model::GpuSpec& gpu,
+                                 const Options& opt)
+{
+    const TileGrid grid(height, width, tile);
+    if (grid.count() == 1) // degenerate tiling runs the untiled path
+        return predict_us(algo, dt, height, width, gpu, opt);
+
+    // A tile grid has at most four distinct shapes (interior, right edge,
+    // bottom edge, corner); predict each once, weighted by multiplicity.
+    struct ShapeCount {
+        std::int64_t h, w, count;
+    };
+    std::vector<ShapeCount> shapes;
+    for (std::int64_t ti = 0; ti < grid.rows(); ++ti)
+        for (std::int64_t tj = 0; tj < grid.cols(); ++tj) {
+            const auto r = grid.rect(ti, tj);
+            auto it = std::find_if(shapes.begin(), shapes.end(),
+                                   [&](const ShapeCount& s) {
+                                       return s.h == r.h && s.w == r.w;
+                                   });
+            if (it == shapes.end())
+                shapes.push_back({r.h, r.w, 1});
+            else
+                ++it->count;
+        }
+
+    double us = 0;
+    for (const ShapeCount& s : shapes)
+        us += static_cast<double>(s.count) *
+              predict_us(algo, dt, s.h, s.w, gpu, opt);
+
+    const simt::LaunchStats carry = predict_tile_carry(
+        height, width, tile,
+        static_cast<std::int64_t>(dtype_size(dt.out)));
+    return us + model::estimate_total_us(gpu, {&carry, 1});
+}
+
 AnyMatrix Runtime::reference(const AnyMatrix& image, Dtype out) const
 {
     const KernelEntry* e = find_kernel({image.dtype(), out});
@@ -179,6 +234,14 @@ Plan Runtime::plan(const PlanRequest& req)
     SATGPU_CHECK(p.entry_ != nullptr,
                  "dtype pair outside the paper's seven supported pairs");
 
+    // Validates the tile geometry (positive multiple-of-32 sides) as a
+    // side effect; also drives the tiled workspace bound below.
+    const std::optional<TileGrid> grid =
+        req.tile.enabled()
+            ? std::optional<TileGrid>(
+                  std::in_place, req.height, req.width, req.tile)
+            : std::nullopt;
+
     if (req.algorithm == Algorithm::kAuto) {
         const model::GpuSpec& gpu = req.gpu ? *req.gpu : model::tesla_p100();
         Options opt;
@@ -186,8 +249,11 @@ Plan Runtime::plan(const PlanRequest& req)
         opt.padded_smem = req.padded_smem;
         p.scores_.reserve(std::size(kAllAlgorithms));
         for (const Algorithm a : kAllAlgorithms)
-            p.scores_.push_back({a, predict_us(a, req.dtypes, req.height,
-                                               req.width, gpu, opt)});
+            p.scores_.push_back(
+                {a, grid ? predict_tiled_us(a, req.dtypes, req.height,
+                                            req.width, req.tile, gpu, opt)
+                         : predict_us(a, req.dtypes, req.height, req.width,
+                                      gpu, opt)});
         std::stable_sort(p.scores_.begin(), p.scores_.end(),
                          [](const AlgoScore& a, const AlgoScore& b) {
                              return a.predicted_us < b.predicted_us;
@@ -200,9 +266,32 @@ Plan Runtime::plan(const PlanRequest& req)
     const auto in_bytes = static_cast<std::int64_t>(dtype_size(req.dtypes.in));
     const auto out_bytes =
         static_cast<std::int64_t>(dtype_size(req.dtypes.out));
-    p.workspace_bytes_ =
-        req.height * req.width *
-        (in_bytes + scratch_images(p.resolved_) * out_bytes);
+    const auto per_image_bytes = [&](std::int64_t h, std::int64_t w) {
+        return h * w * (in_bytes + scratch_images(p.resolved_) * out_bytes);
+    };
+    if (grid && grid->count() > 1) {
+        // Pool high-water bound: the free lists are keyed by exact element
+        // count, so each DISTINCT ragged tile shape (at most four) keeps
+        // its own workspace class alive, and the carry pass additionally
+        // holds carry_fanout (tile + two edge vector) buffers per shape.
+        const std::int64_t fanout =
+            std::max(1, req.tile.carry_fanout);
+        std::vector<std::pair<std::int64_t, std::int64_t>> shapes;
+        for (std::int64_t ti = 0; ti < grid->rows(); ++ti)
+            for (std::int64_t tj = 0; tj < grid->cols(); ++tj) {
+                const auto r = grid->rect(ti, tj);
+                if (std::find(shapes.begin(), shapes.end(),
+                              std::pair{r.h, r.w}) == shapes.end())
+                    shapes.emplace_back(r.h, r.w);
+            }
+        p.workspace_bytes_ = 0;
+        for (const auto& [h, w] : shapes)
+            p.workspace_bytes_ +=
+                per_image_bytes(h, w) +
+                fanout * (h * w + h + w) * out_bytes;
+    } else {
+        p.workspace_bytes_ = per_image_bytes(req.height, req.width);
+    }
     return p;
 }
 

@@ -27,6 +27,7 @@
 
 #include "model/gpu_specs.hpp"
 #include "sat/sat.hpp"
+#include "sat/tiled.hpp"
 #include "simt/buffer_pool.hpp"
 
 #include <span>
@@ -125,6 +126,10 @@ struct KernelEntry {
     /// Runs compute_sat<Tout, Tin> with every buffer leased from `pool`.
     RuntimeResult (*exec)(simt::Engine&, simt::BufferPool&, const AnyMatrix&,
                           const Options&);
+    /// Runs compute_sat_tiled<Tout, Tin> (macro-tile out-of-core path).
+    RuntimeResult (*exec_tiled)(simt::Engine&, simt::BufferPool&,
+                                const AnyMatrix&, const Options&,
+                                const TileGeometry&);
     /// Serial CPU oracle (paper Alg. 1) at this pair.
     AnyMatrix (*reference)(const AnyMatrix&);
 };
@@ -153,6 +158,12 @@ struct PlanRequest {
     /// Target GPU for kAuto's predicted-time ranking (and nothing else;
     /// execution is hardware agnostic).  Null means Tesla P100.
     const model::GpuSpec* gpu = nullptr;
+    /// Macro-tile geometry (docs/tiled_execution.md).  Disabled (the
+    /// default) runs the whole image in one workspace; enabled geometries
+    /// execute out of core with pooled memory bounded by O(tile area) --
+    /// workspace_bytes() becomes that bound instead of the image
+    /// footprint.  Results are bit-identical either way.
+    TileGeometry tile{};
     /// Run the warp-synchronous hazard checker on every launch this plan
     /// executes; findings land on RuntimeResult::launches[i].hazards.
     /// Observational only -- tables are bit-identical with it on or off.
@@ -175,13 +186,23 @@ public:
     [[nodiscard]] DtypePair dtypes() const noexcept { return req_.dtypes; }
     [[nodiscard]] std::int64_t height() const noexcept { return req_.height; }
     [[nodiscard]] std::int64_t width() const noexcept { return req_.width; }
+    /// Macro-tile geometry; disabled for single-workspace plans.
+    [[nodiscard]] const TileGeometry& tile() const noexcept
+    {
+        return req_.tile;
+    }
     /// Cost-model ranking, best first.  Non-empty iff requested() == kAuto.
     [[nodiscard]] const std::vector<AlgoScore>& scores() const noexcept
     {
         return scores_;
     }
-    /// Device bytes execute() leases per image: input staging plus the
-    /// algorithm's scratch images.
+    /// Device bytes execute() leases per image.  Untiled: input staging
+    /// plus the algorithm's scratch images (proportional to the image).
+    /// Tiled: an upper bound on the pool's high-water mark -- one
+    /// per-tile workspace per distinct ragged tile shape plus
+    /// carry_fanout carry buffers -- which is O(tile area) and
+    /// independent of the image size (asserted against pool stats by
+    /// tests).
     [[nodiscard]] std::int64_t workspace_bytes() const noexcept
     {
         return workspace_bytes_;
@@ -227,6 +248,17 @@ public:
                                     std::int64_t height, std::int64_t width,
                                     const model::GpuSpec& gpu,
                                     const Options& opt = {});
+
+    /// Tiled prediction: per-tile kernel time summed over the tile grid
+    /// (distinct ragged shapes predicted once, weighted by multiplicity)
+    /// plus the synthetic carry pass.  kAuto ranks by this when
+    /// PlanRequest::tile is enabled.
+    [[nodiscard]] double predict_tiled_us(Algorithm algo, DtypePair dt,
+                                          std::int64_t height,
+                                          std::int64_t width,
+                                          const TileGeometry& tile,
+                                          const model::GpuSpec& gpu,
+                                          const Options& opt = {});
 
     /// Serial CPU oracle at any supported pair (verification paths).
     [[nodiscard]] AnyMatrix reference(const AnyMatrix& image,

@@ -21,15 +21,13 @@ using simt::LaneVec;
 template <typename T>
 using RegTile = std::array<LaneVec<T>, kWarpSize>;
 
-/// Lane mask for columns col0+lane < width.
-[[nodiscard]] inline LaneMask cols_in_range(std::int64_t col0,
-                                            std::int64_t width)
+/// Lane mask (std::uint32_t, lane 0 = LSB) for columns col0+lane < width.
+/// Thin name-for-the-domain wrapper over simt::lanes_in_range, the shared
+/// segment-edge predicate.
+[[nodiscard]] constexpr LaneMask cols_in_range(std::int64_t col0,
+                                               std::int64_t width) noexcept
 {
-    LaneMask m = 0;
-    for (int l = 0; l < kWarpSize; ++l)
-        if (col0 + l < width)
-            m |= (1u << l);
-    return m;
+    return simt::lanes_in_range(col0, width);
 }
 
 /// Load tile rows: regs[j][lane] = src[row0+j][col0+lane] converted to Tout,

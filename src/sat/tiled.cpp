@@ -1,0 +1,80 @@
+#include "sat/tiled.hpp"
+
+#include <cstdio>
+
+namespace satgpu::sat {
+
+std::optional<TileGeometry> parse_tile_geometry(std::string_view s)
+{
+    TileGeometry g;
+    long long th = 0, tw = 0;
+    if (std::sscanf(std::string(s).c_str(), "%lldx%lld", &th, &tw) != 2 ||
+        th <= 0 || tw <= 0)
+        return std::nullopt;
+    g.tile_h = th;
+    g.tile_w = tw;
+    return g;
+}
+
+TileGrid::TileGrid(std::int64_t height, std::int64_t width,
+                   const TileGeometry& g)
+    : height_(height), width_(width), geo_(g)
+{
+    SATGPU_CHECK(height > 0 && width > 0,
+                 "tiled execution needs a positive image shape");
+    SATGPU_CHECK(g.tile_h > 0 && g.tile_w > 0,
+                 "tile geometry must have positive sides");
+    SATGPU_CHECK(g.tile_h % kWarpSize == 0 && g.tile_w % kWarpSize == 0,
+                 "macro-tile sides must be multiples of 32");
+    rows_ = ceil_div(height, g.tile_h);
+    cols_ = ceil_div(width, g.tile_w);
+}
+
+simt::LaunchStats predict_tile_carry(std::int64_t height, std::int64_t width,
+                                     const TileGeometry& g,
+                                     std::int64_t out_bytes)
+{
+    const TileGrid grid(height, width, g);
+    simt::LaunchStats s;
+    s.info = {"tile_carry_combine", 32, 0};
+    s.config = {{ceil_div(g.tile_h, std::int64_t{kWarpSize}),
+                 std::max<std::int64_t>(1, g.carry_fanout), 1},
+                {kWarpSize, 1, 1}};
+
+    auto& c = s.counters;
+    for (std::int64_t ti = 0; ti < grid.rows(); ++ti)
+        for (std::int64_t tj = 0; tj < grid.cols(); ++tj) {
+            if (ti == 0 && tj == 0)
+                continue; // never launched for the origin tile
+            const auto r = grid.rect(ti, tj);
+            const std::int64_t elems = r.h * r.w;
+            const std::int64_t bands = ceil_div(r.h, std::int64_t{kWarpSize});
+            const std::int64_t chunks = ceil_div(r.w, std::int64_t{kWarpSize});
+
+            // Data path: two adds per element + the per-band corner bias.
+            c.lane_add += static_cast<std::uint64_t>(2 * elems +
+                                                     kWarpSize * bands);
+            c.warp_shfl += static_cast<std::uint64_t>(r.h * chunks);
+
+            // Memory: tile load+store per element, one row-carry vector
+            // per band, one column-carry vector per (band, chunk).
+            const std::int64_t ld_bytes =
+                (elems + r.h + bands * r.w) * out_bytes;
+            const std::int64_t st_bytes = elems * out_bytes;
+            c.gmem_ld_req += static_cast<std::uint64_t>(
+                bands + bands * chunks + r.h * chunks);
+            c.gmem_st_req += static_cast<std::uint64_t>(r.h * chunks);
+            c.gmem_bytes_ld += static_cast<std::uint64_t>(ld_bytes);
+            c.gmem_bytes_st += static_cast<std::uint64_t>(st_bytes);
+            c.gmem_ld_sectors += ceil_div(
+                static_cast<std::uint64_t>(ld_bytes), std::uint64_t{32});
+            c.gmem_st_sectors += ceil_div(
+                static_cast<std::uint64_t>(st_bytes), std::uint64_t{32});
+
+            c.blocks += static_cast<std::uint64_t>(bands);
+            c.warps += static_cast<std::uint64_t>(bands);
+        }
+    return s;
+}
+
+} // namespace satgpu::sat

@@ -33,10 +33,7 @@ simt::KernelTask scan_partial_warp(simt::WarpCtx& w,
         w.block_idx().x * chunk + std::int64_t{w.warp_id()} * kWarpSize;
     const auto lane = LaneVec<std::int64_t>::lane_index();
 
-    simt::LaneMask m = 0;
-    for (int l = 0; l < kWarpSize; ++l)
-        if (base + l < n)
-            m |= (1u << l);
+    const simt::LaneMask m = simt::lanes_in_range(base, n);
 
     auto v = in.load(lane + base, m);
     LaneVec<T> total;
@@ -61,10 +58,7 @@ simt::KernelTask scan_offsets_warp(simt::WarpCtx& w,
     LaneVec<T> carry{};
     for (std::int64_t c0 = 0; c0 < n; c0 += chunk) {
         const std::int64_t base = c0 + std::int64_t{w.warp_id()} * kWarpSize;
-        simt::LaneMask m = 0;
-        for (int l = 0; l < kWarpSize; ++l)
-            if (base + l < n)
-                m |= (1u << l);
+        const simt::LaneMask m = simt::lanes_in_range(base, n);
         auto v = totals.load(lane + base, m);
         LaneVec<T> total;
         co_await block_inclusive_scan(w, v, total, kind);
@@ -87,10 +81,7 @@ simt::KernelTask scan_add_offsets_warp(simt::WarpCtx& w,
     const std::int64_t base =
         w.block_idx().x * chunk + std::int64_t{w.warp_id()} * kWarpSize;
     const auto lane = LaneVec<std::int64_t>::lane_index();
-    simt::LaneMask m = 0;
-    for (int l = 0; l < kWarpSize; ++l)
-        if (base + l < n)
-            m |= (1u << l);
+    const simt::LaneMask m = simt::lanes_in_range(base, n);
     if (m == 0)
         co_return;
     const auto off = offsets.load(

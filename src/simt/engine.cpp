@@ -43,7 +43,8 @@ struct ActiveWarpReset {
 /// semantics.  Returns the block's peak shared-memory allocation.
 std::int64_t run_block(Dim3 block_idx, const LaunchConfig& cfg,
                        const WarpProgram& program,
-                       std::int64_t smem_capacity, PerfCounters& counters)
+                       std::int64_t smem_capacity, std::string_view phase,
+                       PerfCounters& counters)
 {
     SharedMemory smem(smem_capacity);
     const int warps = static_cast<int>(cfg.warps_per_block());
@@ -55,6 +56,9 @@ std::int64_t run_block(Dim3 block_idx, const LaunchConfig& cfg,
     execs.reserve(static_cast<std::size_t>(warps));
     for (int w = 0; w < warps; ++w) {
         execs.push_back(WarpExec{WarpCtx(block_idx, cfg, w, &smem), {}, {}});
+        // Ambient phase (Engine::PhaseScope): qualifies this warp's range
+        // attribution as "phase/range" in the profile report.
+        execs.back().ranges.phase = phase;
         execs.back().task = program(execs.back().ctx);
         SATGPU_CHECK(execs.back().task.valid(),
                      "warp program must return a live coroutine");
@@ -203,8 +207,8 @@ LaunchStats Engine::launch(const KernelInfo& info, LaunchConfig cfg,
             prof->begin_block(lin, b);
         if (chk)
             chk->begin_block(lin);
-        const std::int64_t used =
-            run_block(b, cfg, program, opt_.smem_capacity_bytes, sink);
+        const std::int64_t used = run_block(
+            b, cfg, program, opt_.smem_capacity_bytes, phase_, sink);
         if (chk)
             chk->end_block();
         if (prof)

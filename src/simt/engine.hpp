@@ -138,8 +138,23 @@ public:
     /// between launches (see CheckScope).
     void set_check(bool on) noexcept { opt_.check = on; }
 
+    /// Ambient profiler phase for subsequent launches: while non-empty
+    /// (see PhaseScope), every warp of every launch starts with this range
+    /// name at the bottom of its ProfileRange stack, so whole launches
+    /// attribute to a coarse host-side phase (e.g. the tiled executor's
+    /// "tile.compute" / "tile.carry") without each kernel knowing about
+    /// it.  Only observable when Options::profile is set.  The string is
+    /// not owned and must outlive the launches (PhaseScope enforces this
+    /// by construction for string literals).
+    void set_phase_label(std::string_view label) noexcept { phase_ = label; }
+    [[nodiscard]] std::string_view phase_label() const noexcept
+    {
+        return phase_;
+    }
+
 private:
     Options opt_;
+    std::string_view phase_;
     std::vector<LaunchStats> history_;
 };
 
@@ -163,6 +178,26 @@ public:
 private:
     Engine* eng_;
     bool prev_;
+};
+
+/// Scoped ambient phase label (Engine::set_phase_label): launches inside
+/// the scope attribute their whole execution to `label` in profiler
+/// reports unless a kernel-level ProfileRange refines it.  Nests; restores
+/// the enclosing label on exit.
+class PhaseScope {
+public:
+    PhaseScope(Engine& eng, std::string_view label) noexcept
+        : eng_(&eng), prev_(eng.phase_label())
+    {
+        eng_->set_phase_label(label);
+    }
+    ~PhaseScope() { eng_->set_phase_label(prev_); }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+private:
+    Engine* eng_;
+    std::string_view prev_;
 };
 
 } // namespace satgpu::simt

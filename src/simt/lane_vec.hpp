@@ -39,6 +39,23 @@ inline constexpr LaneMask kFullMask = 0xffffffffu;
     return std::popcount(m);
 }
 
+/// Mask of lanes l with first + l < limit: THE range predicate for ragged
+/// segment edges (a warp covering elements [first, first+32) of a run of
+/// `limit`).  Branch-free, and the single source of truth for every
+/// "columns/rows still in range" mask -- sat::cols_in_range and the
+/// per-kernel row masks all delegate here so they cannot drift on the
+/// 31/32/33 edge cases.  Lane 0 is the LSB, like every LaneMask.
+[[nodiscard]] constexpr LaneMask lanes_in_range(std::int64_t first,
+                                                std::int64_t limit) noexcept
+{
+    const std::int64_t n = limit - first;
+    if (n <= 0)
+        return 0;
+    if (n >= kWarpSize)
+        return kFullMask;
+    return (LaneMask{1} << n) - 1u;
+}
+
 template <typename T>
 class LaneVec {
 public:

@@ -56,14 +56,20 @@ void Profiler::flush()
     if (delta == PerfCounters{})
         return;
     const WarpRangeStack* s = cur_ ? cur_ : &host_stack_;
-    if (s->names.empty()) {
+    if (s->names.empty() && s->phase.empty()) {
         unattributed_.merge(delta);
         return;
     }
-    auto it = ranges_.find(s->names.back());
+    std::string key;
+    if (s->names.empty())
+        key = s->phase;
+    else if (s->phase.empty())
+        key = s->names.back();
+    else
+        key.append(s->phase).append("/").append(s->names.back());
+    auto it = ranges_.find(key);
     if (it == ranges_.end())
-        it = ranges_.emplace(std::string(s->names.back()), PerfCounters{})
-                 .first;
+        it = ranges_.emplace(std::move(key), PerfCounters{}).first;
     it->second.merge(delta);
 }
 

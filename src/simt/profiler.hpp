@@ -54,6 +54,13 @@ struct LaunchStats; // engine.hpp
 /// the worker thread running the block, so it needs no synchronization.
 struct WarpRangeStack {
     std::vector<std::string_view> names;
+    /// Ambient phase label (Engine::PhaseScope), set by the scheduler at
+    /// warp creation.  Attribution qualifies every range as
+    /// "phase/range" and catches counters outside any range under the
+    /// bare phase name, so a multi-launch composite (e.g. tiled
+    /// execution's "tile.compute" / "tile.carry") is separable in the
+    /// report without touching kernel code.
+    std::string_view phase;
 };
 
 /// Per-(phase range) counter deltas, merged across warps/blocks/workers.

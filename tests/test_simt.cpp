@@ -89,6 +89,53 @@ TEST(LaneVec, ComparisonsProduceMasks)
     EXPECT_EQ(simt::active_lane_count(m), 4);
 }
 
+// The shared predication helper behind every ragged tile edge: the warp
+// covers lanes [first, first + 32) of a row that ends at `limit`.
+TEST(LaneVec, LanesInRangeSegmentEdges)
+{
+    // 31 / 32 / 33-wide rows seen from the first warp-segment.
+    EXPECT_EQ(simt::lanes_in_range(0, 31), 0x7fffffffu);
+    EXPECT_EQ(simt::lanes_in_range(0, 32), simt::kFullMask);
+    EXPECT_EQ(simt::lanes_in_range(0, 33), simt::kFullMask);
+    // The 33-wide row's second segment keeps exactly one lane alive; a
+    // 31- or 32-wide row has no second segment at all.
+    EXPECT_EQ(simt::lanes_in_range(32, 33), 0x1u);
+    EXPECT_EQ(simt::lanes_in_range(32, 32), 0u);
+    EXPECT_EQ(simt::lanes_in_range(32, 31), 0u);
+    // Empty and inverted ranges are all-off, not UB.
+    EXPECT_EQ(simt::lanes_in_range(5, 5), 0u);
+    EXPECT_EQ(simt::lanes_in_range(10, 3), 0u);
+    EXPECT_EQ(simt::lanes_in_range(64, 33), 0u);
+}
+
+TEST(LaneVec, LanesInRangePredicatedCopyAtRaggedWidths)
+{
+    simt::Engine eng;
+    for (const std::int64_t width : {31, 32, 33}) {
+        simt::DeviceBuffer<int> src(width), dst(width + 1, -1);
+        for (std::int64_t i = 0; i < width; ++i)
+            src.host()[static_cast<std::size_t>(i)] = static_cast<int>(i);
+        const auto warps = (width + kWarpSize - 1) / kWarpSize;
+        const simt::LaunchConfig cfg{{1, 1, 1}, {warps * kWarpSize, 1, 1}};
+        eng.launch({"ragged_copy", 1, 0},
+                   cfg, [&](simt::WarpCtx& w) -> simt::KernelTask {
+                       const std::int64_t first = w.warp_id() * kWarpSize;
+                       const LaneMask m = simt::lanes_in_range(first, width);
+                       const auto idx =
+                           LaneVec<std::int64_t>::lane_index() +
+                           LaneVec<std::int64_t>::broadcast(first);
+                       dst.store(idx, src.load(idx, m), m);
+                       co_return;
+                   });
+        for (std::int64_t i = 0; i < width; ++i)
+            EXPECT_EQ(dst.host()[static_cast<std::size_t>(i)], i)
+                << "width " << width;
+        // The guard element past the row must stay untouched.
+        EXPECT_EQ(dst.host()[static_cast<std::size_t>(width)], -1)
+            << "width " << width;
+    }
+}
+
 // ---------------------------------------------------------------- Shuffle --
 
 TEST(Shuffle, UpMatchesCudaSemantics)

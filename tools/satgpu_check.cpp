@@ -7,12 +7,17 @@
 // mismatch makes the exit status nonzero.  CI runs this as the
 // "sanitizer" gate for the SIMT substrate.
 //
-// --self-test inverts the expectation: it runs the two deliberately
+// --tiled sweeps the macro-tile out-of-core path instead: every algorithm
+// x dtype pair x ragged shape x tile geometry must be hazard-clean and
+// bit-identical to the serial reference.
+//
+// --self-test inverts the expectation: it runs the three deliberately
 // broken kernel variants (sat/broken_kernels.hpp) and FAILS unless the
-// checker flags both -- the missing-barrier BRLT must be attributed to
-// the exact file:line of the offending tile store -- while their outputs
-// remain correct under the deterministic scheduler (the scenario golden
-// tests cannot catch).
+// checker flags each -- the missing-barrier BRLT must be attributed to
+// the exact file:line of the offending tile store, the unpublished tiled
+// carry prefix to its premature smem load -- while their outputs remain
+// correct under the deterministic scheduler (the scenario golden tests
+// cannot catch).
 #include "sat/broken_kernels.hpp"
 #include "sat/runtime.hpp"
 #include "simt/hazard_checker.hpp"
@@ -132,7 +137,75 @@ int run_self_test(int threads)
     ok &= expect_hazard(carry, simt::HazardKind::kSmemRaw, carry_site,
                         "unsynced smem tile");
 
+    const auto tiled = sat::broken::run_tiled_carry_prefix(eng);
+    const std::string tiled_site =
+        std::string(sat::broken::kFile) + ":" +
+        std::to_string(sat::broken::tiled_carry_line());
+    ok &= expect_hazard(tiled, simt::HazardKind::kSmemRaw, tiled_site,
+                        "unpublished tiled carry prefix");
+
     return ok ? 0 : 1;
+}
+
+int run_tiled_sweep(int threads)
+{
+    sat::Runtime rt({.record_history = false, .num_threads = threads});
+    int checked = 0;
+    std::uint64_t hazards = 0;
+    int mismatches = 0;
+
+    // Small geometries on ragged shapes maximize tile-count and ragged-edge
+    // coverage; 64x32 / 32x64 exercise non-square grids in both aspects.
+    constexpr sat::TileGeometry kGeometries[] = {
+        {32, 32, 4}, {64, 32, 2}, {32, 64, 3}};
+    constexpr Shape kTiledShapes[] = {{97, 130}, {130, 97}};
+
+    for (const sat::Algorithm algo : sat::kAllAlgorithms)
+        for (const DtypePair pair : kPaperDtypePairs)
+            for (const Shape s : kTiledShapes)
+                for (const sat::TileGeometry& g : kGeometries) {
+                    const auto plan = rt.plan({.height = s.h,
+                                               .width = s.w,
+                                               .dtypes = pair,
+                                               .algorithm = algo,
+                                               .tile = g,
+                                               .check = true});
+                    const auto image = sat::AnyMatrix::random(
+                        pair.in, s.h, s.w, /*seed=*/7);
+                    const auto res = plan.execute(image);
+                    ++checked;
+
+                    const std::uint64_t hz =
+                        simt::total_hazards(res.launches);
+                    if (hz != 0) {
+                        hazards += hz;
+                        std::cout << "HAZARD " << sat::to_string(algo) << " "
+                                  << pair_name(pair) << " " << s.h << "x"
+                                  << s.w << " tile " << g.tile_h << "x"
+                                  << g.tile_w << ":\n";
+                        for (const auto& l : res.launches) {
+                            if (!l.hazards)
+                                continue;
+                            for (const auto& h : l.hazards->hazards)
+                                std::cout << "  [" << l.info.name << "] "
+                                          << simt::to_string(h.kind)
+                                          << " at " << h.site << " x"
+                                          << h.count << '\n';
+                        }
+                    }
+                    if (!(res.table == rt.reference(image, pair.out))) {
+                        ++mismatches;
+                        std::cout << "MISMATCH " << sat::to_string(algo)
+                                  << " " << pair_name(pair) << " " << s.h
+                                  << "x" << s.w << " tile " << g.tile_h
+                                  << "x" << g.tile_w << '\n';
+                    }
+                }
+
+    std::cout << "tiled sweep: " << checked
+              << " (algorithm, dtype, shape, geometry) runs: " << hazards
+              << " hazard(s), " << mismatches << " reference mismatch(es)\n";
+    return hazards == 0 && mismatches == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -140,26 +213,35 @@ int run_self_test(int threads)
 int main(int argc, char** argv)
 {
     bool self_test = false;
+    bool tiled = false;
     int threads = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (arg == "--self-test") {
             self_test = true;
+        } else if (arg == "--tiled") {
+            tiled = true;
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = std::atoi(argv[++i]);
         } else {
-            std::cout << "usage: satgpu_check [--self-test] [--threads N]\n"
+            std::cout << "usage: satgpu_check [--self-test] [--tiled] "
+                         "[--threads N]\n"
                          "  default: run every algorithm x dtype pair x "
                          "ragged shape\n"
                          "           with the hazard checker on; exit 1 on "
                          "any hazard\n"
                          "           or reference mismatch\n"
+                         "  --tiled: same sweep through the macro-tile "
+                         "out-of-core path\n"
+                         "           across several tile geometries\n"
                          "  --self-test: run the deliberately broken kernel "
                          "variants;\n"
-                         "           exit 1 unless both are flagged at the "
-                         "expected sites\n";
+                         "           exit 1 unless each is flagged at the "
+                         "expected site\n";
             return arg == "--help" || arg == "-h" ? 0 : 2;
         }
     }
-    return self_test ? run_self_test(threads) : run_sweep(threads);
+    if (self_test)
+        return run_self_test(threads);
+    return tiled ? run_tiled_sweep(threads) : run_sweep(threads);
 }

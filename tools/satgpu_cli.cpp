@@ -40,6 +40,7 @@ struct Args {
     bool lf_scan = false;
     std::uint64_t seed = 42;
     int threads = 0; // 0 = one worker per hardware thread
+    sat::TileGeometry tile{}; // --tile HxW: macro-tile out-of-core path
     bool check = false;       // --check: warp-synchronous hazard checker
     std::string profile_path; // --profile: per-launch JSON report
     std::string trace_path;   // --trace: chrome://tracing timeline
@@ -73,6 +74,9 @@ void usage()
         "  --gpu G       m40 | p100 | v100 (default p100)\n"
         "  --batch N     run N images (seeds seed..seed+N-1) through ONE\n"
         "                plan, reusing pooled device buffers (default 1)\n"
+        "  --tile HxW    execute out of core in HxW macro-tiles (multiples\n"
+        "                of 32); pooled memory stays O(tile area) and the\n"
+        "                result is bit-identical to the untiled path\n"
         "  --verify      check every result against the serial reference\n"
         "  -v|--verbose  print cost-model scores (for --algo auto), the\n"
         "                plan's workspace, and buffer-pool statistics\n"
@@ -143,6 +147,17 @@ std::optional<Args> parse(int argc, char** argv)
                 std::cerr << "bad --batch (want a positive count)\n";
                 return std::nullopt;
             }
+        } else if (arg == "--tile") {
+            const char* v = next();
+            auto tile = v ? sat::parse_tile_geometry(v) : std::nullopt;
+            if (tile && (tile->tile_h % 32 != 0 || tile->tile_w % 32 != 0))
+                tile.reset();
+            if (!tile) {
+                std::cerr << "bad --tile (want HxW, positive multiples of "
+                             "32)\n";
+                return std::nullopt;
+            }
+            a.tile = *tile;
         } else if (arg == "--verify") {
             a.verify = true;
         } else if (arg == "-v" || arg == "--verbose") {
@@ -224,6 +239,7 @@ int run(const Args& args)
                                        : scan::WarpScanKind::kKoggeStone,
                                .padded_smem = !args.unpadded,
                                .gpu = gpu,
+                               .tile = args.tile,
                                .check = args.check});
 
     if (args.algo == sat::Algorithm::kAuto)
@@ -283,6 +299,9 @@ int run(const Args& args)
 
     std::cout << sat::to_string(plan.algorithm()) << " " << args.dtype << " "
               << args.height << "x" << args.width << " on " << gpu->name;
+    if (args.tile.enabled())
+        std::cout << " (tiled " << args.tile.tile_h << "x" << args.tile.tile_w
+                  << ")";
     if (args.batch > 1)
         std::cout << " (batch of " << args.batch << " through one plan)";
     std::cout << "\n\n";
