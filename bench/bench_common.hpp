@@ -11,6 +11,7 @@
 #include "sat/sat.hpp"
 #include "simt/engine.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +72,19 @@ inline void bench_json_prelude(JsonWriter& w, std::string_view name)
     w.value(std::string_view{"satgpu-bench-v1"});
     w.key("bench");
     w.value(name);
+}
+
+/// Nearest-rank percentile (p in [0, 100]) of an unsorted sample; 0 for an
+/// empty one.  Takes the sample by value: serving-latency reporters call
+/// this for several p's and must not perturb each other's view.
+[[nodiscard]] inline double percentile(std::vector<double> sample, double p)
+{
+    if (sample.empty())
+        return 0;
+    std::sort(sample.begin(), sample.end());
+    const auto rank = static_cast<std::size_t>(
+        (p / 100.0) * static_cast<double>(sample.size() - 1) + 0.5);
+    return sample[std::min(rank, sample.size() - 1)];
 }
 
 /// The paper evaluates 1k x 1k .. 16k x 16k square matrices (Sec. VI-A).

@@ -6,9 +6,12 @@
 // pair for testing the engine.
 #pragma once
 
+#include "core/check.hpp"
 #include "sat/launch_params.hpp"
 #include "sat/tile_io.hpp"
 #include "simt/engine.hpp"
+
+#include <span>
 
 namespace satgpu::baselines {
 
@@ -59,16 +62,48 @@ simt::KernelTask naive_col_warp(simt::WarpCtx& w,
     }
 }
 
+/// Fused K-image row pass: grid.z = K, block (x, y, k) runs image k's
+/// buffers (see launch_opencv_horizontal_wave for the contract).
+template <typename Tout, typename Tsrc>
+simt::LaunchStats launch_naive_rows_wave(
+    simt::Engine& eng, std::span<const simt::DeviceBuffer<Tsrc>* const> ins,
+    std::int64_t height, std::int64_t width,
+    std::span<simt::DeviceBuffer<Tout>* const> outs)
+{
+    SATGPU_EXPECTS(!ins.empty() && ins.size() == outs.size());
+    const simt::LaunchConfig cfg{
+        {1, ceil_div(height, 256), static_cast<std::int64_t>(ins.size())},
+        {256, 1, 1}};
+    return eng.launch({"naive_rows", 12, 0}, cfg, [&](simt::WarpCtx& w) {
+        const auto z = static_cast<std::size_t>(w.block_idx().z);
+        return naive_row_warp<Tout, Tsrc>(w, *ins[z], height, width,
+                                          *outs[z]);
+    });
+}
+
 template <typename Tout, typename Tsrc>
 simt::LaunchStats launch_naive_rows(simt::Engine& eng,
                                     const simt::DeviceBuffer<Tsrc>& in,
                                     std::int64_t height, std::int64_t width,
                                     simt::DeviceBuffer<Tout>& out)
 {
-    const simt::LaunchConfig cfg{{1, ceil_div(height, 256), 1},
-                                 {256, 1, 1}};
-    return eng.launch({"naive_rows", 12, 0}, cfg, [&](simt::WarpCtx& w) {
-        return naive_row_warp<Tout, Tsrc>(w, in, height, width, out);
+    const simt::DeviceBuffer<Tsrc>* const ins[] = {&in};
+    simt::DeviceBuffer<Tout>* const outs[] = {&out};
+    return launch_naive_rows_wave<Tout, Tsrc>(eng, ins, height, width, outs);
+}
+
+template <typename Tout>
+simt::LaunchStats launch_naive_cols_wave(
+    simt::Engine& eng, std::span<simt::DeviceBuffer<Tout>* const> datas,
+    std::int64_t height, std::int64_t width)
+{
+    SATGPU_EXPECTS(!datas.empty());
+    const simt::LaunchConfig cfg{
+        {ceil_div(width, 256), 1, static_cast<std::int64_t>(datas.size())},
+        {256, 1, 1}};
+    return eng.launch({"naive_cols", 12, 0}, cfg, [&](simt::WarpCtx& w) {
+        const auto z = static_cast<std::size_t>(w.block_idx().z);
+        return naive_col_warp<Tout>(w, *datas[z], height, width);
     });
 }
 
@@ -77,11 +112,8 @@ simt::LaunchStats launch_naive_cols(simt::Engine& eng,
                                     simt::DeviceBuffer<Tout>& data,
                                     std::int64_t height, std::int64_t width)
 {
-    const simt::LaunchConfig cfg{{ceil_div(width, 256), 1, 1},
-                                 {256, 1, 1}};
-    return eng.launch({"naive_cols", 12, 0}, cfg, [&](simt::WarpCtx& w) {
-        return naive_col_warp<Tout>(w, data, height, width);
-    });
+    simt::DeviceBuffer<Tout>* const datas[] = {&data};
+    return launch_naive_cols_wave<Tout>(eng, datas, height, width);
 }
 
 } // namespace satgpu::baselines

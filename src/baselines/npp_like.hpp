@@ -18,18 +18,35 @@
 namespace satgpu::baselines {
 
 /// scanRow: identical decomposition to the generic horizontal pass, with
-/// Table II's resource footprint.
+/// Table II's resource footprint.  The wave form fuses K same-shaped
+/// images into one grid.z = K launch (see launch_opencv_horizontal_wave).
+template <typename Tout, typename Tsrc>
+simt::LaunchStats launch_npp_scanrow_wave(
+    simt::Engine& eng, std::span<const simt::DeviceBuffer<Tsrc>* const> ins,
+    std::int64_t height, std::int64_t width,
+    std::span<simt::DeviceBuffer<Tout>* const> outs)
+{
+    SATGPU_EXPECTS(!ins.empty() && ins.size() == outs.size());
+    const simt::LaunchConfig cfg{
+        {1, height, static_cast<std::int64_t>(ins.size())}, {256, 1, 1}};
+    const simt::KernelInfo info{"npp_scanRow", 20, 2304 /* 2.25 KB */};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        const auto z = static_cast<std::size_t>(w.block_idx().z);
+        return opencv_horizontal_warp<Tout, Tsrc>(w, *ins[z], height, width,
+                                                  *outs[z]);
+    });
+}
+
 template <typename Tout, typename Tsrc>
 simt::LaunchStats launch_npp_scanrow(simt::Engine& eng,
                                      const simt::DeviceBuffer<Tsrc>& in,
                                      std::int64_t height, std::int64_t width,
                                      simt::DeviceBuffer<Tout>& out)
 {
-    const simt::LaunchConfig cfg{{1, height, 1}, {256, 1, 1}};
-    const simt::KernelInfo info{"npp_scanRow", 20, 2304 /* 2.25 KB */};
-    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
-        return opencv_horizontal_warp<Tout, Tsrc>(w, in, height, width, out);
-    });
+    const simt::DeviceBuffer<Tsrc>* const ins[] = {&in};
+    simt::DeviceBuffer<Tout>* const outs[] = {&out};
+    return launch_npp_scanrow_wave<Tout, Tsrc>(eng, ins, height, width,
+                                               outs);
 }
 
 /// scanCol: block (1,256,1), one block per column; thread t covers rows
@@ -65,18 +82,30 @@ simt::KernelTask npp_scancol_warp(simt::WarpCtx& w,
 }
 
 template <typename Tout>
+simt::LaunchStats launch_npp_scancol_wave(
+    simt::Engine& eng, std::span<simt::DeviceBuffer<Tout>* const> datas,
+    std::int64_t height, std::int64_t width)
+{
+    SATGPU_EXPECTS(!datas.empty());
+    // Table II reports gridSize (W+1,1,1) because nppiIntegral emits an
+    // exclusive table with a zero border column; our inclusive variant
+    // launches exactly W column blocks.
+    const simt::LaunchConfig cfg{
+        {width, 1, static_cast<std::int64_t>(datas.size())}, {1, 256, 1}};
+    const simt::KernelInfo info{"npp_scanCol", 18, 2304};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        const auto z = static_cast<std::size_t>(w.block_idx().z);
+        return npp_scancol_warp<Tout>(w, *datas[z], height, width);
+    });
+}
+
+template <typename Tout>
 simt::LaunchStats launch_npp_scancol(simt::Engine& eng,
                                      simt::DeviceBuffer<Tout>& data,
                                      std::int64_t height, std::int64_t width)
 {
-    // Table II reports gridSize (W+1,1,1) because nppiIntegral emits an
-    // exclusive table with a zero border column; our inclusive variant
-    // launches exactly W column blocks.
-    const simt::LaunchConfig cfg{{width, 1, 1}, {1, 256, 1}};
-    const simt::KernelInfo info{"npp_scanCol", 18, 2304};
-    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
-        return npp_scancol_warp<Tout>(w, data, height, width);
-    });
+    simt::DeviceBuffer<Tout>* const datas[] = {&data};
+    return launch_npp_scancol_wave<Tout>(eng, datas, height, width);
 }
 
 } // namespace satgpu::baselines

@@ -12,11 +12,14 @@
 //    across the warp), the same for all types.
 #pragma once
 
+#include "core/check.hpp"
 #include "sat/launch_params.hpp"
 #include "sat/tile_io.hpp"
 #include "scan/block_scan.hpp"
 #include "scan/warp_scan.hpp"
 #include "simt/engine.hpp"
+
+#include <span>
 
 namespace satgpu::baselines {
 
@@ -141,6 +144,30 @@ simt::KernelTask opencv_vertical_warp(simt::WarpCtx& w,
 }
 
 // ---------------------------------------------------------------- launches
+//
+// Each pass has a fused K-image "wave" form (grid.z = K; block (x, y, k)
+// runs image k's buffers -- the kernels never read block_idx().z, so
+// outputs are bit-identical to K separate launches) and a single-image
+// form that is just a K = 1 wave.
+
+template <typename Tout, typename Tsrc>
+simt::LaunchStats launch_opencv_horizontal_wave(
+    simt::Engine& eng, std::span<const simt::DeviceBuffer<Tsrc>* const> ins,
+    std::int64_t height, std::int64_t width,
+    std::span<simt::DeviceBuffer<Tout>* const> outs)
+{
+    SATGPU_EXPECTS(!ins.empty() && ins.size() == outs.size());
+    const simt::LaunchConfig cfg{
+        {1, height, static_cast<std::int64_t>(ins.size())}, {256, 1, 1}};
+    const simt::KernelInfo info{
+        "opencv_horisontal_pass", 24,
+        static_cast<std::int64_t>(8 * sizeof(Tout))};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        const auto z = static_cast<std::size_t>(w.block_idx().z);
+        return opencv_horizontal_warp<Tout, Tsrc>(w, *ins[z], height, width,
+                                                  *outs[z]);
+    });
+}
 
 template <typename Tout, typename Tsrc>
 simt::LaunchStats launch_opencv_horizontal(simt::Engine& eng,
@@ -149,12 +176,30 @@ simt::LaunchStats launch_opencv_horizontal(simt::Engine& eng,
                                            std::int64_t width,
                                            simt::DeviceBuffer<Tout>& out)
 {
-    const simt::LaunchConfig cfg{{1, height, 1}, {256, 1, 1}};
-    const simt::KernelInfo info{
-        "opencv_horisontal_pass", 24,
-        static_cast<std::int64_t>(8 * sizeof(Tout))};
+    const simt::DeviceBuffer<Tsrc>* const ins[] = {&in};
+    simt::DeviceBuffer<Tout>* const outs[] = {&out};
+    return launch_opencv_horizontal_wave<Tout, Tsrc>(eng, ins, height,
+                                                     width, outs);
+}
+
+template <typename Tout>
+simt::LaunchStats launch_opencv_horizontal_8u_wave(
+    simt::Engine& eng,
+    std::span<const simt::DeviceBuffer<std::uint8_t>* const> ins,
+    std::int64_t height, std::int64_t width,
+    std::span<simt::DeviceBuffer<Tout>* const> outs)
+{
+    SATGPU_EXPECTS(!ins.empty() && ins.size() == outs.size());
+    const int rows_per_block = 4; // 128-thread blocks, one warp per row
+    const simt::LaunchConfig cfg{
+        {1, ceil_div(height, rows_per_block),
+         static_cast<std::int64_t>(ins.size())},
+        {rows_per_block * kWarpSize, 1, 1}};
+    const simt::KernelInfo info{"opencv_horisontal_pass_8u_shfl", 40, 0};
     return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
-        return opencv_horizontal_warp<Tout, Tsrc>(w, in, height, width, out);
+        const auto z = static_cast<std::size_t>(w.block_idx().z);
+        return opencv_horizontal_8u_warp<Tout>(w, *ins[z], height, width,
+                                               *outs[z]);
     });
 }
 
@@ -163,13 +208,25 @@ simt::LaunchStats launch_opencv_horizontal_8u(
     simt::Engine& eng, const simt::DeviceBuffer<std::uint8_t>& in,
     std::int64_t height, std::int64_t width, simt::DeviceBuffer<Tout>& out)
 {
-    const int rows_per_block = 4; // 128-thread blocks, one warp per row
+    const simt::DeviceBuffer<std::uint8_t>* const ins[] = {&in};
+    simt::DeviceBuffer<Tout>* const outs[] = {&out};
+    return launch_opencv_horizontal_8u_wave<Tout>(eng, ins, height, width,
+                                                  outs);
+}
+
+template <typename Tout>
+simt::LaunchStats launch_opencv_vertical_wave(
+    simt::Engine& eng, std::span<simt::DeviceBuffer<Tout>* const> datas,
+    std::int64_t height, std::int64_t width)
+{
+    SATGPU_EXPECTS(!datas.empty());
     const simt::LaunchConfig cfg{
-        {1, ceil_div(height, rows_per_block), 1},
-        {rows_per_block * kWarpSize, 1, 1}};
-    const simt::KernelInfo info{"opencv_horisontal_pass_8u_shfl", 40, 0};
+        {ceil_div(width, 256), 1, static_cast<std::int64_t>(datas.size())},
+        {256, 1, 1}};
+    const simt::KernelInfo info{"opencv_vertical_pass", 16, 0};
     return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
-        return opencv_horizontal_8u_warp<Tout>(w, in, height, width, out);
+        const auto z = static_cast<std::size_t>(w.block_idx().z);
+        return opencv_vertical_warp<Tout>(w, *datas[z], height, width);
     });
 }
 
@@ -179,11 +236,8 @@ simt::LaunchStats launch_opencv_vertical(simt::Engine& eng,
                                          std::int64_t height,
                                          std::int64_t width)
 {
-    const simt::LaunchConfig cfg{{ceil_div(width, 256), 1, 1}, {256, 1, 1}};
-    const simt::KernelInfo info{"opencv_vertical_pass", 16, 0};
-    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
-        return opencv_vertical_warp<Tout>(w, data, height, width);
-    });
+    simt::DeviceBuffer<Tout>* const datas[] = {&data};
+    return launch_opencv_vertical_wave<Tout>(eng, datas, height, width);
 }
 
 } // namespace satgpu::baselines

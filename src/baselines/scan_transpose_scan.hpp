@@ -11,6 +11,8 @@
 #include "sat/scanrowcolumn.hpp"
 #include "simt/profiler.hpp"
 
+#include <span>
+
 namespace satgpu::baselines {
 
 /// Tiled matrix transpose: out (width x height) = in^T.  One 32-warp block
@@ -53,22 +55,38 @@ simt::KernelTask transpose_warp(simt::WarpCtx& w,
     }
 }
 
+/// Fused K-image transpose: grid.z = K, block (x, y, k) runs image k's
+/// buffers (see launch_opencv_horizontal_wave for the contract).
+template <typename T>
+simt::LaunchStats launch_transpose_wave(
+    simt::Engine& eng, std::span<const simt::DeviceBuffer<T>* const> ins,
+    std::int64_t height, std::int64_t width,
+    std::span<simt::DeviceBuffer<T>* const> outs)
+{
+    SATGPU_EXPECTS(!ins.empty() && ins.size() == outs.size());
+    const simt::LaunchConfig cfg{
+        {ceil_div(width, simt::kWarpSize),
+         ceil_div(height, simt::kWarpSize),
+         static_cast<std::int64_t>(ins.size())},
+        {32 * simt::kWarpSize, 1, 1}};
+    const simt::KernelInfo info{
+        "gmem_transpose", 16,
+        32 * 33 * static_cast<std::int64_t>(sizeof(T))};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        const auto z = static_cast<std::size_t>(w.block_idx().z);
+        return transpose_warp<T>(w, *ins[z], height, width, *outs[z]);
+    });
+}
+
 template <typename T>
 simt::LaunchStats launch_transpose(simt::Engine& eng,
                                    const simt::DeviceBuffer<T>& in,
                                    std::int64_t height, std::int64_t width,
                                    simt::DeviceBuffer<T>& out)
 {
-    const simt::LaunchConfig cfg{
-        {ceil_div(width, simt::kWarpSize),
-         ceil_div(height, simt::kWarpSize), 1},
-        {32 * simt::kWarpSize, 1, 1}};
-    const simt::KernelInfo info{
-        "gmem_transpose", 16,
-        32 * 33 * static_cast<std::int64_t>(sizeof(T))};
-    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
-        return transpose_warp<T>(w, in, height, width, out);
-    });
+    const simt::DeviceBuffer<T>* const ins[] = {&in};
+    simt::DeviceBuffer<T>* const outs[] = {&out};
+    return launch_transpose_wave<T>(eng, ins, height, width, outs);
 }
 
 } // namespace satgpu::baselines

@@ -11,11 +11,14 @@
 // yields the SAT, because rowscan(A^T)^T = colscan(A).
 #pragma once
 
+#include "core/check.hpp"
 #include "sat/block_carry.hpp"
 #include "sat/brlt.hpp"
 #include "sat/launch_params.hpp"
 #include "scan/serial_scan.hpp"
 #include "simt/engine.hpp"
+
+#include <span>
 
 namespace satgpu::sat {
 
@@ -76,9 +79,40 @@ simt::KernelTask brlt_scanrow_warp(simt::WarpCtx& w,
     }
 }
 
-/// Launch one BRLT-ScanRow pass over the whole matrix.  `warps_override`
-/// replaces the paper's block size (32 warps for 4-byte T, 16 for 64f) for
-/// the block-size ablation bench.
+/// Launch one BRLT-ScanRow pass over K same-shaped matrices as a single
+/// fused kernel: grid.z = K and block (x, y, k) runs image k's buffers.
+/// The warp program never reads block_idx().z, so every fused block
+/// executes exactly like the corresponding block of a K = 1 launch --
+/// outputs are bit-identical to K separate launches while the (modeled)
+/// per-launch overhead is paid once.  `warps_override` replaces the
+/// paper's block size (32 warps for 4-byte T, 16 for 64f) for the
+/// block-size ablation bench.
+template <typename Tout, typename Tsrc>
+simt::LaunchStats launch_brlt_scanrow_wave(
+    simt::Engine& eng, std::span<const simt::DeviceBuffer<Tsrc>* const> ins,
+    std::int64_t height, std::int64_t width,
+    std::span<simt::DeviceBuffer<Tout>* const> outs, bool padded_smem = true,
+    int warps_override = 0)
+{
+    SATGPU_EXPECTS(!ins.empty() && ins.size() == outs.size());
+    const int wc =
+        warps_override > 0 ? warps_override : warps_per_block<Tout>();
+    const simt::LaunchConfig cfg{
+        {1, ceil_div(height, kWarpSize),
+         static_cast<std::int64_t>(ins.size())},
+        {std::int64_t{wc} * kWarpSize, 1, 1}};
+    const simt::KernelInfo info{
+        "brlt_scanrow", regs_per_thread<Tout>(),
+        brlt_smem_bytes<Tout>(padded_smem) +
+            block_carry_smem_bytes<Tout>(wc)};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        const auto z = static_cast<std::size_t>(w.block_idx().z);
+        return brlt_scanrow_warp<Tout, Tsrc>(w, *ins[z], height, width,
+                                             *outs[z], padded_smem);
+    });
+}
+
+/// Launch one BRLT-ScanRow pass over the whole matrix (a K = 1 wave).
 template <typename Tout, typename Tsrc>
 simt::LaunchStats launch_brlt_scanrow_pass(simt::Engine& eng,
                                            const simt::DeviceBuffer<Tsrc>& in,
@@ -88,19 +122,11 @@ simt::LaunchStats launch_brlt_scanrow_pass(simt::Engine& eng,
                                            bool padded_smem = true,
                                            int warps_override = 0)
 {
-    const int wc =
-        warps_override > 0 ? warps_override : warps_per_block<Tout>();
-    const simt::LaunchConfig cfg{
-        {1, ceil_div(height, kWarpSize), 1},
-        {std::int64_t{wc} * kWarpSize, 1, 1}};
-    const simt::KernelInfo info{
-        "brlt_scanrow", regs_per_thread<Tout>(),
-        brlt_smem_bytes<Tout>(padded_smem) +
-            block_carry_smem_bytes<Tout>(wc)};
-    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
-        return brlt_scanrow_warp<Tout, Tsrc>(w, in, height, width, out,
-                                             padded_smem);
-    });
+    const simt::DeviceBuffer<Tsrc>* const ins[] = {&in};
+    simt::DeviceBuffer<Tout>* const outs[] = {&out};
+    return launch_brlt_scanrow_wave<Tout, Tsrc>(eng, ins, height, width,
+                                                outs, padded_smem,
+                                                warps_override);
 }
 
 } // namespace satgpu::sat

@@ -86,6 +86,23 @@ KernelEntry make_entry()
         return RuntimeResult{AnyMatrix(std::move(r.table)),
                              std::move(r.launches)};
     };
+    e.exec_wave = [](simt::Engine& eng, simt::BufferPool& pool,
+                     std::span<const AnyMatrix* const> images,
+                     const Options& opt) {
+        Options with_pool = opt;
+        with_pool.pool = &pool;
+        std::vector<const Matrix<Tin>*> typed;
+        typed.reserve(images.size());
+        for (const AnyMatrix* img : images)
+            typed.push_back(&img->as<Tin>());
+        auto r = compute_sat_wave<Tout, Tin>(eng, typed, with_pool);
+        WaveResult out;
+        out.launches = std::move(r.launches);
+        out.tables.reserve(r.tables.size());
+        for (auto& t : r.tables)
+            out.tables.push_back(AnyMatrix(std::move(t)));
+        return out;
+    };
     e.reference = [](const AnyMatrix& image) {
         return AnyMatrix(sat_serial<Tout>(image.as<Tin>()));
     };
@@ -129,20 +146,35 @@ std::vector<simt::LaunchConfig> Plan::launch_configs() const
                                               req_.height, req_.width);
 }
 
+namespace {
+
+void check_plan_input(const PlanRequest& req, const AnyMatrix& image)
+{
+    SATGPU_CHECK(image.dtype() == req.dtypes.in,
+                 "input dtype does not match the plan");
+    SATGPU_CHECK(image.height() == req.height && image.width() == req.width,
+                 "input shape does not match the plan");
+}
+
+Options plan_options(const PlanRequest& req, Algorithm resolved)
+{
+    Options opt;
+    opt.algorithm = resolved;
+    opt.warp_scan = req.warp_scan;
+    opt.padded_smem = req.padded_smem;
+    opt.check = req.check;
+    opt.pool_partition = req.pool_partition;
+    return opt;
+}
+
+} // namespace
+
 RuntimeResult Plan::execute(const AnyMatrix& image) const
 {
     SATGPU_CHECK(rt_ != nullptr && entry_ != nullptr,
                  "executing a default-constructed Plan");
-    SATGPU_CHECK(image.dtype() == req_.dtypes.in,
-                 "input dtype does not match the plan");
-    SATGPU_CHECK(image.height() == req_.height &&
-                     image.width() == req_.width,
-                 "input shape does not match the plan");
-    Options opt;
-    opt.algorithm = resolved_;
-    opt.warp_scan = req_.warp_scan;
-    opt.padded_smem = req_.padded_smem;
-    opt.check = req_.check;
+    check_plan_input(req_, image);
+    const Options opt = plan_options(req_, resolved_);
     if (req_.tile.enabled())
         return entry_->exec_tiled(rt_->eng_, rt_->pool_, image, opt,
                                   req_.tile);
@@ -157,6 +189,33 @@ Plan::execute_batch(std::span<const AnyMatrix> images) const
     for (const AnyMatrix& img : images)
         out.push_back(execute(img));
     return out;
+}
+
+WaveResult Plan::execute_wave(std::span<const AnyMatrix* const> images) const
+{
+    SATGPU_CHECK(rt_ != nullptr && entry_ != nullptr,
+                 "executing a default-constructed Plan");
+    SATGPU_CHECK(!images.empty(), "execute_wave needs at least one image");
+    for (const AnyMatrix* img : images)
+        check_plan_input(req_, *img);
+    const Options opt = plan_options(req_, resolved_);
+    if (req_.tile.enabled()) {
+        // Macro-tile execution is already a multi-launch pipeline per
+        // image; run the wave as a per-image loop (bit-identical tables,
+        // no fusion).
+        WaveResult out;
+        out.tables.reserve(images.size());
+        for (const AnyMatrix* img : images) {
+            auto r = entry_->exec_tiled(rt_->eng_, rt_->pool_, *img, opt,
+                                        req_.tile);
+            out.tables.push_back(std::move(r.table));
+            out.launches.insert(out.launches.end(),
+                                std::make_move_iterator(r.launches.begin()),
+                                std::make_move_iterator(r.launches.end()));
+        }
+        return out;
+    }
+    return entry_->exec_wave(rt_->eng_, rt_->pool_, images, opt);
 }
 
 // -------------------------------------------------------------- Runtime ----

@@ -118,6 +118,14 @@ struct RuntimeResult {
     std::vector<simt::LaunchStats> launches;
 };
 
+/// Result of one fused wave over K same-shaped images (Plan::execute_wave):
+/// one table per image in submission order, plus the stats of the FUSED
+/// launches (grid.z = K, counters summed over the K images).
+struct WaveResult {
+    std::vector<AnyMatrix> tables;
+    std::vector<simt::LaunchStats> launches;
+};
+
 /// One registry row: the type-erased entry points for a single (input,
 /// output) dtype pair, bound to the templated implementations at build
 /// time.
@@ -130,6 +138,12 @@ struct KernelEntry {
     RuntimeResult (*exec_tiled)(simt::Engine&, simt::BufferPool&,
                                 const AnyMatrix&, const Options&,
                                 const TileGeometry&);
+    /// Runs compute_sat_wave<Tout, Tin>: K same-shaped images through one
+    /// fused grid.z = K launch per kernel pass (bit-identical tables to K
+    /// exec calls; one launch overhead per pass instead of per image).
+    WaveResult (*exec_wave)(simt::Engine&, simt::BufferPool&,
+                            std::span<const AnyMatrix* const>,
+                            const Options&);
     /// Serial CPU oracle (paper Alg. 1) at this pair.
     AnyMatrix (*reference)(const AnyMatrix&);
 };
@@ -168,6 +182,12 @@ struct PlanRequest {
     /// executes; findings land on RuntimeResult::launches[i].hazards.
     /// Observational only -- tables are bit-identical with it on or off.
     bool check = false;
+    /// BufferPool partition every buffer this plan leases comes from.
+    /// Partitions never share buffers (simt/buffer_pool.hpp), so the
+    /// service layer gives each cached plan its own partition to keep
+    /// per-plan high-water marks attributable and bounded.  0 (default)
+    /// is the shared partition every direct Runtime user gets.
+    int pool_partition = 0;
 };
 
 class Runtime;
@@ -217,6 +237,15 @@ public:
     /// whole batch allocates nothing.
     [[nodiscard]] std::vector<RuntimeResult>
     execute_batch(std::span<const AnyMatrix> images) const;
+    /// Coalesce K same-shaped images into fused grid.z = K launches (one
+    /// per kernel pass).  Tables are bit-identical to K execute() calls in
+    /// the same order; the (modeled) per-launch overhead is paid once per
+    /// pass instead of once per image.  Tiled plans fall back to a
+    /// per-image loop (macro-tile phases are already multi-launch).  The
+    /// wave holds K workspaces concurrently, so workspace_bytes() scales
+    /// by K for the wave's duration.
+    [[nodiscard]] WaveResult
+    execute_wave(std::span<const AnyMatrix* const> images) const;
 
 private:
     friend class Runtime;

@@ -29,6 +29,7 @@
 #include "sat/scanrowcolumn.hpp"
 #include "simt/buffer_pool.hpp"
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -80,6 +81,10 @@ struct Options {
     /// Results are bit-identical either way; the runtime layer always
     /// passes its pool.  Not owned.
     simt::BufferPool* pool = nullptr;
+    /// BufferPool partition every lease comes from.  Partitions never
+    /// share buffers, so per-client (per service plan) footprints stay
+    /// attributable; 0 is the shared default partition.
+    int pool_partition = 0;
     /// Run the warp-synchronous hazard checker for this computation's
     /// launches (simt/hazard_checker.hpp): each LaunchStats in
     /// SatResult::launches carries a HazardReport.  Purely observational
@@ -90,6 +95,16 @@ struct Options {
 template <typename Tout>
 struct SatResult {
     Matrix<Tout> table;
+    std::vector<simt::LaunchStats> launches;
+};
+
+/// Result of one fused wave over K same-shaped images: one table per
+/// image, plus the stats of the FUSED launches (each launch ran with
+/// grid.z = K, so its counters are the commutative sum of the K per-image
+/// launches it replaced).
+template <typename Tout>
+struct SatWaveResult {
+    std::vector<Matrix<Tout>> tables;
     std::vector<simt::LaunchStats> launches;
 };
 
@@ -111,100 +126,167 @@ struct SatResult {
     return 0;
 }
 
-/// Compute the inclusive SAT of `image` on the simulated GPU.  All device
-/// buffers come from Options::pool when one is set (and are returned to it
-/// before this function returns), so repeated calls at one shape allocate
-/// nothing after the first.
+namespace detail {
+
+/// A wave's worth of pooled Tout scratch buffers: K leases of `count`
+/// elements each, acquired in image order so a K = 1 wave performs exactly
+/// the acquisitions the historical single-image path did.
+template <typename Tout>
+struct ScratchSet {
+    std::vector<simt::BufferPool::Lease<Tout>> leases;
+
+    ScratchSet(const Options& opt, std::size_t k, std::int64_t count)
+    {
+        leases.reserve(k);
+        for (std::size_t i = 0; i < k; ++i)
+            leases.push_back(simt::acquire_or_new<Tout>(
+                opt.pool, count, opt.pool_partition));
+    }
+
+    /// Mutable per-image buffer pointers (a launch wave's outputs).
+    [[nodiscard]] std::vector<simt::DeviceBuffer<Tout>*> outs()
+    {
+        std::vector<simt::DeviceBuffer<Tout>*> p;
+        p.reserve(leases.size());
+        for (auto& l : leases)
+            p.push_back(&*l);
+        return p;
+    }
+
+    /// Const per-image buffer pointers (a launch wave's inputs).
+    [[nodiscard]] std::vector<const simt::DeviceBuffer<Tout>*> ins() const
+    {
+        std::vector<const simt::DeviceBuffer<Tout>*> p;
+        p.reserve(leases.size());
+        for (const auto& l : leases)
+            p.push_back(&*l);
+        return p;
+    }
+};
+
+} // namespace detail
+
+/// Compute the inclusive SATs of K same-shaped images in one fused WAVE:
+/// every kernel pass of the chosen algorithm runs once with grid.z = K
+/// instead of K times, so the (modeled) fixed per-launch overhead is paid
+/// once per pass rather than once per image -- the request-coalescing lever
+/// the service layer uses.  Each fused block executes exactly like the
+/// corresponding block of a single-image launch (kernels never read
+/// block_idx().z), so every table is bit-identical to compute_sat on that
+/// image alone.  All device buffers come from Options::pool when one is
+/// set; a wave holds K workspaces concurrently, which is why service plans
+/// get their own pool partition.
 template <typename Tout, typename Tin>
-[[nodiscard]] SatResult<Tout> compute_sat(simt::Engine& eng,
-                                          const Matrix<Tin>& image,
-                                          Options opt = {})
+[[nodiscard]] SatWaveResult<Tout>
+compute_sat_wave(simt::Engine& eng,
+                 std::span<const Matrix<Tin>* const> images, Options opt = {})
 {
-    const std::int64_t h = image.height();
-    const std::int64_t w = image.width();
+    const std::size_t k = images.size();
+    SATGPU_EXPECTS(k > 0);
+    const std::int64_t h = images[0]->height();
+    const std::int64_t w = images[0]->width();
     SATGPU_EXPECTS(h > 0 && w > 0);
+    for (const Matrix<Tin>* img : images)
+        SATGPU_EXPECTS(img->height() == h && img->width() == w);
     const simt::CheckScope check_scope(eng, opt.check);
-    auto in_lease = simt::acquire_or_new<Tin>(opt.pool, h * w);
-    std::copy(image.flat().begin(), image.flat().end(),
-              in_lease->host().begin());
-    const simt::DeviceBuffer<Tin>& in = *in_lease;
+
+    std::vector<simt::BufferPool::Lease<Tin>> in_leases;
+    in_leases.reserve(k);
+    std::vector<const simt::DeviceBuffer<Tin>*> ins;
+    ins.reserve(k);
+    for (const Matrix<Tin>* img : images) {
+        in_leases.push_back(
+            simt::acquire_or_new<Tin>(opt.pool, h * w, opt.pool_partition));
+        std::copy(img->flat().begin(), img->flat().end(),
+                  in_leases.back()->host().begin());
+        ins.push_back(&*in_leases.back());
+    }
     const auto scratch = [&](std::int64_t count) {
-        return simt::acquire_or_new<Tout>(opt.pool, count);
+        return detail::ScratchSet<Tout>(opt, k, count);
     };
-    SatResult<Tout> res;
+    const auto tables = [&](detail::ScratchSet<Tout>& set,
+                            std::vector<Matrix<Tout>>& out) {
+        out.reserve(k);
+        for (auto& l : set.leases)
+            out.push_back(l->to_matrix(h, w));
+    };
+    SatWaveResult<Tout> res;
 
     switch (opt.algorithm) {
     case Algorithm::kBrltScanRow: {
         auto mid = scratch(w * h), out = scratch(h * w);
-        res.launches.push_back(launch_brlt_scanrow_pass<Tout>(
-            eng, in, h, w, *mid, opt.padded_smem));
-        res.launches.push_back(launch_brlt_scanrow_pass<Tout>(
-            eng, *mid, w, h, *out, opt.padded_smem));
-        res.table = out->to_matrix(h, w);
+        res.launches.push_back(launch_brlt_scanrow_wave<Tout, Tin>(
+            eng, ins, h, w, mid.outs(), opt.padded_smem));
+        res.launches.push_back(launch_brlt_scanrow_wave<Tout, Tout>(
+            eng, mid.ins(), w, h, out.outs(), opt.padded_smem));
+        tables(out, res.tables);
         break;
     }
     case Algorithm::kScanRowBrlt: {
         auto mid = scratch(w * h), out = scratch(h * w);
-        res.launches.push_back(launch_scanrow_brlt_pass<Tout>(
-            eng, in, h, w, *mid, opt.warp_scan, opt.padded_smem));
-        res.launches.push_back(launch_scanrow_brlt_pass<Tout>(
-            eng, *mid, w, h, *out, opt.warp_scan, opt.padded_smem));
-        res.table = out->to_matrix(h, w);
+        res.launches.push_back(launch_scanrow_brlt_wave<Tout, Tin>(
+            eng, ins, h, w, mid.outs(), opt.warp_scan, opt.padded_smem));
+        res.launches.push_back(launch_scanrow_brlt_wave<Tout, Tout>(
+            eng, mid.ins(), w, h, out.outs(), opt.warp_scan,
+            opt.padded_smem));
+        tables(out, res.tables);
         break;
     }
     case Algorithm::kScanRowColumn: {
         auto mid = scratch(h * w), out = scratch(h * w);
-        res.launches.push_back(
-            launch_scanrow_pass<Tout>(eng, in, h, w, *mid, opt.warp_scan));
-        res.launches.push_back(
-            launch_scancolumn_pass<Tout>(eng, *mid, h, w, *out));
-        res.table = out->to_matrix(h, w);
+        res.launches.push_back(launch_scanrow_wave<Tout, Tin>(
+            eng, ins, h, w, mid.outs(), opt.warp_scan));
+        res.launches.push_back(launch_scancolumn_wave<Tout>(
+            eng, mid.ins(), h, w, out.outs()));
+        tables(out, res.tables);
         break;
     }
     case Algorithm::kOpencvLike: {
         auto buf = scratch(h * w);
         if constexpr (std::is_same_v<Tin, std::uint8_t>) {
-            res.launches.push_back(baselines::launch_opencv_horizontal_8u(
-                eng, in, h, w, *buf));
+            res.launches.push_back(
+                baselines::launch_opencv_horizontal_8u_wave<Tout>(
+                    eng, ins, h, w, buf.outs()));
         } else {
-            res.launches.push_back(baselines::launch_opencv_horizontal<Tout>(
-                eng, in, h, w, *buf));
+            res.launches.push_back(
+                baselines::launch_opencv_horizontal_wave<Tout, Tin>(
+                    eng, ins, h, w, buf.outs()));
         }
-        res.launches.push_back(
-            baselines::launch_opencv_vertical<Tout>(eng, *buf, h, w));
-        res.table = buf->to_matrix(h, w);
+        res.launches.push_back(baselines::launch_opencv_vertical_wave<Tout>(
+            eng, buf.outs(), h, w));
+        tables(buf, res.tables);
         break;
     }
     case Algorithm::kNppLike: {
         auto buf = scratch(h * w);
-        res.launches.push_back(
-            baselines::launch_npp_scanrow<Tout>(eng, in, h, w, *buf));
-        res.launches.push_back(
-            baselines::launch_npp_scancol<Tout>(eng, *buf, h, w));
-        res.table = buf->to_matrix(h, w);
+        res.launches.push_back(baselines::launch_npp_scanrow_wave<Tout, Tin>(
+            eng, ins, h, w, buf.outs()));
+        res.launches.push_back(baselines::launch_npp_scancol_wave<Tout>(
+            eng, buf.outs(), h, w));
+        tables(buf, res.tables);
         break;
     }
     case Algorithm::kScanTransposeScan: {
         auto a = scratch(h * w), b = scratch(w * h), c = scratch(w * h),
              d = scratch(h * w);
-        res.launches.push_back(
-            launch_scanrow_pass<Tout>(eng, in, h, w, *a, opt.warp_scan));
-        res.launches.push_back(
-            baselines::launch_transpose<Tout>(eng, *a, h, w, *b));
-        res.launches.push_back(
-            launch_scanrow_pass<Tout>(eng, *b, w, h, *c, opt.warp_scan));
-        res.launches.push_back(
-            baselines::launch_transpose<Tout>(eng, *c, w, h, *d));
-        res.table = d->to_matrix(h, w);
+        res.launches.push_back(launch_scanrow_wave<Tout, Tin>(
+            eng, ins, h, w, a.outs(), opt.warp_scan));
+        res.launches.push_back(baselines::launch_transpose_wave<Tout>(
+            eng, a.ins(), h, w, b.outs()));
+        res.launches.push_back(launch_scanrow_wave<Tout, Tout>(
+            eng, b.ins(), w, h, c.outs(), opt.warp_scan));
+        res.launches.push_back(baselines::launch_transpose_wave<Tout>(
+            eng, c.ins(), w, h, d.outs()));
+        tables(d, res.tables);
         break;
     }
     case Algorithm::kNaiveScanScan: {
         auto buf = scratch(h * w);
-        res.launches.push_back(
-            baselines::launch_naive_rows<Tout>(eng, in, h, w, *buf));
-        res.launches.push_back(
-            baselines::launch_naive_cols<Tout>(eng, *buf, h, w));
-        res.table = buf->to_matrix(h, w);
+        res.launches.push_back(baselines::launch_naive_rows_wave<Tout, Tin>(
+            eng, ins, h, w, buf.outs()));
+        res.launches.push_back(baselines::launch_naive_cols_wave<Tout>(
+            eng, buf.outs(), h, w));
+        tables(buf, res.tables);
         break;
     }
     case Algorithm::kAuto:
@@ -212,6 +294,23 @@ template <typename Tout, typename Tin>
                             "Runtime::plan before execution");
     }
     return res;
+}
+
+/// Compute the inclusive SAT of `image` on the simulated GPU -- a K = 1
+/// wave, which performs the exact buffer acquisitions and launches the
+/// historical single-image path did (grid.z = 1, identical counters).
+/// All device buffers come from Options::pool when one is set (and are
+/// returned to it before this function returns), so repeated calls at one
+/// shape allocate nothing after the first.
+template <typename Tout, typename Tin>
+[[nodiscard]] SatResult<Tout> compute_sat(simt::Engine& eng,
+                                          const Matrix<Tin>& image,
+                                          Options opt = {})
+{
+    const Matrix<Tin>* const imgs[] = {&image};
+    auto wave = compute_sat_wave<Tout, Tin>(eng, imgs, opt);
+    return SatResult<Tout>{std::move(wave.tables[0]),
+                           std::move(wave.launches)};
 }
 
 } // namespace satgpu::sat

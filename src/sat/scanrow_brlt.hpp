@@ -12,11 +12,14 @@
 // predicts (Sec. V-C) and Fig. 8 measures.
 #pragma once
 
+#include "core/check.hpp"
 #include "sat/block_carry.hpp"
 #include "sat/brlt.hpp"
 #include "sat/launch_params.hpp"
 #include "scan/warp_scan.hpp"
 #include "simt/engine.hpp"
+
+#include <span>
 
 namespace satgpu::sat {
 
@@ -94,6 +97,34 @@ simt::KernelTask scanrow_brlt_warp(simt::WarpCtx& w,
     }
 }
 
+/// Fused K-image ScanRow-BRLT pass: grid.z = K, block (x, y, k) runs image
+/// k's buffers (see launch_brlt_scanrow_wave for the bit-exactness
+/// argument).
+template <typename Tout, typename Tsrc>
+simt::LaunchStats launch_scanrow_brlt_wave(
+    simt::Engine& eng, std::span<const simt::DeviceBuffer<Tsrc>* const> ins,
+    std::int64_t height, std::int64_t width,
+    std::span<simt::DeviceBuffer<Tout>* const> outs,
+    scan::WarpScanKind kind = scan::WarpScanKind::kKoggeStone,
+    bool padded_smem = true)
+{
+    SATGPU_EXPECTS(!ins.empty() && ins.size() == outs.size());
+    const int wc = warps_per_block<Tout>();
+    const simt::LaunchConfig cfg{
+        {1, ceil_div(height, kWarpSize),
+         static_cast<std::int64_t>(ins.size())},
+        {std::int64_t{wc} * kWarpSize, 1, 1}};
+    const simt::KernelInfo info{
+        "scanrow_brlt", regs_per_thread<Tout>(),
+        brlt_smem_bytes<Tout>(padded_smem) +
+            block_carry_smem_bytes<Tout>(wc)};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        const auto z = static_cast<std::size_t>(w.block_idx().z);
+        return scanrow_brlt_warp<Tout, Tsrc>(w, *ins[z], height, width,
+                                             *outs[z], kind, padded_smem);
+    });
+}
+
 template <typename Tout, typename Tsrc>
 simt::LaunchStats launch_scanrow_brlt_pass(
     simt::Engine& eng, const simt::DeviceBuffer<Tsrc>& in,
@@ -101,18 +132,10 @@ simt::LaunchStats launch_scanrow_brlt_pass(
     scan::WarpScanKind kind = scan::WarpScanKind::kKoggeStone,
     bool padded_smem = true)
 {
-    const int wc = warps_per_block<Tout>();
-    const simt::LaunchConfig cfg{
-        {1, ceil_div(height, kWarpSize), 1},
-        {std::int64_t{wc} * kWarpSize, 1, 1}};
-    const simt::KernelInfo info{
-        "scanrow_brlt", regs_per_thread<Tout>(),
-        brlt_smem_bytes<Tout>(padded_smem) +
-            block_carry_smem_bytes<Tout>(wc)};
-    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
-        return scanrow_brlt_warp<Tout, Tsrc>(w, in, height, width, out, kind,
-                                             padded_smem);
-    });
+    const simt::DeviceBuffer<Tsrc>* const ins[] = {&in};
+    simt::DeviceBuffer<Tout>* const outs[] = {&out};
+    return launch_scanrow_brlt_wave<Tout, Tsrc>(eng, ins, height, width,
+                                                outs, kind, padded_smem);
 }
 
 } // namespace satgpu::sat

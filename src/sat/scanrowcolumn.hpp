@@ -10,6 +10,7 @@
 //    registers, and band carries propagate through the Fig. 3c block-carry.
 #pragma once
 
+#include "core/check.hpp"
 #include "sat/block_carry.hpp"
 #include "sat/launch_params.hpp"
 #include "sat/tile_io.hpp"
@@ -17,6 +18,8 @@
 #include "scan/warp_scan.hpp"
 #include "simt/engine.hpp"
 #include "simt/profiler.hpp"
+
+#include <span>
 
 namespace satgpu::sat {
 
@@ -119,6 +122,28 @@ simt::KernelTask scancolumn_warp(simt::WarpCtx& w,
     }
 }
 
+/// Fused K-image ScanRow pass: grid.z = K, block (x, y, k) runs image k's
+/// buffers (see launch_brlt_scanrow_wave for the bit-exactness argument).
+template <typename Tout, typename Tsrc>
+simt::LaunchStats launch_scanrow_wave(
+    simt::Engine& eng, std::span<const simt::DeviceBuffer<Tsrc>* const> ins,
+    std::int64_t height, std::int64_t width,
+    std::span<simt::DeviceBuffer<Tout>* const> outs, scan::WarpScanKind kind)
+{
+    SATGPU_EXPECTS(!ins.empty() && ins.size() == outs.size());
+    // BlockDim.x = 4096 / sizeof(T) threads (Sec. IV-C1).
+    const int wc = 128 / static_cast<int>(sizeof(Tout));
+    const simt::LaunchConfig cfg{
+        {1, ceil_div(height, wc), static_cast<std::int64_t>(ins.size())},
+        {std::int64_t{wc} * kWarpSize, 1, 1}};
+    const simt::KernelInfo info{"scanrow", regs_per_thread<Tout>(), 0};
+    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
+        const auto z = static_cast<std::size_t>(w.block_idx().z);
+        return scanrow_warp<Tout, Tsrc>(w, *ins[z], height, width, *outs[z],
+                                        kind);
+    });
+}
+
 template <typename Tout, typename Tsrc>
 simt::LaunchStats launch_scanrow_pass(simt::Engine& eng,
                                       const simt::DeviceBuffer<Tsrc>& in,
@@ -126,13 +151,30 @@ simt::LaunchStats launch_scanrow_pass(simt::Engine& eng,
                                       simt::DeviceBuffer<Tout>& out,
                                       scan::WarpScanKind kind)
 {
-    // BlockDim.x = 4096 / sizeof(T) threads (Sec. IV-C1).
-    const int wc = 128 / static_cast<int>(sizeof(Tout));
-    const simt::LaunchConfig cfg{{1, ceil_div(height, wc), 1},
-                                 {std::int64_t{wc} * kWarpSize, 1, 1}};
-    const simt::KernelInfo info{"scanrow", regs_per_thread<Tout>(), 0};
+    const simt::DeviceBuffer<Tsrc>* const ins[] = {&in};
+    simt::DeviceBuffer<Tout>* const outs[] = {&out};
+    return launch_scanrow_wave<Tout, Tsrc>(eng, ins, height, width, outs,
+                                           kind);
+}
+
+/// Fused K-image ScanColumn pass (same z-dispatch contract as above).
+template <typename Tout>
+simt::LaunchStats launch_scancolumn_wave(
+    simt::Engine& eng, std::span<const simt::DeviceBuffer<Tout>* const> ins,
+    std::int64_t height, std::int64_t width,
+    std::span<simt::DeviceBuffer<Tout>* const> outs)
+{
+    SATGPU_EXPECTS(!ins.empty() && ins.size() == outs.size());
+    const int wc = warps_per_block<Tout>();
+    const simt::LaunchConfig cfg{
+        {ceil_div(width, kWarpSize), 1,
+         static_cast<std::int64_t>(ins.size())},
+        {kWarpSize, wc, 1}};
+    const simt::KernelInfo info{"scancolumn", regs_per_thread<Tout>(),
+                                block_carry_smem_bytes<Tout>(wc)};
     return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
-        return scanrow_warp<Tout, Tsrc>(w, in, height, width, out, kind);
+        const auto z = static_cast<std::size_t>(w.block_idx().z);
+        return scancolumn_warp<Tout>(w, *ins[z], height, width, *outs[z]);
     });
 }
 
@@ -143,14 +185,9 @@ simt::LaunchStats launch_scancolumn_pass(simt::Engine& eng,
                                          std::int64_t width,
                                          simt::DeviceBuffer<Tout>& out)
 {
-    const int wc = warps_per_block<Tout>();
-    const simt::LaunchConfig cfg{{ceil_div(width, kWarpSize), 1, 1},
-                                 {kWarpSize, wc, 1}};
-    const simt::KernelInfo info{"scancolumn", regs_per_thread<Tout>(),
-                                block_carry_smem_bytes<Tout>(wc)};
-    return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
-        return scancolumn_warp<Tout>(w, in, height, width, out);
-    });
+    const simt::DeviceBuffer<Tout>* const ins[] = {&in};
+    simt::DeviceBuffer<Tout>* const outs[] = {&out};
+    return launch_scancolumn_wave<Tout>(eng, ins, height, width, outs);
 }
 
 } // namespace satgpu::sat

@@ -1,0 +1,334 @@
+#include "sat/service.hpp"
+
+#include "model/gpu_specs.hpp"
+#include "model/timing.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace satgpu::sat {
+
+namespace {
+
+[[nodiscard]] std::uint64_t image_bytes(const AnyMatrix& m)
+{
+    return static_cast<std::uint64_t>(m.height()) *
+           static_cast<std::uint64_t>(m.width()) * dtype_size(m.dtype());
+}
+
+} // namespace
+
+PlanKey plan_key(const PlanRequest& req) noexcept
+{
+    return PlanKey{.height = req.height,
+                   .width = req.width,
+                   .dtypes = req.dtypes,
+                   .algorithm = req.algorithm,
+                   .warp_scan = req.warp_scan,
+                   .padded_smem = req.padded_smem,
+                   .tile = req.tile,
+                   .check = req.check};
+}
+
+std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept
+{
+    std::size_t seed = 0;
+    const auto mix = [&seed](std::uint64_t v) {
+        // splitmix64-style avalanche, folded boost::hash_combine style.
+        v += 0x9e3779b97f4a7c15ull;
+        v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+        v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+        v ^= v >> 31;
+        seed ^= static_cast<std::size_t>(v) + 0x9e3779b9u + (seed << 6) +
+                (seed >> 2);
+    };
+    mix(static_cast<std::uint64_t>(k.height));
+    mix(static_cast<std::uint64_t>(k.width));
+    mix(static_cast<std::uint64_t>(k.dtypes.in) * 16 +
+        static_cast<std::uint64_t>(k.dtypes.out));
+    mix(static_cast<std::uint64_t>(k.algorithm));
+    mix(static_cast<std::uint64_t>(k.warp_scan));
+    mix((k.padded_smem ? 1u : 0u) | (k.check ? 2u : 0u));
+    mix(static_cast<std::uint64_t>(k.tile.tile_h));
+    mix(static_cast<std::uint64_t>(k.tile.tile_w));
+    mix(static_cast<std::uint64_t>(k.tile.carry_fanout));
+    return seed;
+}
+
+Service::Service(Options opt) : opt_(opt)
+{
+    SATGPU_CHECK(opt_.workers >= 1, "Service needs at least one worker");
+    SATGPU_CHECK(opt_.max_wave >= 1, "Service max_wave must be >= 1");
+    SATGPU_CHECK(opt_.max_queue >= 1, "Service max_queue must be >= 1");
+    workers_.reserve(static_cast<std::size_t>(opt_.workers));
+    for (int i = 0; i < opt_.workers; ++i) {
+        auto w = std::make_unique<Worker>();
+        simt::Engine::Options eo;
+        eo.record_history = false;
+        eo.num_threads = opt_.engine_threads;
+        w->rt = std::make_unique<Runtime>(eo);
+        workers_.push_back(std::move(w));
+    }
+    for (auto& w : workers_)
+        w->thread = std::thread([this, worker = w.get()] {
+            worker_main(*worker);
+        });
+}
+
+Service::~Service()
+{
+    {
+        std::lock_guard lk(mu_);
+        stopping_ = true;
+    }
+    cv_work_.notify_all();
+    cv_space_.notify_all();
+    for (auto& w : workers_)
+        if (w->thread.joinable())
+            w->thread.join();
+}
+
+std::future<AnyMatrix> Service::submit(Request req)
+{
+    SATGPU_CHECK(!req.image.empty(), "Service::submit: empty image");
+    const DtypePair dt{req.image.dtype(), req.out};
+    SATGPU_CHECK(find_kernel(dt) != nullptr,
+                 "Service::submit: unsupported dtype pair");
+
+    const PlanKey key{.height = req.image.height(),
+                      .width = req.image.width(),
+                      .dtypes = dt,
+                      .algorithm = req.algorithm,
+                      .warp_scan = req.warp_scan,
+                      .padded_smem = req.padded_smem,
+                      .tile = req.tile,
+                      .check = req.check};
+    const std::uint64_t bytes = image_bytes(req.image);
+
+    std::promise<AnyMatrix> prom;
+    std::future<AnyMatrix> fut = prom.get_future();
+
+    std::unique_lock lk(mu_);
+    SATGPU_CHECK(!stopping_, "Service::submit after shutdown began");
+
+    // Admission control first: a rejected request never touches the plan
+    // cache, so hit/miss counts describe admitted traffic only.
+    if (!queue_has_room(bytes)) {
+        if (opt_.policy == AdmissionPolicy::kReject) {
+            ++stats_.rejected;
+            prom.set_exception(std::make_exception_ptr(QueueFullError{}));
+            return fut;
+        }
+        cv_space_.wait(lk, [&] {
+            return stopping_ || queue_has_room(bytes);
+        });
+        if (stopping_) {
+            ++stats_.rejected;
+            prom.set_exception(
+                std::make_exception_ptr(ServiceStoppedError{}));
+            return fut;
+        }
+    }
+
+    CacheEntry* entry = nullptr;
+    if (auto it = cache_.find(key); it != cache_.end()) {
+        entry = it->second.get();
+        ++stats_.plan_hits;
+    } else {
+        auto e = std::make_unique<CacheEntry>();
+        e->key = key;
+        e->partition = next_partition_++;
+        entry = e.get();
+        cache_.emplace(key, std::move(e));
+        ++stats_.plan_misses;
+    }
+
+    ++stats_.submitted;
+    queue_.push_back(Item{.entry = entry,
+                          .image = std::move(req.image),
+                          .promise = std::move(prom),
+                          .bytes = bytes});
+    queued_bytes_ += bytes;
+    stats_.max_queue_depth =
+        std::max<std::uint64_t>(stats_.max_queue_depth, queue_.size());
+    // notify_all, not notify_one: a worker lingering for stragglers of a
+    // different key may consume a notify_one and go back to sleep, leaving
+    // an idle worker unwoken.
+    cv_work_.notify_all();
+    return fut;
+}
+
+std::future<AnyMatrix> Service::submit(AnyMatrix image, Dtype out)
+{
+    Request req;
+    req.image = std::move(image);
+    req.out = out;
+    return submit(std::move(req));
+}
+
+Service::Stats Service::stats() const
+{
+    std::lock_guard lk(mu_);
+    return stats_;
+}
+
+std::size_t Service::plan_cache_size() const
+{
+    std::lock_guard lk(mu_);
+    return cache_.size();
+}
+
+std::uint64_t Service::plan_high_water_bytes(const PlanKey& key) const
+{
+    std::lock_guard lk(mu_);
+    const auto it = cache_.find(key);
+    return it == cache_.end() ? 0 : it->second->high_water_bytes;
+}
+
+bool Service::queue_has_room(std::uint64_t bytes) const
+{
+    if (queue_.size() >= opt_.max_queue)
+        return false;
+    if (opt_.max_queue_bytes > 0 && !queue_.empty() &&
+        queued_bytes_ + bytes > opt_.max_queue_bytes)
+        return false;
+    return true;
+}
+
+void Service::gather_same_key(CacheEntry* entry, std::vector<Item>& batch)
+{
+    const auto cap = static_cast<std::size_t>(opt_.max_wave);
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < cap;) {
+        if (it->entry == entry) {
+            queued_bytes_ -= it->bytes;
+            batch.push_back(std::move(*it));
+            it = queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    cv_space_.notify_all();
+}
+
+void Service::worker_main(Worker& w)
+{
+    std::unique_lock lk(mu_);
+    for (;;) {
+        cv_work_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+
+        CacheEntry* entry = queue_.front().entry;
+        std::vector<Item> batch;
+        gather_same_key(entry, batch);
+
+        // Linger: hold a non-full wave open for stragglers of the same
+        // key.  Items of other keys stay queued for other workers.
+        if (opt_.max_linger.count() > 0 &&
+            batch.size() < static_cast<std::size_t>(opt_.max_wave)) {
+            const auto deadline =
+                std::chrono::steady_clock::now() + opt_.max_linger;
+            const auto has_same_key = [&] {
+                return std::any_of(
+                    queue_.begin(), queue_.end(),
+                    [&](const Item& i) { return i.entry == entry; });
+            };
+            while (batch.size() < static_cast<std::size_t>(opt_.max_wave)) {
+                const bool woke = cv_work_.wait_until(lk, deadline, [&] {
+                    return stopping_ || has_same_key();
+                });
+                if (!woke)
+                    break; // lingered out
+                if (has_same_key())
+                    gather_same_key(entry, batch);
+                if (stopping_ && !has_same_key())
+                    break;
+            }
+        }
+
+        stats_.waves += 1;
+        stats_.max_wave_size =
+            std::max<std::uint64_t>(stats_.max_wave_size, batch.size());
+        if (batch.size() > 1)
+            stats_.fused_requests += batch.size();
+
+        lk.unlock();
+        run_wave(w, entry, std::move(batch));
+        lk.lock();
+    }
+}
+
+void Service::run_wave(Worker& w, CacheEntry* entry, std::vector<Item> batch)
+{
+    try {
+        const Plan& plan = plan_for(w, entry);
+        std::vector<const AnyMatrix*> images;
+        images.reserve(batch.size());
+        for (const Item& item : batch)
+            images.push_back(&item.image);
+        WaveResult wave = plan.execute_wave(images);
+
+        const model::GpuSpec& gpu =
+            opt_.gpu != nullptr ? *opt_.gpu : model::tesla_p100();
+        const double us = model::estimate_total_us(gpu, wave.launches);
+        // Snapshot this worker's partition high-water while still on the
+        // worker thread (the pool is thread-private).
+        const std::uint64_t hw =
+            w.rt->pool().high_water_bytes(entry->partition);
+
+        // Stats first, futures second: a client that has joined on every
+        // future must never observe a completed count that lags it.
+        {
+            std::lock_guard slk(mu_);
+            stats_.completed += batch.size();
+            stats_.modeled_gpu_us += us;
+            entry->high_water_bytes = std::max(entry->high_water_bytes, hw);
+        }
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            batch[i].promise.set_value(std::move(wave.tables[i]));
+    } catch (...) {
+        const auto err = std::current_exception();
+        for (Item& item : batch)
+            item.promise.set_exception(err);
+    }
+}
+
+Plan& Service::plan_for(Worker& w, CacheEntry* entry)
+{
+    if (const auto it = w.plans.find(entry); it != w.plans.end())
+        return it->second;
+
+    PlanRequest preq{.height = entry->key.height,
+                     .width = entry->key.width,
+                     .dtypes = entry->key.dtypes,
+                     .algorithm = entry->key.algorithm,
+                     .warp_scan = entry->key.warp_scan,
+                     .padded_smem = entry->key.padded_smem,
+                     .gpu = opt_.gpu,
+                     .tile = entry->key.tile,
+                     .check = entry->key.check,
+                     .pool_partition = entry->partition};
+
+    std::lock_guard elk(entry->mu);
+    if (entry->resolved) {
+        // Another worker already paid the kAuto ranking; plan the concrete
+        // algorithm directly (identical Plan, no calibration pass).
+        preq.algorithm = entry->resolved_algo;
+    }
+    Plan plan = w.rt->plan(preq);
+    if (!entry->resolved) {
+        entry->resolved_algo = plan.algorithm();
+        entry->resolved = true;
+    }
+    {
+        std::lock_guard slk(mu_);
+        ++stats_.plans_instantiated;
+    }
+    return w.plans.emplace(entry, std::move(plan)).first->second;
+}
+
+} // namespace satgpu::sat

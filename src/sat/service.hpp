@@ -1,0 +1,239 @@
+// sat::Service: the concurrent serving layer over the type-erased Runtime.
+//
+// The ROADMAP's north star is a SAT primitive serving "heavy traffic from
+// millions of users"; this is that traffic's front door.  Clients call
+// submit() from any thread and get a std::future for the finished table;
+// inside, a configurable worker pool drains a shared submission queue.
+// Three mechanisms turn many small requests into efficient device work:
+//
+//  * Plan cache: requests are keyed by every plan-shaping field (shape,
+//    dtype pair, algorithm, warp-scan kind, smem padding, tile geometry,
+//    check flag).  The first submission of a key creates a cache entry and
+//    resolves kAuto once (deterministically -- the cost model is counter
+//    based); every worker that later executes that key instantiates its
+//    Plan from the already-resolved algorithm, so the expensive kAuto
+//    calibration is paid once per key per process, not per worker.
+//
+//  * Coalescing: a worker popping a request also takes every other queued
+//    request with the SAME key (up to Options::max_wave, optionally
+//    lingering Options::max_linger for stragglers) and executes them as
+//    one Plan::execute_wave -- each kernel pass runs once with grid.z = K
+//    instead of K times, paying the fixed per-launch overhead once per
+//    pass per wave.  Tables are bit-identical to per-request execution.
+//
+//  * Backpressure: submit() applies admission control against
+//    Options::max_queue (depth) and Options::max_queue_bytes (queued input
+//    footprint).  Policy kReject fails fast -- the returned future throws
+//    QueueFullError; kBlock parks the submitter until space frees up.
+//
+// Determinism contract: every table a Service returns is bit-identical to
+// Runtime::plan + Plan::execute on the same image, for every worker
+// count, wave size, linger and queue depth (pinned by tests/test_service
+// and the fuzzer's --service mode).  Only scheduling -- which worker ran
+// a request, and which requests shared a wave -- varies.
+//
+// Each worker owns its own Runtime (Engine::launch is not reentrant), so
+// workers never contend on an engine; each cached plan gets its own
+// BufferPool partition, so one plan's pooled footprint never mixes with
+// another's and per-plan high-water stays bounded by
+// max_wave * workspace_bytes (see docs/service_layer.md).
+#pragma once
+
+#include "sat/runtime.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace satgpu::sat {
+
+/// The plan-cache key: every field of PlanRequest that shapes the plan.
+/// pool_partition is excluded (the service assigns it per entry) and so is
+/// the GpuSpec pointer (a Service-wide setting, Options::gpu).  Two
+/// requests map to the same cached plan iff their keys compare equal.
+struct PlanKey {
+    std::int64_t height = 0;
+    std::int64_t width = 0;
+    DtypePair dtypes{Dtype::u8_, Dtype::u32_};
+    Algorithm algorithm = Algorithm::kAuto;
+    scan::WarpScanKind warp_scan = scan::WarpScanKind::kKoggeStone;
+    bool padded_smem = true;
+    TileGeometry tile{};
+    bool check = false;
+
+    friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+/// Key of the plan a request would resolve to.
+[[nodiscard]] PlanKey plan_key(const PlanRequest& req) noexcept;
+
+struct PlanKeyHash {
+    [[nodiscard]] std::size_t operator()(const PlanKey& k) const noexcept;
+};
+
+/// Raised through the future returned by submit() when admission control
+/// rejects a request (Options::policy == kReject and the queue is full).
+class QueueFullError : public std::runtime_error {
+public:
+    QueueFullError() : std::runtime_error("sat::Service queue is full") {}
+};
+
+/// Raised through the future when the Service starts shutting down while
+/// the request is still waiting for admission.
+class ServiceStoppedError : public std::runtime_error {
+public:
+    ServiceStoppedError()
+        : std::runtime_error("sat::Service is shutting down")
+    {
+    }
+};
+
+class Service {
+public:
+    enum class AdmissionPolicy {
+        kBlock,  ///< submit() parks until the queue has room
+        kReject, ///< submit() returns a future that throws QueueFullError
+    };
+
+    struct Options {
+        /// Worker threads draining the queue.  Each worker owns a full
+        /// Runtime (engine + pool + cost model): Engine::launch is not
+        /// reentrant, so concurrency comes from one engine per worker.
+        int workers = 1;
+        /// Engine::Options::num_threads inside each worker's Runtime.
+        /// Results are bit-identical for every value (engine contract).
+        int engine_threads = 1;
+        /// Most same-plan requests one execute_wave fuses.  A wave holds
+        /// max_wave workspaces concurrently, so this also bounds each
+        /// plan partition's pooled high-water mark.
+        int max_wave = 8;
+        /// How long a worker holding a non-full wave waits for more
+        /// same-plan requests before executing what it has.  0 = never
+        /// wait (coalesce only what is already queued).
+        std::chrono::microseconds max_linger{0};
+        /// Admission limit on queued (not yet executing) requests.
+        std::size_t max_queue = 1024;
+        /// Admission limit on the summed input bytes of queued requests;
+        /// 0 = unlimited.  An oversized single request is always admitted
+        /// when the queue is empty (otherwise it could never run).
+        std::uint64_t max_queue_bytes = 0;
+        AdmissionPolicy policy = AdmissionPolicy::kBlock;
+        /// GPU whose timing model prices kAuto resolution and the
+        /// Stats::modeled_gpu_us accounting.  Null = Tesla P100.
+        const model::GpuSpec* gpu = nullptr;
+    };
+
+    /// One submission: the input image plus the plan-shaping fields of
+    /// PlanRequest (height/width come from the image).
+    struct Request {
+        AnyMatrix image;
+        Dtype out = Dtype::u32_;
+        Algorithm algorithm = Algorithm::kAuto;
+        scan::WarpScanKind warp_scan = scan::WarpScanKind::kKoggeStone;
+        bool padded_smem = true;
+        TileGeometry tile{};
+        bool check = false;
+    };
+
+    struct Stats {
+        std::uint64_t submitted = 0; ///< admitted submissions
+        std::uint64_t completed = 0; ///< futures fulfilled with a table
+        std::uint64_t rejected = 0;  ///< admission-control rejections
+        std::uint64_t plan_hits = 0;   ///< submissions finding a cached key
+        std::uint64_t plan_misses = 0; ///< submissions creating a new key
+        /// Worker-local Plan constructions.  >= plan_misses (each worker
+        /// that touches a key builds its own Plan), but the kAuto cost
+        /// ranking still runs once per key: later instantiations reuse
+        /// the entry's resolved algorithm.  == plan_misses when
+        /// workers == 1.
+        std::uint64_t plans_instantiated = 0;
+        std::uint64_t waves = 0;          ///< execute_wave calls issued
+        std::uint64_t fused_requests = 0; ///< requests in waves of size > 1
+        std::uint64_t max_wave_size = 0;  ///< largest wave executed
+        std::uint64_t max_queue_depth = 0; ///< peak queued requests
+        /// Modeled GPU time of everything executed so far (the timing
+        /// model over each wave's fused launches) -- the deterministic
+        /// throughput signal satgpu_serve reports.
+        double modeled_gpu_us = 0;
+    };
+
+    Service() : Service(Options{}) {}
+    explicit Service(Options opt);
+    /// Drains: already-admitted requests complete, then workers exit.
+    ~Service();
+    Service(const Service&) = delete;
+    Service& operator=(const Service&) = delete;
+
+    /// Enqueue one request.  The future yields the SAT table (dtype =
+    /// req.out) or throws: QueueFullError / ServiceStoppedError from
+    /// admission control, or whatever the execution itself raised.
+    [[nodiscard]] std::future<AnyMatrix> submit(Request req);
+    /// Shorthand for the common case: defaults for everything but image
+    /// and output dtype.
+    [[nodiscard]] std::future<AnyMatrix> submit(AnyMatrix image, Dtype out);
+
+    [[nodiscard]] Stats stats() const;
+    /// Distinct plan keys ever submitted.
+    [[nodiscard]] std::size_t plan_cache_size() const;
+    /// Peak pooled bytes any single worker ever held in `key`'s partition
+    /// (0 for unknown keys).  Bounded by max_wave * Plan::workspace_bytes.
+    [[nodiscard]] std::uint64_t plan_high_water_bytes(const PlanKey& key) const;
+
+private:
+    /// One cached plan identity, shared by all workers.  The entry owns
+    /// the deterministic kAuto resolution and the pool partition; each
+    /// worker lazily builds its own Plan from it.
+    struct CacheEntry {
+        PlanKey key;
+        int partition = 0;
+        std::mutex mu; ///< guards resolution (first planner wins)
+        bool resolved = false;
+        Algorithm resolved_algo = Algorithm::kBrltScanRow;
+        /// Max over workers of that worker's pool high-water in this
+        /// entry's partition.  Snapshotted by the owning worker after each
+        /// wave (a worker's pool is thread-private); guarded by mu_.
+        std::uint64_t high_water_bytes = 0;
+    };
+
+    struct Item {
+        CacheEntry* entry = nullptr;
+        AnyMatrix image;
+        std::promise<AnyMatrix> promise;
+        std::uint64_t bytes = 0;
+    };
+
+    struct Worker {
+        std::unique_ptr<Runtime> rt;
+        std::unordered_map<const CacheEntry*, Plan> plans;
+        std::thread thread;
+    };
+
+    [[nodiscard]] bool queue_has_room(std::uint64_t bytes) const;
+    /// Pop every queued item for `entry` (front first) into `batch`, up
+    /// to max_wave total.  Caller holds mu_.
+    void gather_same_key(CacheEntry* entry, std::vector<Item>& batch);
+    void worker_main(Worker& w);
+    void run_wave(Worker& w, CacheEntry* entry, std::vector<Item> batch);
+    [[nodiscard]] Plan& plan_for(Worker& w, CacheEntry* entry);
+
+    Options opt_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_work_;  ///< queue gained an item / stopping
+    std::condition_variable cv_space_; ///< queue lost an item / stopping
+    std::deque<Item> queue_;
+    std::uint64_t queued_bytes_ = 0;
+    bool stopping_ = false;
+    std::unordered_map<PlanKey, std::unique_ptr<CacheEntry>, PlanKeyHash>
+        cache_;
+    int next_partition_ = 1; ///< 0 stays the shared default partition
+    Stats stats_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+} // namespace satgpu::sat

@@ -308,9 +308,12 @@ template <typename Tout, typename Tin>
                 const auto r = grid.rect(ti, tj);
                 const auto id = static_cast<std::size_t>(grid.index(ti, tj));
 
-                Staged s{simt::acquire_or_new<Tout>(opt.pool, r.h * r.w),
-                         simt::acquire_or_new<Tout>(opt.pool, r.h),
-                         simt::acquire_or_new<Tout>(opt.pool, r.w), r};
+                Staged s{simt::acquire_or_new<Tout>(opt.pool, r.h * r.w,
+                                                    opt.pool_partition),
+                         simt::acquire_or_new<Tout>(opt.pool, r.h,
+                                                    opt.pool_partition),
+                         simt::acquire_or_new<Tout>(opt.pool, r.w,
+                                                    opt.pool_partition), r};
                 {
                     const auto th = s.tile->host();
                     for (std::int64_t y = 0; y < r.h; ++y)

@@ -1,11 +1,18 @@
 // Tests for the type-erased SAT runtime (sat/runtime.hpp): registry
 // coverage of the paper's seven dtype pairs, plan/execute identity with
 // the templated compute_sat and the serial CPU oracle, buffer-pool reuse
-// guarantees, batched execution, and the cost-model kAuto policy.
+// guarantees (including partition walls), batched and fused-wave
+// execution, the cost-model kAuto policy, and the service layer's
+// plan-cache key (sat/service.hpp).
 #include "core/random_fill.hpp"
 #include "sat/runtime.hpp"
+#include "sat/service.hpp"
 
 #include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <thread>
 
 namespace sat = satgpu::sat;
 namespace simt = satgpu::simt;
@@ -280,6 +287,278 @@ TEST(RuntimePooling, DistinctShapesAllocateDistinctBuffers)
     // The pool matches on exact (type, count): a bigger image cannot steal
     // the smaller image's buffers.
     EXPECT_GT(rt.pool_stats().allocations, before.allocations);
+}
+
+// ------------------------------------------------------- pool partitions ----
+
+TEST(BufferPoolPartitions, PartitionsNeverShareBuffers)
+{
+    simt::BufferPool pool;
+    const std::uint32_t* p1 = nullptr;
+    {
+        auto lease = pool.acquire<std::uint32_t>(256, /*partition=*/1);
+        p1 = lease->host().data();
+    }
+    // Same (type, count) from another partition: the partition-1 buffer
+    // sits in the pool but must NOT be handed out.
+    {
+        auto lease = pool.acquire<std::uint32_t>(256, /*partition=*/2);
+        EXPECT_NE(lease->host().data(), p1);
+    }
+    EXPECT_EQ(pool.stats().allocations, 2U);
+    EXPECT_EQ(pool.stats().reuses, 0U);
+    // Back in partition 1 the original buffer IS reused.
+    {
+        auto lease = pool.acquire<std::uint32_t>(256, /*partition=*/1);
+        EXPECT_EQ(lease->host().data(), p1);
+    }
+    EXPECT_EQ(pool.stats().reuses, 1U);
+}
+
+// The service-layer regression: two clients leasing concurrently from two
+// partitions of one (mutex-guarded) pool never observe each other's
+// buffers, across many interleaved acquire/release cycles.
+TEST(BufferPoolPartitions, ConcurrentLeasesFromTwoPartitionsStayDisjoint)
+{
+    simt::BufferPool pool;
+    std::set<const void*> seen[2];
+    std::mutex seen_mu;
+    std::vector<std::thread> clients;
+    for (int part = 1; part <= 2; ++part)
+        clients.emplace_back([&pool, &seen, &seen_mu, part] {
+            for (int iter = 0; iter < 50; ++iter) {
+                auto a = pool.acquire<std::uint32_t>(128, part);
+                auto b = pool.acquire<std::uint32_t>(128, part);
+                std::lock_guard lk(seen_mu);
+                seen[part - 1].insert(a->host().data());
+                seen[part - 1].insert(b->host().data());
+            }
+        });
+    for (auto& t : clients)
+        t.join();
+    for (const void* p : seen[0])
+        EXPECT_EQ(seen[1].count(p), 0U) << "buffer crossed partitions";
+    // Each partition stabilized on its own two buffers.
+    EXPECT_EQ(pool.stats().allocations, 4U);
+    EXPECT_EQ(pool.partition_stats(1).allocations, 2U);
+    EXPECT_EQ(pool.partition_stats(2).allocations, 2U);
+}
+
+TEST(BufferPoolPartitions, PerPartitionHighWaterTracksPeakBytes)
+{
+    simt::BufferPool pool;
+    {
+        auto a = pool.acquire<std::uint32_t>(256, /*partition=*/1); // 1 KiB
+        auto b = pool.acquire<std::uint32_t>(256, /*partition=*/1); // 2 KiB
+        EXPECT_EQ(pool.partition_stats(1).bytes_outstanding, 2048U);
+    }
+    EXPECT_EQ(pool.partition_stats(1).outstanding, 0U);
+    EXPECT_EQ(pool.partition_stats(1).bytes_outstanding, 0U);
+    EXPECT_EQ(pool.high_water_bytes(1), 2048U);
+    // A later single lease does not move the peak.
+    { auto c = pool.acquire<std::uint32_t>(256, /*partition=*/1); }
+    EXPECT_EQ(pool.high_water_bytes(1), 2048U);
+    // Untouched partitions report zero; the global peak covers partition 1.
+    EXPECT_EQ(pool.high_water_bytes(2), 0U);
+    EXPECT_GE(pool.stats().high_water_bytes, 2048U);
+    EXPECT_EQ(pool.stats().bytes_outstanding, 0U);
+}
+
+TEST(RuntimePartition, PlanPartitionIsolatesPooledBuffers)
+{
+    sat::Runtime rt;
+    const auto dt = satgpu::make_pair_of<satgpu::u8, satgpu::u32>();
+    const auto image = sat::AnyMatrix::random(dt.in, 33, 29, /*seed=*/4);
+    const auto mk = [&](int partition) {
+        return rt.plan({.height = 33,
+                        .width = 29,
+                        .dtypes = dt,
+                        .algorithm = sat::Algorithm::kBrltScanRow,
+                        .pool_partition = partition});
+    };
+
+    const auto p1 = mk(1);
+    (void)p1.execute(image);
+    const auto warm = rt.pool_stats();
+
+    // Same shape in another partition: all-new buffers.
+    const auto p2 = mk(2);
+    (void)p2.execute(image);
+    EXPECT_GT(rt.pool_stats().allocations, warm.allocations);
+
+    // Back in partition 1: pure reuse.
+    const auto again = rt.pool_stats();
+    (void)p1.execute(image);
+    EXPECT_EQ(rt.pool_stats().allocations, again.allocations);
+    EXPECT_GT(rt.pool_stats().reuses, again.reuses);
+    EXPECT_GT(rt.pool().high_water_bytes(1), 0U);
+    EXPECT_GT(rt.pool().high_water_bytes(2), 0U);
+}
+
+// ------------------------------------------------------------ wave fusion ----
+
+// Plan::execute_wave over K images must return tables bit-identical to K
+// execute() calls, while issuing fused grid.z = K launches.
+TEST(RuntimeWave, TablesBitIdenticalToPerImageExecute)
+{
+    sat::Runtime rt;
+    constexpr std::size_t kK = 3;
+    const sat::Algorithm algos[] = {
+        sat::Algorithm::kBrltScanRow,
+        sat::Algorithm::kScanRowColumn,
+        sat::Algorithm::kScanTransposeScan,
+        sat::Algorithm::kOpencvLike,
+        sat::Algorithm::kNppLike,
+    };
+    for (const auto dt : {satgpu::make_pair_of<satgpu::u8, satgpu::u32>(),
+                          satgpu::make_pair_of<satgpu::f64, satgpu::f64>()})
+        for (const sat::Algorithm algo : algos) {
+            const auto plan = rt.plan({.height = kH,
+                                       .width = kW,
+                                       .dtypes = dt,
+                                       .algorithm = algo});
+            std::vector<sat::AnyMatrix> images;
+            std::vector<const sat::AnyMatrix*> ptrs;
+            for (std::uint64_t s = 0; s < kK; ++s)
+                images.push_back(sat::AnyMatrix::random(dt.in, kH, kW, s));
+            for (const auto& m : images)
+                ptrs.push_back(&m);
+
+            const auto wave = plan.execute_wave(ptrs);
+            ASSERT_EQ(wave.tables.size(), kK);
+            for (std::size_t i = 0; i < kK; ++i)
+                EXPECT_TRUE(wave.tables[i] == plan.execute(images[i]).table)
+                    << sat::to_string(algo) << " " << pair_name(dt)
+                    << " image " << i;
+
+            // Fused: one launch per kernel pass with grid.z = K, not K
+            // per-image launch sequences.
+            ASSERT_EQ(wave.launches.size(),
+                      plan.execute(images[0]).launches.size())
+                << sat::to_string(algo);
+            for (const auto& l : wave.launches)
+                EXPECT_EQ(l.config.grid.z, static_cast<std::int64_t>(kK))
+                    << sat::to_string(algo);
+        }
+}
+
+TEST(RuntimeWave, TiledPlanFallsBackToPerImageLoop)
+{
+    sat::Runtime rt;
+    const auto dt = satgpu::make_pair_of<satgpu::u8, satgpu::u32>();
+    const auto plan = rt.plan({.height = kH,
+                               .width = kW,
+                               .dtypes = dt,
+                               .algorithm = sat::Algorithm::kBrltScanRow,
+                               .tile = {.tile_h = 64, .tile_w = 64}});
+    std::vector<sat::AnyMatrix> images;
+    for (std::uint64_t s = 0; s < 2; ++s)
+        images.push_back(sat::AnyMatrix::random(dt.in, kH, kW, s));
+    const sat::AnyMatrix* ptrs[] = {&images[0], &images[1]};
+
+    const auto wave = plan.execute_wave(ptrs);
+    ASSERT_EQ(wave.tables.size(), 2U);
+    const auto single = plan.execute(images[0]);
+    EXPECT_TRUE(wave.tables[0] == single.table);
+    EXPECT_TRUE(wave.tables[1] == plan.execute(images[1]).table);
+    // Per-image fallback: the wave concatenates two full launch sequences.
+    EXPECT_EQ(wave.launches.size(), 2 * single.launches.size());
+}
+
+TEST(RuntimeWave, SecondWaveAllocatesNothing)
+{
+    sat::Runtime rt;
+    const auto dt = satgpu::make_pair_of<satgpu::u8, satgpu::u32>();
+    const auto plan = rt.plan({.height = 48,
+                               .width = 40,
+                               .dtypes = dt,
+                               .algorithm = sat::Algorithm::kScanRowColumn});
+    std::vector<sat::AnyMatrix> images;
+    std::vector<const sat::AnyMatrix*> ptrs;
+    for (std::uint64_t s = 0; s < 4; ++s)
+        images.push_back(sat::AnyMatrix::random(dt.in, 48, 40, s));
+    for (const auto& m : images)
+        ptrs.push_back(&m);
+
+    const auto first = plan.execute_wave(ptrs);
+    const auto warm = rt.pool_stats();
+    const auto second = plan.execute_wave(ptrs);
+    const auto after = rt.pool_stats();
+    EXPECT_EQ(after.allocations, warm.allocations);
+    EXPECT_GT(after.reuses, warm.reuses);
+    for (std::size_t i = 0; i < images.size(); ++i)
+        EXPECT_TRUE(first.tables[i] == second.tables[i]);
+}
+
+// ---------------------------------------------------------- plan-cache key ----
+
+TEST(PlanKeyProperties, EqualRequestsHashAndCompareEqual)
+{
+    const sat::PlanRequest req{.height = 97,
+                               .width = 130,
+                               .dtypes = {Dtype::u8_, Dtype::u32_},
+                               .algorithm = sat::Algorithm::kBrltScanRow};
+    const auto a = sat::plan_key(req);
+    const auto b = sat::plan_key(req);
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(sat::PlanKeyHash{}(a), sat::PlanKeyHash{}(b));
+}
+
+// Any plan-shaping field differing must miss (keys unequal); the fields
+// the service owns (pool partition) or fixes service-wide (gpu) must NOT
+// affect the key.
+TEST(PlanKeyProperties, AnyDifferingPlanFieldMisses)
+{
+    const sat::PlanRequest base{.height = 97,
+                                .width = 130,
+                                .dtypes = {Dtype::u8_, Dtype::u32_},
+                                .algorithm = sat::Algorithm::kBrltScanRow};
+    const auto key = sat::plan_key(base);
+    const auto expect_miss = [&](sat::PlanRequest req, const char* what) {
+        const auto other = sat::plan_key(req);
+        EXPECT_FALSE(key == other) << what;
+        // Not guaranteed for an arbitrary hash, but deterministic for
+        // these fixed values -- a collision here means the hash lost a
+        // field and the cache would still be correct yet quadratic.
+        EXPECT_NE(sat::PlanKeyHash{}(key), sat::PlanKeyHash{}(other))
+            << what;
+    };
+
+    auto r = base;
+    r.height = 98;
+    expect_miss(r, "height");
+    r = base;
+    r.width = 131;
+    expect_miss(r, "width");
+    r = base;
+    r.dtypes = {Dtype::u8_, Dtype::i32_};
+    expect_miss(r, "dtypes");
+    r = base;
+    r.algorithm = sat::Algorithm::kScanRowColumn;
+    expect_miss(r, "algorithm");
+    r = base;
+    r.warp_scan = satgpu::scan::WarpScanKind::kBrentKung;
+    expect_miss(r, "warp_scan");
+    r = base;
+    r.padded_smem = false;
+    expect_miss(r, "padded_smem");
+    r = base;
+    r.tile = {.tile_h = 64, .tile_w = 64};
+    expect_miss(r, "tile");
+    r = base;
+    r.tile = {.tile_h = 64, .tile_w = 64, .carry_fanout = 2};
+    expect_miss(r, "tile fanout");
+    r = base;
+    r.check = true;
+    expect_miss(r, "check");
+
+    // Excluded fields: same key regardless.
+    r = base;
+    r.pool_partition = 7;
+    EXPECT_TRUE(key == sat::plan_key(r));
+    r = base;
+    r.gpu = &satgpu::model::tesla_p100();
+    EXPECT_TRUE(key == sat::plan_key(r));
 }
 
 // ---------------------------------------------------------------- kAuto ----

@@ -12,6 +12,10 @@
 // Modes:
 //   satgpu_fuzz --seeds N     run seeds 0..N-1 (CI smoke uses N=64)
 //   satgpu_fuzz --seed S      reproduce exactly one seed, verbosely
+//   satgpu_fuzz --service ... route every case through a sat::Service
+//                             whose worker count / wave size / linger /
+//                             queue depth are sampled per seed, instead
+//                             of a direct Runtime plan
 //
 // On mismatch the tool prints the failing seed plus the full sampled
 // configuration and exits 1; re-running `satgpu_fuzz --seed S` replays that
@@ -19,6 +23,7 @@
 // always maps to the same configuration on every build).
 #include "core/random_fill.hpp"
 #include "sat/runtime.hpp"
+#include "sat/service.hpp"
 
 #include <cmath>
 #include <cstdlib>
@@ -135,6 +140,102 @@ sat::Runtime& runtime_for(int threads)
     return *slot;
 }
 
+/// Service-shape knobs for --service mode.  Sampled from a SEPARATE rng
+/// stream: drawing them from the base rng would shift every knob sampled
+/// after them and silently re-meaning all recorded failing seeds.
+struct ServiceConfig {
+    int workers = 1;
+    int wave = 1;
+    int linger_us = 0;
+    std::size_t queue = 8;
+};
+
+ServiceConfig sample_service(std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed ^ 0x5e41ce5eedf00dull);
+    ServiceConfig s;
+    constexpr int kWorkers[] = {1, 2, 3};
+    s.workers = kWorkers[std::uniform_int_distribution<std::size_t>(
+        0, std::size(kWorkers) - 1)(rng)];
+    constexpr int kWave[] = {1, 2, 4, 8};
+    s.wave = kWave[std::uniform_int_distribution<std::size_t>(
+        0, std::size(kWave) - 1)(rng)];
+    constexpr int kLinger[] = {0, 500};
+    s.linger_us = kLinger[std::uniform_int_distribution<std::size_t>(
+        0, std::size(kLinger) - 1)(rng)];
+    // Depths below the batch size exercise kBlock backpressure.
+    constexpr std::size_t kQueue[] = {2, 8, 64};
+    s.queue = kQueue[std::uniform_int_distribution<std::size_t>(
+        0, std::size(kQueue) - 1)(rng)];
+    return s;
+}
+
+/// --service analog of run_one: same sampled case, same images, but
+/// submitted through a per-seed sat::Service and demanded bit-exact
+/// against the same from-scratch serial oracle.  Also pins the service's
+/// own invariants: one plan miss per seed, a hit for every later
+/// submission, everything completed.
+bool run_one_service(const FuzzConfig& c, bool verbose)
+{
+    const ServiceConfig sc = sample_service(c.seed);
+    sat::Service::Options so;
+    so.workers = sc.workers;
+    so.engine_threads = c.threads;
+    so.max_wave = sc.wave;
+    so.max_linger = std::chrono::microseconds(sc.linger_us);
+    so.max_queue = sc.queue;
+    so.policy = sat::Service::AdmissionPolicy::kBlock;
+    sat::Service svc(so);
+
+    std::vector<sat::AnyMatrix> images;
+    std::vector<std::future<sat::AnyMatrix>> futures;
+    for (int b = 0; b < c.batch; ++b) {
+        const std::uint64_t fill_seed =
+            c.seed * 1000003u + static_cast<std::uint64_t>(b);
+        images.push_back(
+            random_image(c.pair.in, c.h, c.w, fill_seed, c.fill_hi));
+        sat::Service::Request req;
+        req.image = images.back();
+        req.out = c.pair.out;
+        req.algorithm = c.algo;
+        req.tile = c.tile;
+        futures.push_back(svc.submit(std::move(req)));
+    }
+
+    sat::Runtime& oracle = runtime_for(1);
+    for (int b = 0; b < c.batch; ++b) {
+        const auto ub = static_cast<std::size_t>(b);
+        if (!(futures[ub].get() == oracle.reference(images[ub], c.pair.out))) {
+            std::cout << "FAIL seed " << c.seed << " batch image " << b
+                      << " (service workers " << sc.workers << " wave "
+                      << sc.wave << " linger " << sc.linger_us << "us queue "
+                      << sc.queue << "): " << describe(c)
+                      << "\n  reproduce: satgpu_fuzz --service --seed "
+                      << c.seed << '\n';
+            return false;
+        }
+    }
+
+    const auto stats = svc.stats();
+    const auto batch = static_cast<std::uint64_t>(c.batch);
+    if (stats.plan_misses != 1 || stats.plan_hits != batch - 1 ||
+        stats.completed != batch) {
+        std::cout << "FAIL seed " << c.seed
+                  << ": service counter invariant (misses "
+                  << stats.plan_misses << " hits " << stats.plan_hits
+                  << " completed " << stats.completed << " for batch "
+                  << c.batch << ")\n  reproduce: satgpu_fuzz --service "
+                  << "--seed " << c.seed << '\n';
+        return false;
+    }
+    if (verbose)
+        std::cout << "seed " << c.seed << ": " << describe(c)
+                  << " via service workers " << sc.workers << " wave "
+                  << sc.wave << " linger " << sc.linger_us << "us queue "
+                  << sc.queue << " -> " << stats.waves << " wave(s), ok\n";
+    return true;
+}
+
 /// Run one sampled case; returns true when every batch image matches the
 /// serial oracle bit for bit.
 bool run_one(const FuzzConfig& c, bool verbose)
@@ -174,31 +275,40 @@ int main(int argc, char** argv)
 {
     std::uint64_t seeds = 32;
     std::int64_t single = -1;
+    bool service = false;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (arg == "--seeds" && i + 1 < argc) {
             seeds = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--seed" && i + 1 < argc) {
             single = std::strtoll(argv[++i], nullptr, 10);
+        } else if (arg == "--service") {
+            service = true;
         } else {
             std::cout
-                << "usage: satgpu_fuzz [--seeds N] [--seed S]\n"
+                << "usage: satgpu_fuzz [--service] [--seeds N] [--seed S]\n"
                    "  --seeds N: run seeds 0..N-1 (default 32); exit 1 on\n"
                    "             the first differential mismatch\n"
                    "  --seed S:  replay one seed verbosely (the reproduce\n"
-                   "             command printed on failure)\n";
+                   "             command printed on failure)\n"
+                   "  --service: route each case through a sat::Service\n"
+                   "             with per-seed worker/wave/linger/queue\n"
+                   "             knobs instead of a direct Runtime plan\n";
             return arg == "--help" || arg == "-h" ? 0 : 2;
         }
     }
+    const auto run = [&](const FuzzConfig& c, bool verbose) {
+        return service ? run_one_service(c, verbose) : run_one(c, verbose);
+    };
 
     if (single >= 0)
-        return run_one(sample(static_cast<std::uint64_t>(single)), true) ? 0
-                                                                         : 1;
+        return run(sample(static_cast<std::uint64_t>(single)), true) ? 0 : 1;
 
     for (std::uint64_t s = 0; s < seeds; ++s)
-        if (!run_one(sample(s), /*verbose=*/false))
+        if (!run(sample(s), /*verbose=*/false))
             return 1;
-    std::cout << "fuzz: " << seeds
-              << " seed(s) bit-exact against the serial oracle\n";
+    std::cout << "fuzz: " << seeds << " seed(s) bit-exact against the "
+              << (service ? "serial oracle (service mode)\n"
+                          : "serial oracle\n");
     return 0;
 }
