@@ -74,13 +74,26 @@ inline void bench_json_prelude(JsonWriter& w, std::string_view name)
     w.value(name);
 }
 
-/// Nearest-rank percentile (p in [0, 100]) of an unsorted sample; 0 for an
-/// empty one.  Takes the sample by value: serving-latency reporters call
-/// this for several p's and must not perturb each other's view.
+/// Nearest-rank percentile of an unsorted sample.  Defined behavior on
+/// every input (tests/test_metrics.cpp pins each case):
+///  * empty sample -> 0;
+///  * single sample -> that sample for every p;
+///  * unsorted input -> sorted internally (the argument is taken by value,
+///    so serving-latency reporters calling this for several p's never
+///    perturb each other's view);
+///  * p outside [0, 100] (including NaN) -> clamped to the nearest end,
+///    so percentile(s, -5) == min and percentile(s, 250) == max.
+/// The rank formula round((p/100) * (n-1)) is shared verbatim with
+/// obs::Histogram::quantile, which is what lets the histogram-derived
+/// quantiles be cross-checked against this function to within one bucket
+/// width.
 [[nodiscard]] inline double percentile(std::vector<double> sample, double p)
 {
     if (sample.empty())
         return 0;
+    if (!(p > 0))
+        p = 0; // also catches NaN
+    p = std::min(p, 100.0);
     std::sort(sample.begin(), sample.end());
     const auto rank = static_cast<std::size_t>(
         (p / 100.0) * static_cast<double>(sample.size() - 1) + 0.5);

@@ -76,6 +76,15 @@ public:
         os_ << "null";
     }
 
+    /// key() + value() in one call; the dominant pattern in flat records
+    /// (metrics exposition, JSONL event lines).
+    template <typename T>
+    void kv(std::string_view k, T&& v)
+    {
+        key(k);
+        value(std::forward<T>(v));
+    }
+
 private:
     template <typename T>
     void number(T v)

@@ -1,0 +1,276 @@
+#include "sat/metrics.hpp"
+
+#include "core/check.hpp"
+#include "core/json_writer.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace satgpu::sat::obs {
+
+namespace {
+
+[[nodiscard]] std::string_view type_name(MetricType t) noexcept
+{
+    switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+    }
+    return "?";
+}
+
+/// Escape a label value for the text exposition ({plan="..."}).  Plan
+/// labels are printable by construction; quotes and backslashes are
+/// escaped anyway so arbitrary labels stay parseable.
+void write_label_value(std::ostream& os, std::string_view v)
+{
+    for (const char c : v) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+}
+
+void write_series_name(std::ostream& os, std::string_view name,
+                       std::string_view suffix, std::string_view label,
+                       std::string_view extra = {})
+{
+    os << name << suffix;
+    if (label.empty() && extra.empty())
+        return;
+    os << '{';
+    if (!label.empty()) {
+        os << "plan=\"";
+        write_label_value(os, label);
+        os << '"';
+        if (!extra.empty())
+            os << ',';
+    }
+    os << extra << '}';
+}
+
+} // namespace
+
+std::uint64_t Histogram::quantile(double p) const noexcept
+{
+    const int b = quantile_bucket(p);
+    return b < 0 ? 0 : bucket_hi(b);
+}
+
+int Histogram::quantile_bucket(double p) const noexcept
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return -1;
+    if (!(p > 0))
+        p = 0; // also catches NaN (std::clamp would pass it through)
+    p = std::min(p, 100.0);
+    // Same nearest-rank formula as bench::percentile, so the two agree to
+    // within one bucket width on identical samples (pinned by tests).
+    const auto rank = static_cast<std::uint64_t>(
+        (p / 100.0) * static_cast<double>(n - 1) + 0.5);
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        cum += bucket_count(i);
+        if (cum > rank)
+            return i;
+    }
+    // Racing observes can leave count() ahead of the bucket sum; fall back
+    // to the last non-empty bucket.
+    for (int i = kBuckets - 1; i >= 0; --i)
+        if (bucket_count(i) > 0)
+            return i;
+    return -1;
+}
+
+MetricsRegistry::Series&
+MetricsRegistry::series_for(std::string_view name, std::string_view label,
+                            MetricType type)
+{
+    std::lock_guard lk(mu_);
+    auto fit = families_.find(name);
+    if (fit == families_.end()) {
+        fit = families_.emplace(std::string(name), Family{}).first;
+        fit->second.type = type;
+    }
+    Family& fam = fit->second;
+    SATGPU_CHECK(fam.type == type,
+                 "metric registered twice with different types");
+    auto sit = fam.series.find(label);
+    if (sit == fam.series.end())
+        sit = fam.series.emplace(std::string(label), Series{}).first;
+    Series& s = sit->second;
+    switch (type) {
+    case MetricType::kCounter:
+        if (!s.counter)
+            s.counter = std::make_unique<Counter>();
+        break;
+    case MetricType::kGauge:
+        if (!s.gauge)
+            s.gauge = std::make_unique<Gauge>();
+        break;
+    case MetricType::kHistogram:
+        if (!s.histogram)
+            s.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    return s;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view label)
+{
+    return *series_for(name, label, MetricType::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view label)
+{
+    return *series_for(name, label, MetricType::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view label)
+{
+    return *series_for(name, label, MetricType::kHistogram).histogram;
+}
+
+std::uint64_t MetricsRegistry::counter_total(std::string_view name) const
+{
+    std::lock_guard lk(mu_);
+    const auto fit = families_.find(name);
+    if (fit == families_.end())
+        return 0;
+    std::uint64_t total = 0;
+    for (const auto& [label, s] : fit->second.series)
+        if (s.counter)
+            total += s.counter->value();
+    return total;
+}
+
+MetricsRegistry::HistogramTotals
+MetricsRegistry::histogram_total(std::string_view name) const
+{
+    std::lock_guard lk(mu_);
+    HistogramTotals t;
+    const auto fit = families_.find(name);
+    if (fit == families_.end())
+        return t;
+    for (const auto& [label, s] : fit->second.series)
+        if (s.histogram) {
+            t.count += s.histogram->count();
+            t.sum += s.histogram->sum();
+        }
+    return t;
+}
+
+std::size_t MetricsRegistry::series_count() const
+{
+    std::lock_guard lk(mu_);
+    std::size_t n = 0;
+    for (const auto& [name, fam] : families_)
+        n += fam.series.size();
+    return n;
+}
+
+void MetricsRegistry::write_text(std::ostream& os) const
+{
+    std::lock_guard lk(mu_);
+    for (const auto& [name, fam] : families_) {
+        os << "# TYPE " << name << ' ' << type_name(fam.type) << '\n';
+        for (const auto& [label, s] : fam.series) {
+            switch (fam.type) {
+            case MetricType::kCounter:
+                write_series_name(os, name, "", label);
+                os << ' ' << s.counter->value() << '\n';
+                break;
+            case MetricType::kGauge:
+                write_series_name(os, name, "", label);
+                os << ' ' << s.gauge->value() << '\n';
+                break;
+            case MetricType::kHistogram: {
+                const Histogram& h = *s.histogram;
+                std::uint64_t cum = 0;
+                for (int i = 0; i < Histogram::kBuckets; ++i) {
+                    const std::uint64_t c = h.bucket_count(i);
+                    if (c == 0)
+                        continue;
+                    cum += c;
+                    write_series_name(os, name, "_bucket", label,
+                                      "le=\"" +
+                                          std::to_string(
+                                              Histogram::bucket_hi(i)) +
+                                          "\"");
+                    os << ' ' << cum << '\n';
+                }
+                write_series_name(os, name, "_bucket", label,
+                                  "le=\"+Inf\"");
+                os << ' ' << h.count() << '\n';
+                write_series_name(os, name, "_sum", label);
+                os << ' ' << h.sum() << '\n';
+                write_series_name(os, name, "_count", label);
+                os << ' ' << h.count() << '\n';
+                break;
+            }
+            }
+        }
+    }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const
+{
+    std::lock_guard lk(mu_);
+    JsonWriter j(os);
+    j.begin_object();
+    j.kv("schema", "satgpu-metrics-v1");
+    j.key("metrics");
+    j.begin_object();
+    for (const auto& [name, fam] : families_) {
+        j.key(name);
+        j.begin_object();
+        j.kv("type", type_name(fam.type));
+        j.key("series");
+        j.begin_object();
+        for (const auto& [label, s] : fam.series) {
+            j.key(label);
+            j.begin_object();
+            switch (fam.type) {
+            case MetricType::kCounter:
+                j.kv("value", s.counter->value());
+                break;
+            case MetricType::kGauge:
+                j.kv("value", s.gauge->value());
+                break;
+            case MetricType::kHistogram: {
+                const Histogram& h = *s.histogram;
+                j.kv("count", h.count());
+                j.kv("sum", h.sum());
+                j.kv("p50", h.quantile(50));
+                j.kv("p99", h.quantile(99));
+                j.key("buckets");
+                j.begin_array();
+                for (int i = 0; i < Histogram::kBuckets; ++i) {
+                    const std::uint64_t c = h.bucket_count(i);
+                    if (c == 0)
+                        continue;
+                    j.begin_object();
+                    j.kv("lo", Histogram::bucket_lo(i));
+                    j.kv("hi", Histogram::bucket_hi(i));
+                    j.kv("count", c);
+                    j.end_object();
+                }
+                j.end_array();
+                break;
+            }
+            }
+            j.end_object();
+        }
+        j.end_object();
+        j.end_object();
+    }
+    j.end_object();
+    j.end_object();
+    os << '\n';
+}
+
+} // namespace satgpu::sat::obs

@@ -1,0 +1,247 @@
+// sat::obs::MetricsRegistry: lock-cheap counters, gauges and fixed-bucket
+// latency histograms for the serving stack.
+//
+// The ROADMAP's north star is a production system under heavy traffic;
+// this is the layer later perf work (the autotuner, fused consumers) reads
+// its evidence from.  Design constraints, in order:
+//
+//  * Lock-cheap updates.  Registration (name + label -> instrument) takes
+//    the registry mutex once; the returned instrument is a stable pointer
+//    whose updates are relaxed atomics -- a counter increment on the
+//    submit path is one fetch_add, never a lock.
+//  * Derivable quantiles without stored samples.  Histograms use a fixed
+//    log-spaced bucket layout (exact below 16, then four sub-buckets per
+//    octave, ~25% relative width) so p50/p99 are recoverable from bucket
+//    counts alone; tests pin agreement with bench::percentile on the raw
+//    samples to within one bucket width.
+//  * Deterministic exposition.  write_text (Prometheus-style) and
+//    write_json (schema "satgpu-metrics-v1", via core/json_writer.hpp)
+//    iterate name-sorted maps and emit integers only, so for a fixed
+//    sequence of updates the serialized bytes are identical on every
+//    machine (CI schema-diffs the JSON key paths).
+//
+// The service registers one series per metric per PlanKey label
+// (sat/service.hpp's plan_key_label), plus a few unlabeled service-wide
+// gauges; nothing here is service specific, though -- any component can
+// register instruments.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace satgpu::sat::obs {
+
+/// Monotone event counter.  Updates are relaxed atomics: totals are exact
+/// once the writers have quiesced (the service publishes counters before
+/// fulfilling the corresponding promises, so a client that has joined on
+/// every future reads fully-settled totals).
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) noexcept
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depth, pooled bytes).  set_max keeps a
+/// monotone high-water mark in the same instrument style.
+class Gauge {
+public:
+    void set(std::int64_t v) noexcept
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+    void add(std::int64_t d) noexcept
+    {
+        v_.fetch_add(d, std::memory_order_relaxed);
+    }
+    /// Raise the gauge to at least `v` (monotone; concurrent callers are
+    /// fine -- fetch_max semantics via a CAS loop).
+    void set_max(std::int64_t v) noexcept
+    {
+        std::int64_t cur = v_.load(std::memory_order_relaxed);
+        while (cur < v &&
+               !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+        }
+    }
+    [[nodiscard]] std::int64_t value() const noexcept
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-layout log-spaced histogram over non-negative integer samples
+/// (latencies in microseconds, wave sizes, ...).
+///
+/// Bucket layout: values 0..15 get exact singleton buckets; above that,
+/// each power-of-two octave [2^o, 2^(o+1)) splits into four equal
+/// sub-buckets keyed by the two bits after the leading one, so the
+/// relative bucket width is at most 25% everywhere.  The layout is a
+/// compile-time constant (no per-instance configuration): every histogram
+/// in a process shares the same bucket edges, which keeps cross-instrument
+/// quantile comparisons and the serialized exposition trivially
+/// deterministic.
+class Histogram {
+public:
+    static constexpr int kLinearBuckets = 16; ///< exact buckets for 0..15
+    static constexpr int kSubBuckets = 4;     ///< per octave above 15
+    static constexpr int kBuckets =
+        kLinearBuckets + (64 - 4) * kSubBuckets; // 256, covers all of u64
+
+    /// Bucket holding `v`.  Total order: bucket_lo/bucket_hi are monotone
+    /// in the index and partition [0, 2^64).
+    [[nodiscard]] static constexpr int bucket_index(std::uint64_t v) noexcept
+    {
+        if (v < kLinearBuckets)
+            return static_cast<int>(v);
+        const int octave = static_cast<int>(std::bit_width(v)) - 1; // >= 4
+        const int sub = static_cast<int>((v >> (octave - 2)) & 3);
+        return kLinearBuckets + (octave - 4) * kSubBuckets + sub;
+    }
+    /// Inclusive lower bound of bucket `i`.
+    [[nodiscard]] static constexpr std::uint64_t bucket_lo(int i) noexcept
+    {
+        if (i < kLinearBuckets)
+            return static_cast<std::uint64_t>(i);
+        const int k = i - kLinearBuckets;
+        const int octave = 4 + k / kSubBuckets;
+        const auto sub = static_cast<std::uint64_t>(k % kSubBuckets);
+        return (std::uint64_t{4} + sub) << (octave - 2);
+    }
+    /// Inclusive upper bound of bucket `i` (the last bucket ends at
+    /// 2^64 - 1).
+    [[nodiscard]] static constexpr std::uint64_t bucket_hi(int i) noexcept
+    {
+        if (i < kLinearBuckets)
+            return static_cast<std::uint64_t>(i);
+        const int octave = 4 + (i - kLinearBuckets) / kSubBuckets;
+        return bucket_lo(i) + ((std::uint64_t{1} << (octave - 2)) - 1);
+    }
+
+    void observe(std::uint64_t v) noexcept
+    {
+        buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+            1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        // Count last: a concurrent reader that sees the new count also
+        // sees the bucket increment on every platform we run on (relaxed
+        // is fine for the quiesced-reader contract documented on Counter).
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::uint64_t count() const noexcept
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t sum() const noexcept
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t bucket_count(int i) const noexcept
+    {
+        return buckets_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+    }
+
+    /// Nearest-rank quantile derived from bucket counts alone, using the
+    /// same rank formula as bench::percentile (p clamped to [0, 100]);
+    /// returns the upper bound of the bucket holding the rank-th sample,
+    /// so it matches the exact sample percentile to within one bucket
+    /// width.  0 when empty.  Meaningful at quiescence (concurrent
+    /// observes may be partially visible).
+    [[nodiscard]] std::uint64_t quantile(double p) const noexcept;
+    /// Bucket index quantile() resolved to; -1 when empty.
+    [[nodiscard]] int quantile_bucket(double p) const noexcept;
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Name + label -> instrument registry with deterministic exposition.
+///
+/// Instruments are registered on first use and live as long as the
+/// registry; the returned references are stable (never invalidated by
+/// later registrations), so hot paths register once and update lock-free.
+/// Re-registering an existing (name, label) returns the same instrument;
+/// registering one name with two different types aborts.
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Register-or-lookup.  `label` is the value of the single supported
+    /// label dimension (exposed as {plan="<label>"}); empty = unlabeled.
+    [[nodiscard]] Counter& counter(std::string_view name,
+                                   std::string_view label = {});
+    [[nodiscard]] Gauge& gauge(std::string_view name,
+                               std::string_view label = {});
+    [[nodiscard]] Histogram& histogram(std::string_view name,
+                                       std::string_view label = {});
+
+    /// Sum of a counter family across all labels (0 for unknown names).
+    [[nodiscard]] std::uint64_t counter_total(std::string_view name) const;
+
+    struct HistogramTotals {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+    };
+    /// Count/sum of a histogram family across all labels.
+    [[nodiscard]] HistogramTotals
+    histogram_total(std::string_view name) const;
+
+    /// Number of registered (name, label) series.
+    [[nodiscard]] std::size_t series_count() const;
+
+    /// Prometheus-style text exposition: families sorted by name, series
+    /// by label; histograms emit cumulative `_bucket{le=...}` lines for
+    /// every non-empty bucket plus `le="+Inf"`, `_sum` and `_count`.
+    void write_text(std::ostream& os) const;
+    /// {"schema":"satgpu-metrics-v1","metrics":{<name>:{"type":...,
+    /// "series":{<label>:{...}}}}}.  Metric names and labels are object
+    /// KEYS so CI's key-path schema diff catches instrument drift;
+    /// histogram series carry count/sum/p50/p99 plus the non-empty
+    /// buckets as {lo,hi,count}.
+    void write_json(std::ostream& os) const;
+
+private:
+    struct Series {
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+    struct Family {
+        MetricType type = MetricType::kCounter;
+        std::map<std::string, Series, std::less<>> series;
+    };
+
+    Series& series_for(std::string_view name, std::string_view label,
+                       MetricType type);
+
+    mutable std::mutex mu_;
+    std::map<std::string, Family, std::less<>> families_;
+};
+
+} // namespace satgpu::sat::obs

@@ -163,6 +163,7 @@ Options plan_options(const PlanRequest& req, Algorithm resolved)
     opt.warp_scan = req.warp_scan;
     opt.padded_smem = req.padded_smem;
     opt.check = req.check;
+    opt.profile = req.profile;
     opt.pool_partition = req.pool_partition;
     return opt;
 }

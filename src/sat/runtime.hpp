@@ -182,6 +182,11 @@ struct PlanRequest {
     /// executes; findings land on RuntimeResult::launches[i].hazards.
     /// Observational only -- tables are bit-identical with it on or off.
     bool check = false;
+    /// Attach a ProfileReport to every launch this plan executes
+    /// (launches[i].profile), as Engine::Options::profile would.
+    /// Observational only, like `check`; the service sets it when a trace
+    /// sink is attached so request spans can nest kernel phase ranges.
+    bool profile = false;
     /// BufferPool partition every buffer this plan leases comes from.
     /// Partitions never share buffers (simt/buffer_pool.hpp), so the
     /// service layer gives each cached plan its own partition to keep

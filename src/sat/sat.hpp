@@ -90,6 +90,12 @@ struct Options {
     /// SatResult::launches carries a HazardReport.  Purely observational
     /// -- the table is bit-identical with checking on or off.
     bool check = false;
+    /// Attach a ProfileReport (simt/profiler.hpp) to each LaunchStats in
+    /// SatResult::launches, as Engine::Options::profile would.  Purely
+    /// observational like `check`; this is how the service's trace sink
+    /// gets kernel phase ranges for the requests it traces without
+    /// reconstructing the worker's engine.
+    bool profile = false;
 };
 
 template <typename Tout>
@@ -189,6 +195,7 @@ compute_sat_wave(simt::Engine& eng,
     for (const Matrix<Tin>* img : images)
         SATGPU_EXPECTS(img->height() == h && img->width() == w);
     const simt::CheckScope check_scope(eng, opt.check);
+    const simt::ProfileEnableScope profile_scope(eng, opt.profile);
 
     std::vector<simt::BufferPool::Lease<Tin>> in_leases;
     in_leases.reserve(k);

@@ -4,6 +4,8 @@
 #include "model/timing.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 #include <utility>
 
 namespace satgpu::sat {
@@ -16,7 +18,52 @@ namespace {
            static_cast<std::uint64_t>(m.width()) * dtype_size(m.dtype());
 }
 
+// Metric names, one place.  Counters/histograms are per-plan (label =
+// plan_key_label); the queue gauges are service wide (unlabeled).
+constexpr std::string_view kSubmitted = "satgpu_service_submitted_total";
+constexpr std::string_view kCompleted = "satgpu_service_completed_total";
+constexpr std::string_view kFailed = "satgpu_service_failed_total";
+constexpr std::string_view kRejected = "satgpu_service_rejected_total";
+constexpr std::string_view kBlocked = "satgpu_service_blocked_total";
+constexpr std::string_view kOversized =
+    "satgpu_service_oversized_escapes_total";
+constexpr std::string_view kWaves = "satgpu_service_waves_total";
+constexpr std::string_view kFused = "satgpu_service_fused_requests_total";
+constexpr std::string_view kPoolHighWater =
+    "satgpu_service_pool_high_water_bytes";
+constexpr std::string_view kWaveSize = "satgpu_service_wave_size";
+constexpr std::string_view kQueueWaitUs = "satgpu_service_queue_wait_us";
+constexpr std::string_view kExecuteUs = "satgpu_service_execute_us";
+constexpr std::string_view kE2eUs = "satgpu_service_e2e_us";
+constexpr std::string_view kQueueDepth = "satgpu_service_queue_depth";
+constexpr std::string_view kQueueDepthPeak =
+    "satgpu_service_queue_depth_peak";
+constexpr std::string_view kQueuedBytes = "satgpu_service_queued_bytes";
+
+[[nodiscard]] std::uint64_t us_ticks(double us)
+{
+    return us <= 0 ? 0 : static_cast<std::uint64_t>(std::llround(us));
+}
+
 } // namespace
+
+std::string plan_key_label(const PlanKey& key)
+{
+    std::string s = std::to_string(key.height) + "x" +
+                    std::to_string(key.width) + "/" +
+                    pair_name(key.dtypes) + "/" +
+                    std::string(to_string(key.algorithm));
+    if (key.tile.enabled())
+        s += "/tile" + std::to_string(key.tile.tile_h) + "x" +
+             std::to_string(key.tile.tile_w);
+    if (key.warp_scan != scan::WarpScanKind::kKoggeStone)
+        s += "/" + std::string(scan::to_string(key.warp_scan));
+    if (!key.padded_smem)
+        s += "/unpadded";
+    if (key.check)
+        s += "/check";
+    return s;
+}
 
 PlanKey plan_key(const PlanRequest& req) noexcept
 {
@@ -55,14 +102,29 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept
     return seed;
 }
 
-Service::Service(Options opt) : opt_(opt)
+Service::Service(Options opt)
+    : opt_(opt),
+      clock_(opt.virtual_time ? obs::TraceClock::Mode::kVirtual
+                              : obs::TraceClock::Mode::kWall)
 {
     SATGPU_CHECK(opt_.workers >= 1, "Service needs at least one worker");
     SATGPU_CHECK(opt_.max_wave >= 1, "Service max_wave must be >= 1");
     SATGPU_CHECK(opt_.max_queue >= 1, "Service max_queue must be >= 1");
+    if (opt_.metrics != nullptr) {
+        metrics_ = opt_.metrics;
+    } else {
+        owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+        metrics_ = owned_metrics_.get();
+    }
+    trace_ = opt_.trace;
+    events_ = opt_.events;
+    g_queue_depth_ = &metrics_->gauge(kQueueDepth);
+    g_queue_depth_peak_ = &metrics_->gauge(kQueueDepthPeak);
+    g_queued_bytes_ = &metrics_->gauge(kQueuedBytes);
     workers_.reserve(static_cast<std::size_t>(opt_.workers));
     for (int i = 0; i < opt_.workers; ++i) {
         auto w = std::make_unique<Worker>();
+        w->index = i;
         simt::Engine::Options eo;
         eo.record_history = false;
         eo.num_threads = opt_.engine_threads;
@@ -111,24 +173,68 @@ std::future<AnyMatrix> Service::submit(Request req)
     std::unique_lock lk(mu_);
     SATGPU_CHECK(!stopping_, "Service::submit after shutdown began");
 
+    const obs::RequestId rid = ++next_request_;
+    const std::uint64_t t_submit = clock_.now_us();
+    const auto admission_event = [&](std::string_view event,
+                                     std::string_view reason) {
+        if (events_ == nullptr)
+            return;
+        // Cold path by construction; the label allocation is acceptable.
+        events_->record({.event = event,
+                         .reason = reason,
+                         .request = rid,
+                         .plan = plan_key_label(key),
+                         .t_us = clock_.now_us(),
+                         .queue_depth = queue_.size(),
+                         .queued_bytes = queued_bytes_,
+                         .request_bytes = bytes});
+    };
+    const auto full_reason = [&]() -> std::string_view {
+        return queue_.size() >= opt_.max_queue ? "queue_depth"
+                                               : "queue_bytes";
+    };
+    // Admission counters: use the plan's registered bundle when the key
+    // has been admitted before (the common case, and the one that keeps
+    // the exposition schema independent of whether backpressure fired);
+    // a never-admitted key registers its series ad hoc without inserting
+    // a cache entry.
+    const auto admission_counter =
+        [&](std::string_view name) -> obs::Counter& {
+        if (const auto it = cache_.find(key); it != cache_.end())
+            return name == kRejected ? *it->second->metrics.rejected
+                                     : *it->second->metrics.blocked;
+        return metrics_->counter(name, plan_key_label(key));
+    };
+
     // Admission control first: a rejected request never touches the plan
     // cache, so hit/miss counts describe admitted traffic only.
     if (!queue_has_room(bytes)) {
         if (opt_.policy == AdmissionPolicy::kReject) {
             ++stats_.rejected;
+            admission_counter(kRejected).inc();
+            admission_event("reject", full_reason());
             prom.set_exception(std::make_exception_ptr(QueueFullError{}));
             return fut;
         }
+        ++stats_.blocked;
+        admission_counter(kBlocked).inc();
+        admission_event("block", full_reason());
         cv_space_.wait(lk, [&] {
             return stopping_ || queue_has_room(bytes);
         });
         if (stopping_) {
             ++stats_.rejected;
+            admission_counter(kRejected).inc();
+            admission_event("reject", "stopped");
             prom.set_exception(
                 std::make_exception_ptr(ServiceStoppedError{}));
             return fut;
         }
     }
+    // The escape hatch fired: an over-cap request was admitted because the
+    // queue was empty (queue_has_room ignores the byte cap then).
+    const bool oversized = opt_.max_queue_bytes > 0 && queue_.empty() &&
+                           bytes > opt_.max_queue_bytes;
 
     CacheEntry* entry = nullptr;
     if (auto it = cache_.find(key); it != cache_.end()) {
@@ -138,19 +244,44 @@ std::future<AnyMatrix> Service::submit(Request req)
         auto e = std::make_unique<CacheEntry>();
         e->key = key;
         e->partition = next_partition_++;
+        e->label = plan_key_label(key);
+        e->metrics = PlanMetrics{
+            .submitted = &metrics_->counter(kSubmitted, e->label),
+            .completed = &metrics_->counter(kCompleted, e->label),
+            .failed = &metrics_->counter(kFailed, e->label),
+            .rejected = &metrics_->counter(kRejected, e->label),
+            .blocked = &metrics_->counter(kBlocked, e->label),
+            .waves = &metrics_->counter(kWaves, e->label),
+            .fused = &metrics_->counter(kFused, e->label),
+            .oversized = &metrics_->counter(kOversized, e->label),
+            .pool_high_water = &metrics_->gauge(kPoolHighWater, e->label),
+            .wave_size = &metrics_->histogram(kWaveSize, e->label),
+            .queue_wait_us = &metrics_->histogram(kQueueWaitUs, e->label),
+            .execute_us = &metrics_->histogram(kExecuteUs, e->label),
+            .e2e_us = &metrics_->histogram(kE2eUs, e->label)};
         entry = e.get();
         cache_.emplace(key, std::move(e));
         ++stats_.plan_misses;
     }
 
     ++stats_.submitted;
+    entry->metrics.submitted->inc();
+    if (oversized) {
+        entry->metrics.oversized->inc();
+        admission_event("oversized_escape", "");
+    }
     queue_.push_back(Item{.entry = entry,
                           .image = std::move(req.image),
                           .promise = std::move(prom),
-                          .bytes = bytes});
+                          .bytes = bytes,
+                          .id = rid,
+                          .t_submit = t_submit});
     queued_bytes_ += bytes;
     stats_.max_queue_depth =
         std::max<std::uint64_t>(stats_.max_queue_depth, queue_.size());
+    g_queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+    g_queue_depth_peak_->set_max(static_cast<std::int64_t>(queue_.size()));
+    g_queued_bytes_->set(static_cast<std::int64_t>(queued_bytes_));
     // notify_all, not notify_one: a worker lingering for stragglers of a
     // different key may consume a notify_one and go back to sleep, leaving
     // an idle worker unwoken.
@@ -170,6 +301,25 @@ Service::Stats Service::stats() const
 {
     std::lock_guard lk(mu_);
     return stats_;
+}
+
+obs::MetricsRegistry& Service::metrics() const noexcept
+{
+    return *metrics_;
+}
+
+std::string Service::metrics_text() const
+{
+    std::ostringstream os;
+    metrics_->write_text(os);
+    return std::move(os).str();
+}
+
+std::string Service::metrics_json() const
+{
+    std::ostringstream os;
+    metrics_->write_json(os);
+    return std::move(os).str();
 }
 
 std::size_t Service::plan_cache_size() const
@@ -195,19 +345,34 @@ bool Service::queue_has_room(std::uint64_t bytes) const
     return true;
 }
 
-void Service::gather_same_key(CacheEntry* entry, std::vector<Item>& batch)
+void Service::gather_same_key(CacheEntry* entry, std::vector<Item>& batch,
+                              std::uint64_t wave_id, int worker)
 {
     const auto cap = static_cast<std::size_t>(opt_.max_wave);
+    const std::uint64_t t_gather = clock_.now_us();
     for (auto it = queue_.begin();
          it != queue_.end() && batch.size() < cap;) {
         if (it->entry == entry) {
             queued_bytes_ -= it->bytes;
+            entry->metrics.queue_wait_us->observe(
+                t_gather > it->t_submit ? t_gather - it->t_submit : 0);
+            if (trace_ != nullptr)
+                trace_->record_span({.kind = obs::SpanKind::kQueued,
+                                     .request = it->id,
+                                     .wave = wave_id,
+                                     .worker = worker,
+                                     .slot = static_cast<int>(batch.size()),
+                                     .t_begin = it->t_submit,
+                                     .t_end = t_gather,
+                                     .plan = entry->label});
             batch.push_back(std::move(*it));
             it = queue_.erase(it);
         } else {
             ++it;
         }
     }
+    g_queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+    g_queued_bytes_->set(static_cast<std::int64_t>(queued_bytes_));
     cv_space_.notify_all();
 }
 
@@ -223,8 +388,10 @@ void Service::worker_main(Worker& w)
         }
 
         CacheEntry* entry = queue_.front().entry;
+        const std::uint64_t wave_id = ++next_wave_;
+        const std::uint64_t t_assemble = clock_.now_us();
         std::vector<Item> batch;
-        gather_same_key(entry, batch);
+        gather_same_key(entry, batch, wave_id, w.index);
 
         // Linger: hold a non-full wave open for stragglers of the same
         // key.  Items of other keys stay queued for other workers.
@@ -244,7 +411,7 @@ void Service::worker_main(Worker& w)
                 if (!woke)
                     break; // lingered out
                 if (has_same_key())
-                    gather_same_key(entry, batch);
+                    gather_same_key(entry, batch, wave_id, w.index);
                 if (stopping_ && !has_same_key())
                     break;
             }
@@ -255,14 +422,19 @@ void Service::worker_main(Worker& w)
             std::max<std::uint64_t>(stats_.max_wave_size, batch.size());
         if (batch.size() > 1)
             stats_.fused_requests += batch.size();
+        entry->metrics.waves->inc();
+        entry->metrics.wave_size->observe(batch.size());
+        if (batch.size() > 1)
+            entry->metrics.fused->inc(batch.size());
 
         lk.unlock();
-        run_wave(w, entry, std::move(batch));
+        run_wave(w, entry, std::move(batch), wave_id, t_assemble);
         lk.lock();
     }
 }
 
-void Service::run_wave(Worker& w, CacheEntry* entry, std::vector<Item> batch)
+void Service::run_wave(Worker& w, CacheEntry* entry, std::vector<Item> batch,
+                       std::uint64_t wave_id, std::uint64_t t_assemble)
 {
     try {
         const Plan& plan = plan_for(w, entry);
@@ -270,27 +442,81 @@ void Service::run_wave(Worker& w, CacheEntry* entry, std::vector<Item> batch)
         images.reserve(batch.size());
         for (const Item& item : batch)
             images.push_back(&item.image);
+
+        const std::uint64_t t_exec_begin = clock_.now_us();
         WaveResult wave = plan.execute_wave(images);
 
         const model::GpuSpec& gpu =
             opt_.gpu != nullptr ? *opt_.gpu : model::tesla_p100();
         const double us = model::estimate_total_us(gpu, wave.launches);
+        // On the virtual clock, execution "takes" its modeled GPU time, so
+        // execute/e2e latencies mean the same thing they would on
+        // hardware; on the wall clock this is a no-op.
+        clock_.advance(us_ticks(us));
+        const std::uint64_t t_exec_end = clock_.now_us();
+        entry->metrics.execute_us->observe(
+            t_exec_end > t_exec_begin ? t_exec_end - t_exec_begin : 0);
         // Snapshot this worker's partition high-water while still on the
         // worker thread (the pool is thread-private).
         const std::uint64_t hw =
             w.rt->pool().high_water_bytes(entry->partition);
+        entry->metrics.pool_high_water->set_max(
+            static_cast<std::int64_t>(hw));
+
+        if (trace_ != nullptr) {
+            trace_->record_span({.kind = obs::SpanKind::kAssembled,
+                                 .wave = wave_id,
+                                 .worker = w.index,
+                                 .t_begin = t_assemble,
+                                 .t_end = t_exec_begin,
+                                 .plan = entry->label});
+            trace_->record_span({.kind = obs::SpanKind::kExecute,
+                                 .wave = wave_id,
+                                 .worker = w.index,
+                                 .t_begin = t_exec_begin,
+                                 .t_end = t_exec_end,
+                                 .plan = entry->label});
+            trace_->record_wave({.wave = wave_id,
+                                 .worker = w.index,
+                                 .t_exec_begin = t_exec_begin,
+                                 .t_exec_end = t_exec_end,
+                                 .plan = entry->label,
+                                 .launches = wave.launches});
+        }
 
         // Stats first, futures second: a client that has joined on every
-        // future must never observe a completed count that lags it.
+        // future must never observe a completed count that lags it.  The
+        // same contract covers the per-plan counters and the e2e
+        // histogram: all observed before the corresponding set_value.
         {
             std::lock_guard slk(mu_);
             stats_.completed += batch.size();
             stats_.modeled_gpu_us += us;
             entry->high_water_bytes = std::max(entry->high_water_bytes, hw);
         }
-        for (std::size_t i = 0; i < batch.size(); ++i)
+        entry->metrics.completed->inc(batch.size());
+        const std::uint64_t t_done = clock_.now_us();
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            entry->metrics.e2e_us->observe(
+                t_done > batch[i].t_submit ? t_done - batch[i].t_submit
+                                           : 0);
+            if (trace_ != nullptr)
+                trace_->record_span({.kind = obs::SpanKind::kFulfilled,
+                                     .request = batch[i].id,
+                                     .wave = wave_id,
+                                     .worker = w.index,
+                                     .slot = static_cast<int>(i),
+                                     .t_begin = t_exec_end,
+                                     .t_end = t_done,
+                                     .plan = entry->label});
             batch[i].promise.set_value(std::move(wave.tables[i]));
+        }
     } catch (...) {
+        {
+            std::lock_guard slk(mu_);
+            stats_.failed += batch.size();
+        }
+        entry->metrics.failed->inc(batch.size());
         const auto err = std::current_exception();
         for (Item& item : batch)
             item.promise.set_exception(err);
@@ -311,6 +537,10 @@ Plan& Service::plan_for(Worker& w, CacheEntry* entry)
                      .gpu = opt_.gpu,
                      .tile = entry->key.tile,
                      .check = entry->key.check,
+                     // Profiling is what lets the trace nest kernel phase
+                     // ranges under plan.execute; without a sink it stays
+                     // off and plans run at historical cost.
+                     .profile = trace_ != nullptr,
                      .pool_partition = entry->partition};
 
     std::lock_guard elk(entry->mu);

@@ -39,7 +39,9 @@
 // max_wave * workspace_bytes (see docs/service_layer.md).
 #pragma once
 
+#include "sat/metrics.hpp"
 #include "sat/runtime.hpp"
+#include "sat/trace.hpp"
 
 #include <chrono>
 #include <cstdint>
@@ -47,6 +49,7 @@
 #include <future>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -72,6 +75,14 @@ struct PlanKey {
 
 /// Key of the plan a request would resolve to.
 [[nodiscard]] PlanKey plan_key(const PlanRequest& req) noexcept;
+
+/// Human-readable metric/trace label of a plan key:
+/// "<h>x<w>/<in-out>/<algorithm>", plus "/tile<H>x<W>" when tiled,
+/// the warp-scan name when not Kogge-Stone, "/unpadded" and "/check"
+/// when those ablation flags are set.  Deterministic (pure function of
+/// the key), so metric series and trace spans name plans identically
+/// across runs.
+[[nodiscard]] std::string plan_key_label(const PlanKey& key);
 
 struct PlanKeyHash {
     [[nodiscard]] std::size_t operator()(const PlanKey& k) const noexcept;
@@ -127,6 +138,26 @@ public:
         /// GPU whose timing model prices kAuto resolution and the
         /// Stats::modeled_gpu_us accounting.  Null = Tesla P100.
         const model::GpuSpec* gpu = nullptr;
+        /// Metrics sink.  Null = the service owns a private registry
+        /// (metrics are always collected; metrics_text()/metrics_json()
+        /// expose whichever registry is in effect).  Not owned; must
+        /// outlive the Service.
+        obs::MetricsRegistry* metrics = nullptr;
+        /// When set, every request is traced (request.queued ->
+        /// wave.assembled -> plan.execute -> future.fulfilled spans plus
+        /// the kernel phase ranges of each wave's launches -- plans run
+        /// with PlanRequest::profile).  Null = no tracing, no profiler
+        /// overhead.  Not owned; must outlive the Service.
+        obs::TraceSink* trace = nullptr;
+        /// When set, admission-control decisions (reject / block /
+        /// oversized-escape) are appended as JSONL events with reason
+        /// codes.  Not owned; must outlive the Service.
+        obs::EventLog* events = nullptr;
+        /// Use the virtual TraceClock (logical ticks + modeled GPU time)
+        /// instead of wall time for every latency metric and trace span.
+        /// With workers == 1 and a closed submission loop, metrics and
+        /// trace output become byte-deterministic across runs.
+        bool virtual_time = false;
     };
 
     /// One submission: the input image plus the plan-shaping fields of
@@ -145,6 +176,15 @@ public:
         std::uint64_t submitted = 0; ///< admitted submissions
         std::uint64_t completed = 0; ///< futures fulfilled with a table
         std::uint64_t rejected = 0;  ///< admission-control rejections
+        /// Submissions that parked in kBlock admission before being
+        /// admitted (or rejected by shutdown).  Orthogonal to the
+        /// submitted/rejected split: submitted == completed + failed for
+        /// a drained service regardless of how many blocked first.
+        std::uint64_t blocked = 0;
+        /// Requests whose future was fulfilled with an exception from
+        /// execution (not admission).  completed + failed == submitted
+        /// once the queue has drained.
+        std::uint64_t failed = 0;
         std::uint64_t plan_hits = 0;   ///< submissions finding a cached key
         std::uint64_t plan_misses = 0; ///< submissions creating a new key
         /// Worker-local Plan constructions.  >= plan_misses (each worker
@@ -179,6 +219,15 @@ public:
     [[nodiscard]] std::future<AnyMatrix> submit(AnyMatrix image, Dtype out);
 
     [[nodiscard]] Stats stats() const;
+    /// The registry in effect (Options::metrics, or the service-owned
+    /// default).  Counters settle with the same contract as Stats: a
+    /// request's counters are published before its future is fulfilled.
+    [[nodiscard]] obs::MetricsRegistry& metrics() const noexcept;
+    /// Prometheus-style text exposition of metrics() (deterministic for a
+    /// fixed update sequence; see MetricsRegistry::write_text).
+    [[nodiscard]] std::string metrics_text() const;
+    /// "satgpu-metrics-v1" JSON exposition of metrics().
+    [[nodiscard]] std::string metrics_json() const;
     /// Distinct plan keys ever submitted.
     [[nodiscard]] std::size_t plan_cache_size() const;
     /// Peak pooled bytes any single worker ever held in `key`'s partition
@@ -189,9 +238,37 @@ private:
     /// One cached plan identity, shared by all workers.  The entry owns
     /// the deterministic kAuto resolution and the pool partition; each
     /// worker lazily builds its own Plan from it.
+    /// Per-plan instrument bundle, registered once when the cache entry is
+    /// created.  Raw pointers into the registry (stable for its lifetime):
+    /// hot-path updates are single relaxed atomics, no name lookups.
+    struct PlanMetrics {
+        obs::Counter* submitted = nullptr;
+        obs::Counter* completed = nullptr;
+        obs::Counter* failed = nullptr;
+        /// Admission counters live in the bundle so every admitted plan's
+        /// series exist from first submission (schema-stable exposition
+        /// even when no reject/block ever fires); a reject for a key never
+        /// admitted falls back to ad-hoc registration by label.
+        obs::Counter* rejected = nullptr;
+        obs::Counter* blocked = nullptr;
+        obs::Counter* waves = nullptr;
+        obs::Counter* fused = nullptr;
+        obs::Counter* oversized = nullptr;
+        obs::Gauge* pool_high_water = nullptr;
+        obs::Histogram* wave_size = nullptr;
+        obs::Histogram* queue_wait_us = nullptr;
+        obs::Histogram* execute_us = nullptr;
+        obs::Histogram* e2e_us = nullptr;
+    };
+
+    /// One cached plan identity, shared by all workers.  The entry owns
+    /// the deterministic kAuto resolution and the pool partition; each
+    /// worker lazily builds its own Plan from it.
     struct CacheEntry {
         PlanKey key;
         int partition = 0;
+        std::string label; ///< plan_key_label(key), shared by metrics/spans
+        PlanMetrics metrics;
         std::mutex mu; ///< guards resolution (first planner wins)
         bool resolved = false;
         Algorithm resolved_algo = Algorithm::kBrltScanRow;
@@ -206,9 +283,12 @@ private:
         AnyMatrix image;
         std::promise<AnyMatrix> promise;
         std::uint64_t bytes = 0;
+        obs::RequestId id = 0;
+        std::uint64_t t_submit = 0; ///< clock_ at admission
     };
 
     struct Worker {
+        int index = 0;
         std::unique_ptr<Runtime> rt;
         std::unordered_map<const CacheEntry*, Plan> plans;
         std::thread thread;
@@ -216,13 +296,24 @@ private:
 
     [[nodiscard]] bool queue_has_room(std::uint64_t bytes) const;
     /// Pop every queued item for `entry` (front first) into `batch`, up
-    /// to max_wave total.  Caller holds mu_.
-    void gather_same_key(CacheEntry* entry, std::vector<Item>& batch);
+    /// to max_wave total, closing each item's request.queued span and
+    /// observing its queue wait.  Caller holds mu_.
+    void gather_same_key(CacheEntry* entry, std::vector<Item>& batch,
+                         std::uint64_t wave_id, int worker);
     void worker_main(Worker& w);
-    void run_wave(Worker& w, CacheEntry* entry, std::vector<Item> batch);
+    void run_wave(Worker& w, CacheEntry* entry, std::vector<Item> batch,
+                  std::uint64_t wave_id, std::uint64_t t_assemble);
     [[nodiscard]] Plan& plan_for(Worker& w, CacheEntry* entry);
 
     Options opt_;
+    std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+    obs::MetricsRegistry* metrics_ = nullptr; ///< never null after ctor
+    obs::TraceSink* trace_ = nullptr;
+    obs::EventLog* events_ = nullptr;
+    obs::TraceClock clock_;
+    obs::Gauge* g_queue_depth_ = nullptr;
+    obs::Gauge* g_queue_depth_peak_ = nullptr;
+    obs::Gauge* g_queued_bytes_ = nullptr;
     mutable std::mutex mu_;
     std::condition_variable cv_work_;  ///< queue gained an item / stopping
     std::condition_variable cv_space_; ///< queue lost an item / stopping
@@ -232,6 +323,8 @@ private:
     std::unordered_map<PlanKey, std::unique_ptr<CacheEntry>, PlanKeyHash>
         cache_;
     int next_partition_ = 1; ///< 0 stays the shared default partition
+    obs::RequestId next_request_ = 0; ///< guarded by mu_
+    std::uint64_t next_wave_ = 0;     ///< guarded by mu_
     Stats stats_;
     std::vector<std::unique_ptr<Worker>> workers_;
 };

@@ -201,6 +201,7 @@ template <typename Tout, typename Tin>
         return compute_sat<Tout>(eng, image, opt);
 
     const simt::CheckScope check_scope(eng, opt.check);
+    const simt::ProfileEnableScope profile_scope(eng, opt.profile);
     SatResult<Tout> res;
     res.table = Matrix<Tout>(h, w);
 

@@ -1,0 +1,286 @@
+#include "sat/trace.hpp"
+
+#include "core/json_writer.hpp"
+#include "simt/profiler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+#include <tuple>
+
+namespace satgpu::sat::obs {
+
+std::string_view to_string(SpanKind k) noexcept
+{
+    switch (k) {
+    case SpanKind::kQueued: return "request.queued";
+    case SpanKind::kAssembled: return "wave.assembled";
+    case SpanKind::kExecute: return "plan.execute";
+    case SpanKind::kFulfilled: return "future.fulfilled";
+    }
+    return "?";
+}
+
+void TraceSink::record_span(Span s)
+{
+    std::lock_guard lk(mu_);
+    spans_.push_back(std::move(s));
+}
+
+void TraceSink::record_wave(WaveRecord w)
+{
+    std::lock_guard lk(mu_);
+    waves_.push_back(std::move(w));
+}
+
+std::size_t TraceSink::span_count() const
+{
+    std::lock_guard lk(mu_);
+    return spans_.size();
+}
+
+std::size_t TraceSink::wave_count() const
+{
+    std::lock_guard lk(mu_);
+    return waves_.size();
+}
+
+namespace {
+
+/// Row assignment within a worker's process: 0 = the service row, 10+slot =
+/// request rows, 1000+k = kernel launch rows.  Fixed constants (not packed)
+/// so a human reading the raw JSON can tell the row class at a glance.
+constexpr int kServiceTid = 0;
+constexpr int kRequestTidBase = 10;
+constexpr int kLaunchTidBase = 1000;
+
+[[nodiscard]] int span_tid(const Span& s) noexcept
+{
+    switch (s.kind) {
+    case SpanKind::kQueued:
+    case SpanKind::kFulfilled: return kRequestTidBase + s.slot;
+    case SpanKind::kAssembled:
+    case SpanKind::kExecute: return kServiceTid;
+    }
+    return kServiceTid;
+}
+
+void emit_complete(JsonWriter& j, int pid, int tid, std::uint64_t ts,
+                   std::uint64_t dur, std::string_view name,
+                   std::string_view cat)
+{
+    j.begin_object();
+    j.kv("ph", "X");
+    j.kv("pid", pid);
+    j.kv("tid", tid);
+    j.kv("ts", ts);
+    j.kv("dur", dur);
+    j.kv("name", name);
+    j.kv("cat", cat);
+}
+
+void emit_metadata(JsonWriter& j, int pid, int tid, std::string_view kind,
+                   std::string_view name)
+{
+    j.begin_object();
+    j.kv("ph", "M");
+    j.kv("pid", pid);
+    if (kind == "thread_name")
+        j.kv("tid", tid);
+    j.kv("name", kind);
+    j.key("args");
+    j.begin_object();
+    j.kv("name", name);
+    j.end_object();
+    j.end_object();
+}
+
+/// Per-launch share of the execute window, proportional to the launch's
+/// profiled virtual cycles (weight 1 when no profile was attached, so
+/// unprofiled launches still get a visible slice).
+[[nodiscard]] std::uint64_t launch_weight(const simt::LaunchStats& l) noexcept
+{
+    if (l.profile && l.profile->total_virtual_cycles > 0)
+        return l.profile->total_virtual_cycles;
+    return 1;
+}
+
+} // namespace
+
+void TraceSink::write_chrome_trace(std::ostream& os) const
+{
+    std::vector<Span> spans;
+    std::vector<const WaveRecord*> waves;
+    {
+        std::lock_guard lk(mu_);
+        spans = spans_;
+        waves.reserve(waves_.size());
+        for (const WaveRecord& w : waves_)
+            waves.push_back(&w);
+    }
+    // Merge in worker-index order, never recording order: the recording
+    // interleaving is schedule dependent, this sort key is not.
+    std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+        return std::tuple(a.worker, a.wave, static_cast<int>(a.kind), a.slot,
+                          a.request) < std::tuple(b.worker, b.wave,
+                                                  static_cast<int>(b.kind),
+                                                  b.slot, b.request);
+    });
+    std::sort(waves.begin(), waves.end(),
+              [](const WaveRecord* a, const WaveRecord* b) {
+                  return std::tuple(a->worker, a->wave) <
+                         std::tuple(b->worker, b->wave);
+              });
+
+    // Row inventory: (pid, tid) -> row name, gathered up front so all
+    // metadata precedes all events in one deterministic block.
+    std::map<std::pair<int, int>, std::string> rows;
+    std::set<int> workers;
+    for (const Span& s : spans) {
+        workers.insert(s.worker);
+        const int tid = span_tid(s);
+        rows.try_emplace({s.worker + 1, tid},
+                         tid == kServiceTid
+                             ? "service"
+                             : "requests slot " + std::to_string(s.slot));
+    }
+    for (const WaveRecord* w : waves) {
+        workers.insert(w->worker);
+        rows.try_emplace({w->worker + 1, kServiceTid}, "service");
+        for (std::size_t k = 0; k < w->launches.size(); ++k)
+            rows.try_emplace(
+                {w->worker + 1, kLaunchTidBase + static_cast<int>(k)},
+                "kernel launch " + std::to_string(k));
+    }
+
+    JsonWriter j(os);
+    j.begin_object();
+    j.kv("displayTimeUnit", "ms");
+    j.key("traceEvents");
+    j.begin_array();
+    for (const int w : workers)
+        emit_metadata(j, w + 1, 0, "process_name",
+                      "worker " + std::to_string(w));
+    for (const auto& [key, name] : rows)
+        emit_metadata(j, key.first, key.second, "thread_name", name);
+
+    for (const Span& s : spans) {
+        const std::uint64_t dur =
+            s.t_end > s.t_begin ? s.t_end - s.t_begin : 1;
+        emit_complete(j, s.worker + 1, span_tid(s), s.t_begin, dur,
+                      to_string(s.kind),
+                      span_tid(s) == kServiceTid ? "service" : "request");
+        j.key("args");
+        j.begin_object();
+        if (s.request != 0)
+            j.kv("request", s.request);
+        j.kv("wave", s.wave);
+        if (span_tid(s) != kServiceTid)
+            j.kv("slot", s.slot);
+        j.kv("plan", s.plan);
+        j.end_object();
+        j.end_object();
+    }
+
+    for (const WaveRecord* w : waves) {
+        // Scale the wave's launches into its execute window proportionally
+        // to their virtual cycles; inside each launch, scale its profiled
+        // phase ranges the same way.  All-integer arithmetic: positions are
+        // begin + (acc * dur) / total, so the bytes never depend on FP.
+        const std::uint64_t win_begin = w->t_exec_begin;
+        const std::uint64_t win_dur = w->t_exec_end > w->t_exec_begin
+                                          ? w->t_exec_end - w->t_exec_begin
+                                          : 1;
+        std::uint64_t total = 0;
+        for (const auto& l : w->launches)
+            total += launch_weight(l);
+        std::uint64_t acc = 0;
+        for (std::size_t k = 0; k < w->launches.size(); ++k) {
+            const auto& l = w->launches[k];
+            const std::uint64_t weight = launch_weight(l);
+            const std::uint64_t l_begin =
+                win_begin + (acc * win_dur) / total;
+            const std::uint64_t l_end =
+                win_begin + ((acc + weight) * win_dur) / total;
+            acc += weight;
+            const int tid = kLaunchTidBase + static_cast<int>(k);
+            emit_complete(j, w->worker + 1, tid, l_begin,
+                          l_end > l_begin ? l_end - l_begin : 1,
+                          l.info.name, "kernel");
+            j.key("args");
+            j.begin_object();
+            j.kv("wave", w->wave);
+            j.kv("plan", w->plan);
+            if (l.profile)
+                j.kv("virtual_cycles", l.profile->total_virtual_cycles);
+            j.end_object();
+            j.end_object();
+
+            if (!l.profile || l_end <= l_begin)
+                continue;
+            const simt::ProfileReport& r = *l.profile;
+            std::uint64_t ptotal =
+                simt::block_virtual_cycles(r.unattributed);
+            for (const auto& range : r.ranges)
+                ptotal += simt::block_virtual_cycles(range.counters);
+            if (ptotal == 0)
+                continue;
+            const std::uint64_t l_dur = l_end - l_begin;
+            std::uint64_t pacc = 0;
+            auto emit_phase = [&](std::string_view name,
+                                  std::uint64_t weight2) {
+                if (weight2 == 0)
+                    return;
+                const std::uint64_t p_begin =
+                    l_begin + (pacc * l_dur) / ptotal;
+                const std::uint64_t p_end =
+                    l_begin + ((pacc + weight2) * l_dur) / ptotal;
+                pacc += weight2;
+                if (p_end <= p_begin)
+                    return;
+                emit_complete(j, w->worker + 1, tid, p_begin,
+                              p_end - p_begin, name, "phase");
+                j.key("args");
+                j.begin_object();
+                j.kv("wave", w->wave);
+                j.end_object();
+                j.end_object();
+            };
+            for (const auto& range : r.ranges)
+                emit_phase(range.name,
+                           simt::block_virtual_cycles(range.counters));
+            emit_phase("unattributed",
+                       simt::block_virtual_cycles(r.unattributed));
+        }
+    }
+    j.end_array();
+    j.end_object();
+    os << '\n';
+}
+
+void EventLog::record(const Event& e)
+{
+    std::lock_guard lk(mu_);
+    JsonWriter j(*os_);
+    j.begin_object();
+    j.kv("event", e.event);
+    j.kv("reason", e.reason);
+    j.kv("request", e.request);
+    j.kv("plan", e.plan);
+    j.kv("t_us", e.t_us);
+    j.kv("queue_depth", e.queue_depth);
+    j.kv("queued_bytes", e.queued_bytes);
+    j.kv("request_bytes", e.request_bytes);
+    j.end_object();
+    *os_ << '\n';
+    ++count_;
+}
+
+std::uint64_t EventLog::count() const
+{
+    std::lock_guard lk(mu_);
+    return count_;
+}
+
+} // namespace satgpu::sat::obs

@@ -1,0 +1,178 @@
+// Request-scoped tracing for the serving stack: TraceClock, TraceSink and
+// the admission-control EventLog.
+//
+// Every Service::submit is stamped with a RequestId, and the service
+// records the request's life as spans
+//
+//   request.queued -> wave.assembled -> plan.execute -> future.fulfilled
+//
+// plus, when the wave executed with profiling enabled
+// (Engine::Options::profile, plumbed through PlanRequest::profile), the
+// per-launch kernel phase ranges of the PR 2 profiler nested underneath.
+// write_chrome_trace() merges everything into one chrome://tracing /
+// Perfetto document: one process (pid) per service worker, a "service"
+// row for wave spans, per-slot "request" rows, and one row per kernel
+// launch whose phase sub-spans are scaled into the plan.execute window.
+//
+// Determinism: spans are serialized in (worker, wave, kind, slot) order --
+// never in recording order, which is schedule dependent -- and all
+// arithmetic is integral, so a fixed recorded trace always serializes to
+// the same bytes.  For byte-identical traces across RUNS, drive the
+// service with TraceClock::Mode::kVirtual (Service::Options::virtual_time):
+// timestamps become logical ticks (one per clock read, plus the modeled
+// execution time per wave), which a single-worker closed-loop trace makes
+// fully reproducible (pinned by tests/test_metrics.cpp).
+#pragma once
+
+#include "simt/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace satgpu::sat::obs {
+
+/// Identity of one Service::submit, assigned in admission order (1-based).
+using RequestId = std::uint64_t;
+
+/// Time source shared by metrics latencies and trace spans.
+///
+///  * kWall: microseconds since clock construction (steady_clock) -- the
+///    serving default; latencies mean what a client would measure.
+///  * kVirtual: a logical clock.  Every now_us() reads a fresh tick and
+///    advance() adds the modeled execution time of a wave, so span
+///    ordering and every derived latency are machine independent.
+class TraceClock {
+public:
+    enum class Mode { kWall, kVirtual };
+
+    explicit TraceClock(Mode m = Mode::kWall)
+        : mode_(m), epoch_(std::chrono::steady_clock::now())
+    {
+    }
+
+    [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+    [[nodiscard]] std::uint64_t now_us() noexcept
+    {
+        if (mode_ == Mode::kVirtual)
+            return ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count());
+    }
+
+    /// Advance virtual time by `us` (no-op on the wall clock, which
+    /// advances itself).
+    void advance(std::uint64_t us) noexcept
+    {
+        if (mode_ == Mode::kVirtual)
+            ticks_.fetch_add(us, std::memory_order_relaxed);
+    }
+
+private:
+    Mode mode_;
+    std::chrono::steady_clock::time_point epoch_;
+    std::atomic<std::uint64_t> ticks_{0};
+};
+
+/// The four span kinds of a request's service-side life, in causal order.
+enum class SpanKind { kQueued, kAssembled, kExecute, kFulfilled };
+
+[[nodiscard]] std::string_view to_string(SpanKind k) noexcept;
+
+struct Span {
+    SpanKind kind = SpanKind::kQueued;
+    RequestId request = 0;    ///< 0 for wave-level spans
+    std::uint64_t wave = 0;   ///< wave sequence number (1-based)
+    int worker = 0;           ///< worker that owned the wave
+    int slot = 0;             ///< request's index within its wave
+    std::uint64_t t_begin = 0;
+    std::uint64_t t_end = 0;
+    std::string plan;         ///< plan_key_label of the cache entry
+};
+
+/// One executed wave's kernel evidence: the fused launches (with
+/// ProfileReports when the plan ran with profiling) to nest under the
+/// wave's plan.execute span.
+struct WaveRecord {
+    std::uint64_t wave = 0;
+    int worker = 0;
+    std::uint64_t t_exec_begin = 0;
+    std::uint64_t t_exec_end = 0;
+    std::string plan;
+    std::vector<simt::LaunchStats> launches;
+};
+
+/// Thread-safe span/wave collector with a deterministic Chrome-trace
+/// serializer.  Recording is mutex-guarded (spans are recorded at span
+/// END, off the submit hot path); serialization may run concurrently with
+/// recording but is meant for quiescent sinks.
+class TraceSink {
+public:
+    TraceSink() = default;
+    TraceSink(const TraceSink&) = delete;
+    TraceSink& operator=(const TraceSink&) = delete;
+
+    void record_span(Span s);
+    void record_wave(WaveRecord w);
+
+    [[nodiscard]] std::size_t span_count() const;
+    [[nodiscard]] std::size_t wave_count() const;
+
+    /// The merged trace: service spans above kernel phase ranges.
+    /// pid = worker index + 1; tid 0 = the worker's "service" row
+    /// (wave.assembled / plan.execute), tid 10+slot = request rows
+    /// (request.queued / future.fulfilled), tid 1000+k = kernel launch k
+    /// of the executing wave, with its profiler phase ranges scaled into
+    /// the plan.execute window proportionally to their virtual cycles.
+    void write_chrome_trace(std::ostream& os) const;
+
+private:
+    mutable std::mutex mu_;
+    std::vector<Span> spans_;
+    std::vector<WaveRecord> waves_;
+};
+
+/// Structured JSONL log of admission-control decisions.  One JSON object
+/// per line, written through core/json_writer.hpp under a mutex (lines
+/// from concurrent submitters never interleave).  Reason codes:
+/// "queue_depth" / "queue_bytes" (the limit that fired), "stopped" (the
+/// service began draining while the submitter was parked), and "" for
+/// oversized_escape (an over-cap request admitted because the queue was
+/// empty -- the documented escape hatch, logged so capacity planning sees
+/// it).
+class EventLog {
+public:
+    /// `os` must outlive the log; the caller owns flushing/closing it.
+    explicit EventLog(std::ostream& os) : os_(&os) {}
+    EventLog(const EventLog&) = delete;
+    EventLog& operator=(const EventLog&) = delete;
+
+    struct Event {
+        std::string_view event;  ///< "reject" | "block" | "oversized_escape"
+        std::string_view reason; ///< see class comment
+        RequestId request = 0;
+        std::string_view plan;
+        std::uint64_t t_us = 0;
+        std::uint64_t queue_depth = 0;
+        std::uint64_t queued_bytes = 0;
+        std::uint64_t request_bytes = 0;
+    };
+
+    void record(const Event& e);
+    [[nodiscard]] std::uint64_t count() const;
+
+private:
+    mutable std::mutex mu_;
+    std::ostream* os_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace satgpu::sat::obs

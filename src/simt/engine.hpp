@@ -138,6 +138,13 @@ public:
     /// between launches (see CheckScope).
     void set_check(bool on) noexcept { opt_.check = on; }
 
+    /// Toggle the profiler for subsequent launches (Options::profile).
+    /// Same contract as set_check: flipped only between launches (see
+    /// ProfileEnableScope).  This is how per-request opt-ins -- the
+    /// service's trace sink, PlanRequest::profile -- reach the engine
+    /// without reconstructing it.
+    void set_profile(bool on) noexcept { opt_.profile = on; }
+
     /// Ambient profiler phase for subsequent launches: while non-empty
     /// (see PhaseScope), every warp of every launch starts with this range
     /// name at the bottom of its ProfileRange stack, so whole launches
@@ -174,6 +181,28 @@ public:
     ~CheckScope() { eng_->set_check(prev_); }
     CheckScope(const CheckScope&) = delete;
     CheckScope& operator=(const CheckScope&) = delete;
+
+private:
+    Engine* eng_;
+    bool prev_;
+};
+
+/// Scoped elevation of Engine::Options::profile, the profiler twin of
+/// CheckScope: enables per-launch ProfileReports during the scope's
+/// lifetime (never disables an engine-level setting) and restores the
+/// previous value on exit.  Named ProfileEnableScope to stay clear of the
+/// profiler's thread-local installation scope (simt::ProfilerScope).
+class ProfileEnableScope {
+public:
+    ProfileEnableScope(Engine& eng, bool enable) noexcept
+        : eng_(&eng), prev_(eng.options().profile)
+    {
+        if (enable)
+            eng_->set_profile(true);
+    }
+    ~ProfileEnableScope() { eng_->set_profile(prev_); }
+    ProfileEnableScope(const ProfileEnableScope&) = delete;
+    ProfileEnableScope& operator=(const ProfileEnableScope&) = delete;
 
 private:
     Engine* eng_;

@@ -388,52 +388,65 @@ void write_profile_json(std::ostream& os, std::span<const LaunchStats> ls)
 void write_chrome_trace_json(std::ostream& os,
                              std::span<const LaunchStats> ls)
 {
+    const TraceGroup group{{}, ls};
+    write_chrome_trace_json(os, std::span<const TraceGroup>(&group, 1));
+}
+
+void write_chrome_trace_json(std::ostream& os,
+                             std::span<const TraceGroup> groups)
+{
     JsonWriter j(os);
     j.begin_object();
     j.key("displayTimeUnit"), j.value("ms");
     j.key("traceEvents");
     j.begin_array();
     std::uint64_t offset = 0;
-    int pid = 0;
-    for (const auto& l : ls) {
-        if (!l.profile) {
-            ++pid;
-            continue;
-        }
-        const ProfileReport& r = *l.profile;
-        j.begin_object();
-        j.key("ph"), j.value("M");
-        j.key("pid"), j.value(pid);
-        j.key("name"), j.value("process_name");
-        j.key("args");
-        j.begin_object();
-        j.key("name"),
-            j.value("launch " + std::to_string(pid) + ": " + l.info.name);
-        j.end_object();
-        j.end_object();
-        for (const auto& s : r.timeline) {
+    int pid = 0; // continuous across groups: no collisions in the merge
+    for (const auto& g : groups) {
+        int launch_idx = 0;
+        for (const auto& l : g.launches) {
+            const int k = launch_idx++;
+            if (!l.profile) {
+                ++pid;
+                continue;
+            }
+            const ProfileReport& r = *l.profile;
             j.begin_object();
-            j.key("ph"), j.value("X");
+            j.key("ph"), j.value("M");
             j.key("pid"), j.value(pid);
-            j.key("tid"), j.value(s.track);
-            j.key("ts"), j.value(offset + s.t_begin);
-            j.key("dur"), j.value(s.t_end - s.t_begin);
-            j.key("name"),
-                j.value("block (" + std::to_string(s.block.x) + "," +
-                        std::to_string(s.block.y) + "," +
-                        std::to_string(s.block.z) + ")");
-            j.key("cat"), j.value("block");
+            j.key("name"), j.value("process_name");
             j.key("args");
             j.begin_object();
-            j.key("linear"), j.value(s.linear);
-            j.key("gmem_sectors"), j.value(s.gmem_sectors);
-            j.key("smem_trans"), j.value(s.smem_trans);
-            j.key("barriers"), j.value(s.barriers);
+            j.key("name"),
+                j.value((g.name.empty() ? std::string{}
+                                        : std::string(g.name) + ": ") +
+                        "launch " + std::to_string(k) + ": " + l.info.name);
             j.end_object();
             j.end_object();
+            for (const auto& s : r.timeline) {
+                j.begin_object();
+                j.key("ph"), j.value("X");
+                j.key("pid"), j.value(pid);
+                j.key("tid"), j.value(s.track);
+                j.key("ts"), j.value(offset + s.t_begin);
+                j.key("dur"), j.value(s.t_end - s.t_begin);
+                j.key("name"),
+                    j.value("block (" + std::to_string(s.block.x) + "," +
+                            std::to_string(s.block.y) + "," +
+                            std::to_string(s.block.z) + ")");
+                j.key("cat"), j.value("block");
+                j.key("args");
+                j.begin_object();
+                j.key("linear"), j.value(s.linear);
+                j.key("gmem_sectors"), j.value(s.gmem_sectors);
+                j.key("smem_trans"), j.value(s.smem_trans);
+                j.key("barriers"), j.value(s.barriers);
+                j.end_object();
+                j.end_object();
+            }
+            offset += r.total_virtual_cycles;
+            ++pid;
         }
-        offset += r.total_virtual_cycles;
-        ++pid;
     }
     j.end_array();
     j.end_object();

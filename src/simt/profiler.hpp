@@ -251,6 +251,25 @@ void write_profile_json(std::ostream& os, std::span<const LaunchStats> ls);
 void write_chrome_trace_json(std::ostream& os,
                              std::span<const LaunchStats> ls);
 
+/// One named group of launches for a merged multi-source trace -- e.g.
+/// "worker 0" for a service worker's engine history, or "request 17" for
+/// the launches attributed to one request.
+struct TraceGroup {
+    std::string_view name;
+    std::span<const LaunchStats> launches;
+};
+
+/// Merged chrome trace over several launch sources.  Before this overload,
+/// multiple Runtimes in one process had no collision-safe way to emit
+/// traces: each wrote its own document with pids starting at 0, so dumping
+/// them to one file was last-writer-wins.  Here pids are allocated
+/// CONTINUOUSLY across groups in argument order (callers pass groups in
+/// worker-index order for determinism) and every process name is prefixed
+/// with its group's name, so launches from different workers/requests
+/// never collide.  The ungrouped overload is exactly `{{"", history}}`.
+void write_chrome_trace_json(std::ostream& os,
+                             std::span<const TraceGroup> groups);
+
 /// Trim an absolute __FILE__ to a repo-relative "src/..." style path (the
 /// longest suffix starting at a known top-level directory).
 [[nodiscard]] std::string trim_source_path(std::string_view file);

@@ -1,0 +1,130 @@
+// Minimal recursive-descent JSON well-formedness checker shared by the
+// serialization tests (no external deps in the test image beyond gtest).
+// Accepts exactly RFC 8259.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace jsonv {
+
+struct Parser {
+    std::string_view s;
+    std::size_t i = 0;
+
+    bool ws()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                                s[i] == '\r'))
+            ++i;
+        return true;
+    }
+    bool lit(std::string_view l)
+    {
+        if (s.substr(i, l.size()) != l)
+            return false;
+        i += l.size();
+        return true;
+    }
+    bool string()
+    {
+        if (i >= s.size() || s[i] != '"')
+            return false;
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\') {
+                ++i;
+                if (i >= s.size())
+                    return false;
+            }
+            ++i;
+        }
+        return i < s.size() && s[i++] == '"';
+    }
+    bool number()
+    {
+        const std::size_t start = i;
+        if (i < s.size() && s[i] == '-')
+            ++i;
+        while (i < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                s[i] == '.' || s[i] == 'e' || s[i] == 'E' || s[i] == '+' ||
+                s[i] == '-'))
+            ++i;
+        return i > start;
+    }
+    bool value()
+    {
+        ws();
+        if (i >= s.size())
+            return false;
+        switch (s[i]) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return lit("true");
+        case 'f': return lit("false");
+        case 'n': return lit("null");
+        default: return number();
+        }
+    }
+    bool object()
+    {
+        ++i; // '{'
+        ws();
+        if (i < s.size() && s[i] == '}') {
+            ++i;
+            return true;
+        }
+        for (;;) {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (i >= s.size() || s[i++] != ':')
+                return false;
+            if (!value())
+                return false;
+            ws();
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            return i < s.size() && s[i++] == '}';
+        }
+    }
+    bool array()
+    {
+        ++i; // '['
+        ws();
+        if (i < s.size() && s[i] == ']') {
+            ++i;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            ws();
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            return i < s.size() && s[i++] == ']';
+        }
+    }
+    bool document()
+    {
+        if (!value())
+            return false;
+        ws();
+        return i == s.size();
+    }
+};
+
+inline bool valid(std::string_view doc)
+{
+    return Parser{doc}.document();
+}
+
+} // namespace jsonv

@@ -6,6 +6,7 @@
 // deterministic JSON writer itself.
 #include "core/json_writer.hpp"
 #include "core/random_fill.hpp"
+#include "json_valid.hpp"
 #include "sat/sat.hpp"
 #include "simt/profiler.hpp"
 
@@ -292,130 +293,6 @@ TEST(ProfilerToggle, NoReportUnlessRequested)
 
 // ----------------------------------------- serialized documents ------------
 
-namespace jsonv {
-
-/// Minimal recursive-descent JSON well-formedness checker (no external
-/// deps in the test image beyond gtest).  Accepts exactly RFC 8259.
-struct Parser {
-    std::string_view s;
-    std::size_t i = 0;
-
-    bool ws()
-    {
-        while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
-                                s[i] == '\r'))
-            ++i;
-        return true;
-    }
-    bool lit(std::string_view l)
-    {
-        if (s.substr(i, l.size()) != l)
-            return false;
-        i += l.size();
-        return true;
-    }
-    bool string()
-    {
-        if (i >= s.size() || s[i] != '"')
-            return false;
-        ++i;
-        while (i < s.size() && s[i] != '"') {
-            if (s[i] == '\\') {
-                ++i;
-                if (i >= s.size())
-                    return false;
-            }
-            ++i;
-        }
-        return i < s.size() && s[i++] == '"';
-    }
-    bool number()
-    {
-        const std::size_t start = i;
-        if (i < s.size() && s[i] == '-')
-            ++i;
-        while (i < s.size() &&
-               (std::isdigit(static_cast<unsigned char>(s[i])) ||
-                s[i] == '.' || s[i] == 'e' || s[i] == 'E' || s[i] == '+' ||
-                s[i] == '-'))
-            ++i;
-        return i > start;
-    }
-    bool value()
-    {
-        ws();
-        if (i >= s.size())
-            return false;
-        switch (s[i]) {
-        case '{': return object();
-        case '[': return array();
-        case '"': return string();
-        case 't': return lit("true");
-        case 'f': return lit("false");
-        case 'n': return lit("null");
-        default: return number();
-        }
-    }
-    bool object()
-    {
-        ++i; // '{'
-        ws();
-        if (i < s.size() && s[i] == '}') {
-            ++i;
-            return true;
-        }
-        for (;;) {
-            ws();
-            if (!string())
-                return false;
-            ws();
-            if (i >= s.size() || s[i++] != ':')
-                return false;
-            if (!value())
-                return false;
-            ws();
-            if (i < s.size() && s[i] == ',') {
-                ++i;
-                continue;
-            }
-            return i < s.size() && s[i++] == '}';
-        }
-    }
-    bool array()
-    {
-        ++i; // '['
-        ws();
-        if (i < s.size() && s[i] == ']') {
-            ++i;
-            return true;
-        }
-        for (;;) {
-            if (!value())
-                return false;
-            ws();
-            if (i < s.size() && s[i] == ',') {
-                ++i;
-                continue;
-            }
-            return i < s.size() && s[i++] == ']';
-        }
-    }
-    bool document()
-    {
-        if (!value())
-            return false;
-        ws();
-        return i == s.size();
-    }
-};
-
-bool valid(std::string_view doc)
-{
-    return Parser{doc}.document();
-}
-
-} // namespace jsonv
-
 TEST(ProfilerJson, ProfileDocumentIsWellFormed)
 {
     Matrix<satgpu::u8> img(96, 64);
@@ -460,6 +337,52 @@ TEST(ProfilerJson, ChromeTraceIsWellFormedWithMonotoneTracks)
         }
         offset += l.profile->total_virtual_cycles;
     }
+}
+
+// The grouped overload is the collision-safe merge path for multi-Runtime
+// processes (the service's per-worker engines): pids must be allocated
+// continuously across groups in argument order and process names prefixed
+// with the group name, and a single unnamed group must be byte-identical
+// to the ungrouped overload (so existing consumers see no drift).
+TEST(ProfilerJson, GroupedTraceMergesWithoutPidCollisions)
+{
+    Matrix<satgpu::u8> a(96, 64);
+    Matrix<satgpu::u8> b(64, 96);
+    satgpu::fill_random(a, 7015);
+    satgpu::fill_random(b, 7016);
+    const auto ra = run_profiled<satgpu::u32>(a, sat::Algorithm::kBrltScanRow);
+    const auto rb =
+        run_profiled<satgpu::u32>(b, sat::Algorithm::kScanRowColumn);
+    ASSERT_FALSE(ra.launches.empty());
+    ASSERT_FALSE(rb.launches.empty());
+
+    const simt::TraceGroup groups[] = {{"worker 0", ra.launches},
+                                       {"worker 1", rb.launches}};
+    std::ostringstream os;
+    simt::write_chrome_trace_json(os, groups);
+    const std::string doc = os.str();
+    ASSERT_TRUE(jsonv::valid(doc)) << doc.substr(0, 400);
+
+    // Both groups present, with group-local launch numbering restarting.
+    EXPECT_NE(doc.find("worker 0: launch 0:"), std::string::npos);
+    EXPECT_NE(doc.find("worker 1: launch 0:"), std::string::npos);
+    // pids are continuous across groups: every pid in
+    // [0, |ra| + |rb|) appears, and nothing beyond.
+    const std::size_t total = ra.launches.size() + rb.launches.size();
+    for (std::size_t p = 0; p < total; ++p)
+        EXPECT_NE(doc.find("\"pid\":" + std::to_string(p) + ","),
+                  std::string::npos)
+            << "pid " << p << " missing";
+    EXPECT_EQ(doc.find("\"pid\":" + std::to_string(total) + ","),
+              std::string::npos);
+
+    // Single unnamed group == the ungrouped overload, byte for byte.
+    std::ostringstream ungrouped;
+    simt::write_chrome_trace_json(ungrouped, ra.launches);
+    const simt::TraceGroup one[] = {{{}, ra.launches}};
+    std::ostringstream grouped;
+    simt::write_chrome_trace_json(grouped, one);
+    EXPECT_EQ(ungrouped.str(), grouped.str());
 }
 
 TEST(ProfilerJson, LaunchesWithoutProfileSerializeCountersOnly)

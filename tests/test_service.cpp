@@ -17,6 +17,7 @@
 #include <vector>
 
 namespace sat = satgpu::sat;
+namespace obs = satgpu::sat::obs;
 namespace simt = satgpu::simt;
 using satgpu::Dtype;
 using satgpu::DtypePair;
@@ -428,6 +429,72 @@ TEST(ServiceShutdown, DestructorDrainsAdmittedRequests)
         EXPECT_TRUE(futs[i].get() == direct.reference(images[i], Dtype::u32_))
             << "image " << i;
     }
+}
+
+// ----------------------------------------------------- stats snapshots -----
+
+// Stats (and the metrics counters backing them) must form a consistent
+// snapshot at EVERY observable point, not just after a drain: a sampler
+// thread hammering stats()/counter_total() concurrently with submitters
+// and workers must never see completed+failed ahead of submitted, or a
+// cache-accounting total ahead of admissions.  The CI TSan job runs this
+// binary, so any unsynchronized Stats access also fails as a data race.
+TEST(ServiceStats, SnapshotsConsistentAtEveryObservablePoint)
+{
+    obs::MetricsRegistry registry;
+    sat::Service::Options opt;
+    opt.workers = 2;
+    opt.max_wave = 4;
+    opt.metrics = &registry;
+    sat::Service svc(opt);
+
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> violations{0};
+    std::thread sampler([&] {
+        std::uint64_t prev_submitted = 0;
+        std::uint64_t prev_completed = 0;
+        while (!done.load(std::memory_order_relaxed)) {
+            const auto s = svc.stats();
+            if (s.completed + s.failed > s.submitted)
+                violations.fetch_add(1);
+            if (s.plan_hits + s.plan_misses > s.submitted)
+                violations.fetch_add(1);
+            if (s.submitted < prev_submitted || s.completed < prev_completed)
+                violations.fetch_add(1); // monotone under one service
+            prev_submitted = s.submitted;
+            prev_completed = s.completed;
+            // The metrics mirror obeys the same partial order: a request
+            // is counted submitted before it can ever count completed.
+            // (completed read FIRST: submitted is monotone, so a request
+            // landing between the two reads can only widen the gap.)
+            const auto m_done = registry.counter_total(
+                "satgpu_service_completed_total");
+            const auto m_sub = registry.counter_total(
+                "satgpu_service_submitted_total");
+            if (m_done > m_sub)
+                violations.fetch_add(1);
+        }
+    });
+
+    constexpr std::size_t kClients = 3;
+    constexpr std::size_t kPerClient = 5;
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c)
+        clients.emplace_back([&, c] {
+            for (std::size_t j = 0; j < kPerClient; ++j) {
+                const std::size_t i = c * kPerClient + j;
+                (void)svc.submit(request_for(i, image_for(i))).get();
+            }
+        });
+    for (auto& t : clients)
+        t.join();
+    done.store(true);
+    sampler.join();
+
+    EXPECT_EQ(violations.load(), 0U);
+    const auto s = svc.stats();
+    EXPECT_EQ(s.submitted, kClients * kPerClient);
+    EXPECT_EQ(s.completed + s.failed, s.submitted);
 }
 
 // ----------------------------------------------------------- partitions ----

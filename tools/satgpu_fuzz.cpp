@@ -228,6 +228,42 @@ bool run_one_service(const FuzzConfig& c, bool verbose)
                   << "--seed " << c.seed << '\n';
         return false;
     }
+
+    // Metrics invariants: at quiescence (every future joined above) the
+    // registry must agree with Stats, every admitted request must have
+    // been observed end-to-end, and wave-size histogram mass must account
+    // for every submission exactly once.
+    const sat::obs::MetricsRegistry& m = svc.metrics();
+    const std::uint64_t m_submitted =
+        m.counter_total("satgpu_service_submitted_total");
+    const std::uint64_t m_completed =
+        m.counter_total("satgpu_service_completed_total");
+    const std::uint64_t m_rejected =
+        m.counter_total("satgpu_service_rejected_total");
+    const std::uint64_t m_failed =
+        m.counter_total("satgpu_service_failed_total");
+    const auto e2e = m.histogram_total("satgpu_service_e2e_us");
+    const auto qwait = m.histogram_total("satgpu_service_queue_wait_us");
+    const auto wsize = m.histogram_total("satgpu_service_wave_size");
+    const bool metrics_ok =
+        m_submitted == stats.submitted && m_completed == stats.completed &&
+        m_rejected == stats.rejected && m_failed == stats.failed &&
+        m_submitted == m_completed + m_rejected + m_failed &&
+        e2e.count == m_completed && qwait.count == m_submitted &&
+        wsize.count == stats.waves && wsize.sum == m_completed;
+    if (!metrics_ok) {
+        std::cout << "FAIL seed " << c.seed
+                  << ": metrics invariant (submitted " << m_submitted
+                  << " completed " << m_completed << " rejected "
+                  << m_rejected << " failed " << m_failed << " e2e.count "
+                  << e2e.count << " queue_wait.count " << qwait.count
+                  << " wave_size count/sum " << wsize.count << "/"
+                  << wsize.sum << " vs stats submitted " << stats.submitted
+                  << " completed " << stats.completed << " waves "
+                  << stats.waves << ")\n  reproduce: satgpu_fuzz --service "
+                  << "--seed " << c.seed << '\n';
+        return false;
+    }
     if (verbose)
         std::cout << "seed " << c.seed << ": " << describe(c)
                   << " via service workers " << sc.workers << " wave "

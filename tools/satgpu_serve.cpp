@@ -24,9 +24,12 @@
 #include "core/random_fill.hpp"
 #include "sat/service.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -79,6 +82,33 @@ struct Template {
     return m;
 }
 
+/// Observability outputs of the load phase (all optional).
+struct ObsConfig {
+    std::string metrics_out; ///< satgpu-metrics-v1 JSON snapshot file
+    std::string trace_out;   ///< merged Chrome/Perfetto trace file
+    std::string events_out;  ///< admission-decision JSONL file
+    /// > 0: rewrite metrics_out every this-many ms DURING the load (the
+    /// snapshot loop a scraper would drive), plus the final snapshot.
+    long metrics_every_ms = 0;
+    bool virtual_time = false;
+
+    [[nodiscard]] bool any() const
+    {
+        return !metrics_out.empty() || !trace_out.empty() ||
+               !events_out.empty();
+    }
+};
+
+void write_file_or_die(const std::string& path, const std::string& bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        std::cerr << "cannot open " << path << " for writing\n";
+        std::exit(2);
+    }
+    os << bytes;
+}
+
 struct LoadReport {
     std::uint64_t requests = 0;
     std::uint64_t verified = 0;
@@ -88,12 +118,14 @@ struct LoadReport {
     double p50_us = 0;
     double p99_us = 0;
     double mean_us = 0;
+    std::uint64_t trace_spans = 0;
+    std::uint64_t admission_events = 0;
     sat::Service::Stats stats;
 };
 
 LoadReport run_load(double qps, double duration_s,
-                    const sat::Service::Options& sopt,
-                    std::string_view trace_kind, bool verify)
+                    sat::Service::Options sopt, std::string_view trace_kind,
+                    bool verify, const ObsConfig& obs)
 {
     const auto templates = make_trace(trace_kind);
     const auto n = static_cast<std::size_t>(qps * duration_s);
@@ -114,7 +146,43 @@ LoadReport run_load(double qps, double duration_s,
         outs.push_back(t.pair.out);
     }
 
+    // Observability sinks: owned here, handed to the service by pointer.
+    sat::obs::MetricsRegistry registry;
+    sat::obs::TraceSink sink;
+    std::ofstream events_os;
+    std::unique_ptr<sat::obs::EventLog> events;
+    sopt.metrics = &registry;
+    sopt.virtual_time = obs.virtual_time;
+    if (!obs.trace_out.empty())
+        sopt.trace = &sink;
+    if (!obs.events_out.empty()) {
+        events_os.open(obs.events_out, std::ios::binary | std::ios::trunc);
+        if (!events_os) {
+            std::cerr << "cannot open " << obs.events_out
+                      << " for writing\n";
+            std::exit(2);
+        }
+        events = std::make_unique<sat::obs::EventLog>(events_os);
+        sopt.events = events.get();
+    }
+
     sat::Service svc(sopt);
+
+    // Periodic snapshot mode: rewrite the metrics file on a fixed cadence
+    // while the load runs, like a scrape endpoint would serve it.
+    std::atomic<bool> snapshotting{obs.metrics_every_ms > 0 &&
+                                   !obs.metrics_out.empty()};
+    std::thread snapshotter;
+    if (snapshotting.load()) {
+        snapshotter = std::thread([&] {
+            while (snapshotting.load(std::memory_order_relaxed)) {
+                write_file_or_die(obs.metrics_out, svc.metrics_json());
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(obs.metrics_every_ms));
+            }
+        });
+    }
+
     std::vector<std::future<sat::AnyMatrix>> futures(n);
     std::vector<Clock::time_point> submitted(n);
 
@@ -160,6 +228,26 @@ LoadReport run_load(double qps, double duration_s,
     rep.stats = svc.stats();
     SATGPU_CHECK(rep.stats.rejected == rejected_seen,
                  "rejection accounting out of sync");
+
+    if (snapshotter.joinable()) {
+        snapshotting.store(false);
+        snapshotter.join();
+    }
+    // Final outputs, written at quiescence (every future joined above).
+    if (!obs.metrics_out.empty())
+        write_file_or_die(obs.metrics_out, svc.metrics_json());
+    if (!obs.trace_out.empty()) {
+        std::ofstream os(obs.trace_out, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            std::cerr << "cannot open " << obs.trace_out
+                      << " for writing\n";
+            std::exit(2);
+        }
+        sink.write_chrome_trace(os);
+    }
+    rep.trace_spans = sink.span_count();
+    if (events)
+        rep.admission_events = events->count();
     return rep;
 }
 
@@ -270,6 +358,10 @@ void emit_json(const sat::Service::Options& sopt, double qps,
     w.value(load.stats.completed);
     w.key("rejected");
     w.value(load.stats.rejected);
+    w.key("blocked");
+    w.value(load.stats.blocked);
+    w.key("failed");
+    w.value(load.stats.failed);
     w.key("verified");
     w.value(load.verified);
     w.key("mismatches");
@@ -346,13 +438,23 @@ int usage(int code)
            "                    [--policy block|reject] [--trace "
            "same|mixed]\n"
            "                    [--verify] [--compare] [--json]\n"
+           "                    [--metrics-out F] [--metrics-every MS]\n"
+           "                    [--trace-out F] [--events-out F]\n"
+           "                    [--virtual-time]\n"
            "  Load phase: paced open-loop trace through sat::Service;\n"
            "  reports p50/p99 latency, throughput and service counters.\n"
            "  --verify  check every table against the serial CPU oracle\n"
            "  --compare also run the 8-image 512x512 coalescing burst and\n"
            "            report the modeled fused-vs-single speedup\n"
            "  --json    emit the satgpu-bench-v1 document (BENCH_serve."
-           "json)\n";
+           "json)\n"
+           "  --metrics-out F   write the satgpu-metrics-v1 JSON snapshot\n"
+           "  --metrics-every MS  also rewrite F every MS ms during load\n"
+           "  --trace-out F     write the merged Chrome/Perfetto trace\n"
+           "                    (request spans over kernel phase ranges)\n"
+           "  --events-out F    write admission decisions as JSONL\n"
+           "  --virtual-time    latencies/spans on the deterministic\n"
+           "                    logical clock instead of wall time\n";
     return code;
 }
 
@@ -365,6 +467,7 @@ int main(int argc, char** argv)
     std::string trace_kind = "mixed";
     bool verify = false;
     bool compare = false;
+    ObsConfig obs;
     sat::Service::Options sopt;
     sopt.workers = 2;
     sopt.max_wave = 8;
@@ -404,7 +507,17 @@ int main(int argc, char** argv)
             trace_kind = next();
             if (trace_kind != "same" && trace_kind != "mixed")
                 return usage(2);
-        } else if (arg == "--verify")
+        } else if (arg == "--metrics-out")
+            obs.metrics_out = next();
+        else if (arg == "--metrics-every")
+            obs.metrics_every_ms = std::strtol(next(), nullptr, 10);
+        else if (arg == "--trace-out")
+            obs.trace_out = next();
+        else if (arg == "--events-out")
+            obs.events_out = next();
+        else if (arg == "--virtual-time")
+            obs.virtual_time = true;
+        else if (arg == "--verify")
             verify = true;
         else if (arg == "--compare")
             compare = true;
@@ -416,7 +529,7 @@ int main(int argc, char** argv)
     const bool json = bench::bench_json_requested(argc, argv);
 
     const LoadReport load =
-        run_load(qps, duration_s, sopt, trace_kind, verify);
+        run_load(qps, duration_s, sopt, trace_kind, verify, obs);
     CompareReport cmp;
     if (compare)
         cmp = run_compare();
@@ -441,6 +554,9 @@ int main(int argc, char** argv)
                   << load.stats.max_queue_depth << ")\n"
                   << "  modeled GPU time: "
                   << load.stats.modeled_gpu_us / 1000.0 << " ms\n";
+        if (obs.any())
+            std::cout << "  obs: " << load.trace_spans << " trace spans, "
+                      << load.admission_events << " admission events\n";
         if (verify)
             std::cout << "  verify: " << load.verified << " checked, "
                       << load.mismatches << " mismatches\n";
