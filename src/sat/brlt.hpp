@@ -14,9 +14,11 @@
 
 #include "sat/tile_io.hpp"
 #include "simt/kernel_task.hpp"
+#include "simt/native_backend.hpp"
 #include "simt/profiler.hpp"
 
 #include <algorithm>
+#include <span>
 
 namespace satgpu::sat {
 
@@ -37,37 +39,70 @@ template <typename T>
            static_cast<std::int64_t>(sizeof(T));
 }
 
-/// Alg. 5: transpose the warp's register matrix in place.
+/// One barrier-to-barrier round of Alg. 5, the kernel source both
+/// lowerings share (W = simt::WarpCtx or simt::NativeWarpCtx): warps
+/// [round_base, round_base + S) stage their tiles through shared memory;
+/// everyone else only participates in the round's closing barrier, which
+/// the CALLER owns.  Barrier free internally -- each participating warp
+/// touches only its own staging tile, so any warp order within the round
+/// is observably identical.
+template <typename W, typename T>
+void brlt_transpose_round(W& w, RegTile<T>& data, bool padded,
+                          int round_base)
+{
+    const int group = brlt_group_size<T>();
+    const std::int64_t stride = padded ? 33 : 32;
+    auto sm = w.template smem_alloc<T>("brlt.tiles", group * 32 * stride);
+    if (w.warp_id() < round_base || w.warp_id() >= round_base + group)
+        return;
+    const auto lane = LaneVec<std::int64_t>::lane_index();
+    const std::int64_t k = w.warp_id() - round_base;
+    const std::int64_t base = k * 32 * stride;
+    // Store rows: sMem[k][j][laneId] = data[j]  (Alg. 5 line 8).
+    for (int j = 0; j < kWarpSize; ++j)
+        sm.store(lane + (base + j * stride),
+                 data[static_cast<std::size_t>(j)]);
+    // Load columns: data[j] = sMem[k][laneId][j]  (Alg. 5 line 12).
+    // No barrier in between: only this warp touches tile k.
+    for (int j = 0; j < kWarpSize; ++j)
+        data[static_cast<std::size_t>(j)] =
+            sm.load(lane * stride + (base + j));
+}
+
+/// Alg. 5: transpose the warp's register matrix in place (the simulator
+/// lowering -- rounds separated by real block barriers).
 template <typename T>
 simt::SubTask<> brlt_transpose(simt::WarpCtx& w, RegTile<T>& data,
                                bool padded = true)
 {
     const simt::ProfileRange prof_range{"brlt-transpose"};
     const int group = brlt_group_size<T>();
-    const std::int64_t stride = padded ? 33 : 32;
-    auto sm = w.smem_alloc<T>("brlt.tiles", group * 32 * stride);
-    const auto lane = LaneVec<std::int64_t>::lane_index();
     const int warp_count = w.warps_per_block();
 
     for (int i = 0; i < warp_count; i += group) {
-        if (i <= w.warp_id() && w.warp_id() < i + group) {
-            const std::int64_t k = w.warp_id() - i;
-            const std::int64_t base = k * 32 * stride;
-            // Store rows: sMem[k][j][laneId] = data[j]  (Alg. 5 line 8).
-            for (int j = 0; j < kWarpSize; ++j)
-                sm.store(lane + (base + j * stride),
-                         data[static_cast<std::size_t>(j)]);
-            // Load columns: data[j] = sMem[k][laneId][j]  (Alg. 5 line 12).
-            // No barrier in between: only this warp touches tile k.
-            for (int j = 0; j < kWarpSize; ++j)
-                data[static_cast<std::size_t>(j)] =
-                    sm.load(lane * stride + (base + j));
-        }
+        brlt_transpose_round(w, data, padded, i);
         // Alg. 5 lines 15-17 sync the warps still waiting for a tile; under
         // the engine's rendezvous semantics an unconditional barrier is
         // equivalent (warps whose round is over simply wait here too).
         co_await w.sync();
     }
+}
+
+/// The native lowering for a whole block: identical rounds, phase-major
+/// (each round runs for every warp before the next begins), so the
+/// inter-round barrier becomes a loop boundary.  `data[i]` is warp i's
+/// register matrix.
+template <typename T>
+void brlt_transpose_block_native(simt::NativeBlockCtx& blk,
+                                 std::span<RegTile<T>> data, bool padded)
+{
+    const int group = brlt_group_size<T>();
+    const int wc = blk.warps_per_block();
+    for (int i = 0; i < wc; i += group)
+        for (int wid = 0; wid < wc; ++wid)
+            brlt_transpose_round(blk.warp(wid),
+                                 data[static_cast<std::size_t>(wid)],
+                                 padded, i);
 }
 
 } // namespace satgpu::sat

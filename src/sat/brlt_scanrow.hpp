@@ -17,8 +17,10 @@
 #include "sat/launch_params.hpp"
 #include "scan/serial_scan.hpp"
 #include "simt/engine.hpp"
+#include "simt/native_backend.hpp"
 
 #include <span>
+#include <vector>
 
 namespace satgpu::sat {
 
@@ -35,8 +37,7 @@ simt::KernelTask brlt_scanrow_warp(simt::WarpCtx& w,
     const std::int64_t chunk_w =
         std::int64_t{w.warps_per_block()} * kWarpSize;
     const std::int64_t chunks = ceil_div(width, chunk_w);
-    const auto lane = LaneVec<std::int64_t>::lane_index();
-    // After BRLT, thread `lane` owns row row0+lane; its running carry is
+    // After BRLT, each thread owns row row0+lane; its running carry is
     // that row's prefix over all previous chunks.
     LaneVec<Tout> run_carry{};
     RegTile<Tout> data;
@@ -61,21 +62,58 @@ simt::KernelTask brlt_scanrow_warp(simt::WarpCtx& w,
 
         {
             const simt::ProfileRange pr{"apply-offset"};
-            const auto offset = simt::vadd(exclusive, run_carry);
-            for (auto& reg : data)
-                reg = simt::vadd(reg, offset);
-            run_carry = simt::vadd(run_carry, total);
+            apply_chunk_offset(data, exclusive, run_carry, total);
         }
 
         // Transposed store: element (row0+lane, col0+j) -> out row col0+j.
         const simt::ProfileRange pr{"store"};
-        const simt::LaneMask rows = cols_in_range(row0, height);
-        for (int j = 0; j < kWarpSize; ++j) {
-            if (col0 + j >= width)
-                continue;
-            out.store(lane + ((col0 + j) * height + row0),
-                      data[static_cast<std::size_t>(j)], rows);
-        }
+        store_tile_transposed(out, height, width, row0, col0, data);
+    }
+}
+
+/// The native lowering of one BRLT-ScanRow block: the exact phase sequence
+/// of brlt_scanrow_warp, run phase-major over the block's warps with the
+/// per-warp register state (`data[i]`, `run_carry[i]`) hoisted into
+/// vectors.  Every barrier of the simulator lowering corresponds to a loop
+/// boundary here; the hazard certificate is what licenses the reordering.
+template <typename Tout, typename Tsrc>
+void brlt_scanrow_block_native(simt::NativeBlockCtx& blk,
+                               const simt::DeviceBuffer<Tsrc>& in,
+                               std::int64_t height, std::int64_t width,
+                               simt::DeviceBuffer<Tout>& out,
+                               bool padded_smem)
+{
+    const int wc = blk.warps_per_block();
+    const auto uwc = static_cast<std::size_t>(wc);
+    const std::int64_t row0 = blk.block_idx().y * kWarpSize;
+    const std::int64_t chunk_w = std::int64_t{wc} * kWarpSize;
+    const std::int64_t chunks = ceil_div(width, chunk_w);
+    std::vector<RegTile<Tout>> data(uwc);
+    std::vector<LaneVec<Tout>> run_carry(uwc), partial(uwc), exclusive(uwc),
+        total(uwc);
+    const auto at = [](auto& v, int i) -> decltype(auto) {
+        return v[static_cast<std::size_t>(i)];
+    };
+
+    for (std::int64_t c = 0; c < chunks; ++c) {
+        const auto col0 = [&](int wid) {
+            return c * chunk_w + std::int64_t{wid} * kWarpSize;
+        };
+        for (int wid = 0; wid < wc; ++wid)
+            load_tile_rows(in, height, width, row0, col0(wid), at(data, wid));
+        brlt_transpose_block_native<Tout>(blk, data, padded_smem);
+        for (int wid = 0; wid < wc; ++wid)
+            scan::serial_scan_registers(at(data, wid));
+        for (int wid = 0; wid < wc; ++wid)
+            at(partial, wid) = at(data, wid)[kWarpSize - 1];
+        block_exclusive_carry_block_native<Tout>(blk, partial, exclusive,
+                                                 total);
+        for (int wid = 0; wid < wc; ++wid)
+            apply_chunk_offset(at(data, wid), at(exclusive, wid),
+                               at(run_carry, wid), at(total, wid));
+        for (int wid = 0; wid < wc; ++wid)
+            store_tile_transposed(out, height, width, row0, col0(wid),
+                                  at(data, wid));
     }
 }
 
@@ -86,13 +124,16 @@ simt::KernelTask brlt_scanrow_warp(simt::WarpCtx& w,
 /// outputs are bit-identical to K separate launches while the (modeled)
 /// per-launch overhead is paid once.  `warps_override` replaces the
 /// paper's block size (32 warps for 4-byte T, 16 for 64f) for the
-/// block-size ablation bench.
+/// block-size ablation bench.  `native` selects the vectorized host
+/// lowering (same blocks, phase-major warps, zero instrumentation) --
+/// callers go through Runtime::plan, which only sets it for
+/// hazard-certified configurations.
 template <typename Tout, typename Tsrc>
 simt::LaunchStats launch_brlt_scanrow_wave(
     simt::Engine& eng, std::span<const simt::DeviceBuffer<Tsrc>* const> ins,
     std::int64_t height, std::int64_t width,
     std::span<simt::DeviceBuffer<Tout>* const> outs, bool padded_smem = true,
-    int warps_override = 0)
+    int warps_override = 0, bool native = false)
 {
     SATGPU_EXPECTS(!ins.empty() && ins.size() == outs.size());
     const int wc =
@@ -105,6 +146,13 @@ simt::LaunchStats launch_brlt_scanrow_wave(
         "brlt_scanrow", regs_per_thread<Tout>(),
         brlt_smem_bytes<Tout>(padded_smem) +
             block_carry_smem_bytes<Tout>(wc)};
+    if (native)
+        return simt::native_launch(
+            eng.options(), info, cfg, [&](simt::NativeBlockCtx& blk) {
+                const auto z = static_cast<std::size_t>(blk.block_idx().z);
+                brlt_scanrow_block_native<Tout, Tsrc>(
+                    blk, *ins[z], height, width, *outs[z], padded_smem);
+            });
     return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
         const auto z = static_cast<std::size_t>(w.block_idx().z);
         return brlt_scanrow_warp<Tout, Tsrc>(w, *ins[z], height, width,

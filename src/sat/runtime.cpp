@@ -3,6 +3,7 @@
 #include "core/random_fill.hpp"
 #include "model/cost_model.hpp"
 #include "model/timing.hpp"
+#include "simt/hazard_checker.hpp"
 
 #include <algorithm>
 #include <array>
@@ -156,7 +157,8 @@ void check_plan_input(const PlanRequest& req, const AnyMatrix& image)
                  "input shape does not match the plan");
 }
 
-Options plan_options(const PlanRequest& req, Algorithm resolved)
+Options plan_options(const PlanRequest& req, Algorithm resolved,
+                     Backend backend)
 {
     Options opt;
     opt.algorithm = resolved;
@@ -165,6 +167,7 @@ Options plan_options(const PlanRequest& req, Algorithm resolved)
     opt.check = req.check;
     opt.profile = req.profile;
     opt.pool_partition = req.pool_partition;
+    opt.backend = backend;
     return opt;
 }
 
@@ -175,7 +178,7 @@ RuntimeResult Plan::execute(const AnyMatrix& image) const
     SATGPU_CHECK(rt_ != nullptr && entry_ != nullptr,
                  "executing a default-constructed Plan");
     check_plan_input(req_, image);
-    const Options opt = plan_options(req_, resolved_);
+    const Options opt = plan_options(req_, resolved_, backend_);
     if (req_.tile.enabled())
         return entry_->exec_tiled(rt_->eng_, rt_->pool_, image, opt,
                                   req_.tile);
@@ -199,7 +202,7 @@ WaveResult Plan::execute_wave(std::span<const AnyMatrix* const> images) const
     SATGPU_CHECK(!images.empty(), "execute_wave needs at least one image");
     for (const AnyMatrix* img : images)
         check_plan_input(req_, *img);
-    const Options opt = plan_options(req_, resolved_);
+    const Options opt = plan_options(req_, resolved_, backend_);
     if (req_.tile.enabled()) {
         // Macro-tile execution is already a multi-launch pipeline per
         // image; run the wave as a per-image loop (bit-identical tables,
@@ -228,10 +231,45 @@ Runtime::Runtime(simt::Engine::Options eng_opt)
 
 Runtime::~Runtime() = default;
 
+namespace {
+
+/// A tile grid has at most four distinct shapes (interior, right edge,
+/// bottom edge, corner); enumerate each once with its multiplicity.
+struct ShapeCount {
+    std::int64_t h, w, count;
+};
+
+std::vector<ShapeCount> tile_shape_counts(const TileGrid& grid)
+{
+    std::vector<ShapeCount> shapes;
+    for (std::int64_t ti = 0; ti < grid.rows(); ++ti)
+        for (std::int64_t tj = 0; tj < grid.cols(); ++tj) {
+            const auto r = grid.rect(ti, tj);
+            auto it = std::find_if(shapes.begin(), shapes.end(),
+                                   [&](const ShapeCount& s) {
+                                       return s.h == r.h && s.w == r.w;
+                                   });
+            if (it == shapes.end())
+                shapes.push_back({r.h, r.w, 1});
+            else
+                ++it->count;
+        }
+    return shapes;
+}
+
+} // namespace
+
 double Runtime::predict_us(Algorithm algo, DtypePair dt, std::int64_t height,
                            std::int64_t width, const model::GpuSpec& gpu,
                            const Options& opt)
 {
+    SATGPU_CHECK(opt.backend != Backend::kAuto,
+                 "resolve the backend before asking for a prediction");
+    // The native backend is ranked by what it will actually cost: host
+    // wall clock.  The simulator keeps the modeled-GPU scale.
+    if (opt.backend == Backend::kNative)
+        return cm_->predict_wall_us(algo, dt, height, width,
+                                    Backend::kNative, opt);
     const auto launches = cm_->predict(algo, dt, height, width, opt);
     return model::estimate_total_us(gpu, launches);
 }
@@ -246,30 +284,14 @@ double Runtime::predict_tiled_us(Algorithm algo, DtypePair dt,
     if (grid.count() == 1) // degenerate tiling runs the untiled path
         return predict_us(algo, dt, height, width, gpu, opt);
 
-    // A tile grid has at most four distinct shapes (interior, right edge,
-    // bottom edge, corner); predict each once, weighted by multiplicity.
-    struct ShapeCount {
-        std::int64_t h, w, count;
-    };
-    std::vector<ShapeCount> shapes;
-    for (std::int64_t ti = 0; ti < grid.rows(); ++ti)
-        for (std::int64_t tj = 0; tj < grid.cols(); ++tj) {
-            const auto r = grid.rect(ti, tj);
-            auto it = std::find_if(shapes.begin(), shapes.end(),
-                                   [&](const ShapeCount& s) {
-                                       return s.h == r.h && s.w == r.w;
-                                   });
-            if (it == shapes.end())
-                shapes.push_back({r.h, r.w, 1});
-            else
-                ++it->count;
-        }
-
     double us = 0;
-    for (const ShapeCount& s : shapes)
+    for (const ShapeCount& s : tile_shape_counts(grid))
         us += static_cast<double>(s.count) *
               predict_us(algo, dt, s.h, s.w, gpu, opt);
 
+    // The macro-tile carry pass always runs on the simulator (it has no
+    // native lowering), so its modeled term is kept for every backend; it
+    // is negligible against the per-tile kernel time at any real size.
     const simt::LaunchStats carry = predict_tile_carry(
         height, width, tile,
         static_cast<std::int64_t>(dtype_size(dt.out)));
@@ -281,6 +303,91 @@ AnyMatrix Runtime::reference(const AnyMatrix& image, Dtype out) const
     const KernelEntry* e = find_kernel({image.dtype(), out});
     SATGPU_CHECK(e != nullptr, "unsupported dtype pair");
     return e->reference(image);
+}
+
+// -------------------------------------------------------- certification ----
+
+namespace {
+
+/// The default certification probe (docs/backends.md).  A configuration
+/// earns its certificate by passing, at a small RAGGED probe shape (the
+/// off-by-one edges exercise every predication path a bigger image hits):
+///   1. a hazard-checked simulator run reporting ZERO hazards,
+///   2. exact agreement of that run with the serial CPU oracle,
+///   3. a bit-exact native-vs-simulator diff (tiled too, for tiled plans).
+/// The verdict is shape independent because the phase structure the
+/// checker certifies is: work inside a phase is per-warp predicated, and
+/// barriers are unconditional.
+bool default_certification_probe(Algorithm algo, const PlanRequest& req)
+{
+    constexpr std::int64_t kProbeH = 97; // 3*32 + 1
+    constexpr std::int64_t kProbeW = 130; // 4*32 + 2
+    const KernelEntry* entry = find_kernel(req.dtypes);
+    if (entry == nullptr)
+        return false;
+    const AnyMatrix img =
+        AnyMatrix::random(req.dtypes.in, kProbeH, kProbeW, /*seed=*/1729);
+    simt::Engine eng({.record_history = false});
+    simt::BufferPool pool;
+
+    Options opt;
+    opt.algorithm = algo;
+    opt.warp_scan = req.warp_scan;
+    opt.padded_smem = req.padded_smem;
+    opt.check = true;
+    const RuntimeResult sim = entry->exec(eng, pool, img, opt);
+    if (simt::total_hazards(sim.launches) != 0)
+        return false;
+    if (!(sim.table == entry->reference(img)))
+        return false;
+
+    opt.check = false;
+    opt.backend = Backend::kNative;
+    const RuntimeResult nat = entry->exec(eng, pool, img, opt);
+    if (!(nat.table == sim.table))
+        return false;
+
+    if (req.tile.enabled()) {
+        // Re-diff through the macro-tile pipeline (per-tile kernels native,
+        // carry pass simulated): a probe tile small enough to tile the
+        // probe shape into a 2x3 ragged grid.
+        const TileGeometry probe_tile{64, 64, req.tile.carry_fanout};
+        const RuntimeResult nat_tiled =
+            entry->exec_tiled(eng, pool, img, opt, probe_tile);
+        if (!(nat_tiled.table == sim.table))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool Runtime::certify(Algorithm algo, const PlanRequest& req)
+{
+    if (!native_supported(algo))
+        return false;
+    const CertKey key{algo, req.dtypes, req.warp_scan, req.padded_smem,
+                      req.tile.enabled()};
+    CertificationProbe probe;
+    {
+        const std::lock_guard lk(cert_mutex_);
+        if (const auto it = cert_cache_.find(key); it != cert_cache_.end())
+            return it->second;
+        probe = cert_probe_;
+    }
+    // Probe outside the lock: probes run real (small) kernels, and
+    // distinct configurations may certify concurrently.
+    const bool ok = probe ? probe(algo, req)
+                          : default_certification_probe(algo, req);
+    const std::lock_guard lk(cert_mutex_);
+    return cert_cache_.emplace(key, ok).first->second;
+}
+
+void Runtime::set_certification_probe(CertificationProbe probe)
+{
+    const std::lock_guard lk(cert_mutex_);
+    cert_probe_ = std::move(probe);
+    cert_cache_.clear();
 }
 
 Plan Runtime::plan(const PlanRequest& req)
@@ -302,25 +409,61 @@ Plan Runtime::plan(const PlanRequest& req)
                   std::in_place, req.height, req.width, req.tile)
             : std::nullopt;
 
+    // Whether this request is even allowed to lower to the native backend:
+    // kSim requests never are, and the native backend carries no
+    // instrumentation, so check/profile force the simulator.
+    const bool allow_native =
+        req.backend != Backend::kSim && !req.check && !req.profile;
+
     if (req.algorithm == Algorithm::kAuto) {
         const model::GpuSpec& gpu = req.gpu ? *req.gpu : model::tesla_p100();
         Options opt;
         opt.warp_scan = req.warp_scan;
         opt.padded_smem = req.padded_smem;
+        // Wall-clock ranking ladder for native-allowing requests: EVERY
+        // candidate is estimated in host microseconds under the backend it
+        // would actually run (sim wall for uncertified candidates, native
+        // wall for certified ones), so one ranking never mixes the
+        // modeled-GPU scale with the wall scale.
+        const auto wall_rank = [&](Algorithm a, Backend b) {
+            if (!grid || grid->count() == 1)
+                return cm_->predict_wall_us(a, req.dtypes, req.height,
+                                            req.width, b, opt);
+            double us = 0;
+            for (const ShapeCount& s : tile_shape_counts(*grid))
+                us += static_cast<double>(s.count) *
+                      cm_->predict_wall_us(a, req.dtypes, s.h, s.w, b, opt);
+            return us;
+        };
         p.scores_.reserve(std::size(kAllAlgorithms));
-        for (const Algorithm a : kAllAlgorithms)
-            p.scores_.push_back(
-                {a, grid ? predict_tiled_us(a, req.dtypes, req.height,
-                                            req.width, req.tile, gpu, opt)
-                         : predict_us(a, req.dtypes, req.height, req.width,
-                                      gpu, opt)});
+        for (const Algorithm a : kAllAlgorithms) {
+            AlgoScore s{a, 0.0};
+            if (allow_native && certify(a, req)) {
+                s.backend = Backend::kNative;
+                s.certified = true;
+            }
+            s.predicted_us =
+                req.backend == Backend::kSim
+                    ? (grid ? predict_tiled_us(a, req.dtypes, req.height,
+                                               req.width, req.tile, gpu, opt)
+                            : predict_us(a, req.dtypes, req.height,
+                                         req.width, gpu, opt))
+                    : wall_rank(a, s.backend);
+            p.scores_.push_back(s);
+        }
         std::stable_sort(p.scores_.begin(), p.scores_.end(),
                          [](const AlgoScore& a, const AlgoScore& b) {
                              return a.predicted_us < b.predicted_us;
                          });
         p.resolved_ = p.scores_.front().algo;
+        p.backend_ = p.scores_.front().backend;
+        p.certified_ = p.scores_.front().certified;
     } else {
         p.resolved_ = req.algorithm;
+        if (allow_native && certify(p.resolved_, req)) {
+            p.backend_ = Backend::kNative;
+            p.certified_ = true;
+        }
     }
 
     const auto in_bytes = static_cast<std::int64_t>(dtype_size(req.dtypes.in));

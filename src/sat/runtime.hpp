@@ -30,6 +30,9 @@
 #include "sat/tiled.hpp"
 #include "simt/buffer_pool.hpp"
 
+#include <functional>
+#include <map>
+#include <mutex>
 #include <span>
 #include <variant>
 #include <vector>
@@ -159,6 +162,14 @@ struct KernelEntry {
 struct AlgoScore {
     Algorithm algo;
     double predicted_us; ///< model-estimated end-to-end time on the GPU
+    /// Backend this candidate would execute under (kSim unless the request
+    /// allows kNative AND the candidate is hazard certified).  When it is
+    /// kNative, predicted_us is a host wall-clock estimate instead of a
+    /// modeled GPU time -- candidates of one ranking always share a scale.
+    Backend backend = Backend::kSim;
+    /// Whether this candidate's configuration holds a hazard-clean
+    /// certificate (only probed when the request allows kNative).
+    bool certified = false;
 };
 
 struct PlanRequest {
@@ -193,6 +204,14 @@ struct PlanRequest {
     /// per-plan high-water marks attributable and bounded.  0 (default)
     /// is the shared partition every direct Runtime user gets.
     int pool_partition = 0;
+    /// Execution backend (docs/backends.md).  kSim (default) runs the
+    /// instrumented simulator.  kNative / kAuto may only lower to the
+    /// vectorized native backend when the resolved algorithm has a native
+    /// lowering, the request carries no instrumentation (check/profile),
+    /// AND the configuration holds a hazard-clean certificate
+    /// (Runtime::certify); otherwise the plan falls back to the simulator
+    /// -- Plan::backend() says what was actually selected.
+    Backend backend = Backend::kSim;
 };
 
 class Runtime;
@@ -221,6 +240,13 @@ public:
     {
         return scores_;
     }
+    /// Backend the plan resolved to (never kAuto): kNative only for
+    /// hazard-certified configurations, kSim otherwise.
+    [[nodiscard]] Backend backend() const noexcept { return backend_; }
+    /// Whether the resolved configuration holds a hazard-clean certificate.
+    /// Only probed when the request allowed kNative; always false for
+    /// plain kSim requests (certification is never needed there).
+    [[nodiscard]] bool certified() const noexcept { return certified_; }
     /// Device bytes execute() leases per image.  Untiled: input staging
     /// plus the algorithm's scratch images (proportional to the image).
     /// Tiled: an upper bound on the pool's high-water mark -- one
@@ -257,6 +283,8 @@ private:
     Runtime* rt_ = nullptr;
     PlanRequest req_;
     Algorithm resolved_ = Algorithm::kBrltScanRow;
+    Backend backend_ = Backend::kSim;
+    bool certified_ = false;
     const KernelEntry* entry_ = nullptr;
     std::vector<AlgoScore> scores_;
     std::int64_t workspace_bytes_ = 0;
@@ -278,6 +306,10 @@ public:
 
     /// Predicted end-to-end time of one algorithm at one shape on one GPU
     /// (the same estimate kAuto ranks by; benches sweep through this).
+    /// `opt.backend` selects the scale: kSim (default) is the modeled GPU
+    /// time; kNative is a host wall-clock estimate from the cost model's
+    /// timed calibration ladder (the native backend has no GPU model --
+    /// it IS the fast path, measured in wall clock).
     [[nodiscard]] double predict_us(Algorithm algo, DtypePair dt,
                                     std::int64_t height, std::int64_t width,
                                     const model::GpuSpec& gpu,
@@ -298,6 +330,22 @@ public:
     [[nodiscard]] AnyMatrix reference(const AnyMatrix& image,
                                       Dtype out) const;
 
+    /// Hazard certification (docs/backends.md): whether `algo` under the
+    /// request's (dtype pair, warp scan, smem padding, tiled?) config may
+    /// run on the native backend.  The verdict is computed once per config
+    /// by the certification probe -- by default a small ragged reference
+    /// run under the hazard checker plus a native-vs-simulator bit-exact
+    /// diff -- and cached for the Runtime's lifetime (thread safe).
+    [[nodiscard]] bool certify(Algorithm algo, const PlanRequest& req);
+
+    /// Replace the certification probe (test seam: deliberately broken
+    /// kernel fixtures certify through their own probe and must be refused
+    /// the native backend).  Clears the certificate cache.  Pass nullptr
+    /// to restore the default probe.
+    using CertificationProbe =
+        std::function<bool(Algorithm, const PlanRequest&)>;
+    void set_certification_probe(CertificationProbe probe);
+
     [[nodiscard]] simt::Engine& engine() noexcept { return eng_; }
     [[nodiscard]] simt::BufferPool& pool() noexcept { return pool_; }
     [[nodiscard]] simt::BufferPool::Stats pool_stats() const
@@ -308,9 +356,31 @@ public:
 
 private:
     friend class Plan;
+
+    /// Certificates are per kernel CONFIGURATION, not per shape: the
+    /// phase structure the hazard checker certifies is shape independent
+    /// (ragged edges are handled by predication inside a phase).
+    struct CertKey {
+        Algorithm algo;
+        DtypePair dtypes;
+        scan::WarpScanKind warp_scan;
+        bool padded_smem;
+        bool tiled;
+        friend bool operator<(const CertKey& a, const CertKey& b)
+        {
+            return std::tie(a.algo, a.dtypes.in, a.dtypes.out, a.warp_scan,
+                            a.padded_smem, a.tiled) <
+                   std::tie(b.algo, b.dtypes.in, b.dtypes.out, b.warp_scan,
+                            b.padded_smem, b.tiled);
+        }
+    };
+
     simt::Engine eng_;
     simt::BufferPool pool_;
     std::unique_ptr<model::CostModel> cm_; // owned; defined in cost_model.hpp
+    std::mutex cert_mutex_;
+    std::map<CertKey, bool> cert_cache_;
+    CertificationProbe cert_probe_; // null = default probe
 };
 
 } // namespace satgpu::sat

@@ -68,6 +68,53 @@ inline constexpr Algorithm kAllAlgorithms[] = {
     Algorithm::kScanTransposeScan,
 };
 
+/// Execution backend for the kernel layer (docs/backends.md).
+///
+///   kSim    -- the coroutine SIMT simulator: full instrumentation
+///              (counters, profiler, hazard checker), the reference
+///              lowering every result is defined against.
+///   kNative -- the vectorized host backend: the SAME kernel bodies run
+///              as plain loops on fresh threads with no coroutines and no
+///              instrumentation.  Bit-identical tables, real wall-clock
+///              speed.  Only Runtime::plan may select it, and only for
+///              hazard-certified configurations.
+///   kAuto   -- let Runtime::plan pick: native where certified, simulator
+///              otherwise.  Never executed directly (like
+///              Algorithm::kAuto).
+enum class Backend {
+    kSim,
+    kNative,
+    kAuto,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Backend b) noexcept
+{
+    switch (b) {
+    case Backend::kSim: return "sim";
+    case Backend::kNative: return "native";
+    case Backend::kAuto: return "auto";
+    }
+    return "?";
+}
+
+/// Whether the native backend implements `a`.  The three register-tile
+/// paper kernels have native lowerings; the baselines exist to be measured
+/// under the simulator's counter model and stay sim-only.
+[[nodiscard]] constexpr bool native_supported(Algorithm a) noexcept
+{
+    switch (a) {
+    case Algorithm::kBrltScanRow:
+    case Algorithm::kScanRowBrlt:
+    case Algorithm::kScanRowColumn: return true;
+    case Algorithm::kOpencvLike:
+    case Algorithm::kNppLike:
+    case Algorithm::kNaiveScanScan:
+    case Algorithm::kScanTransposeScan:
+    case Algorithm::kAuto: break;
+    }
+    return false;
+}
+
 struct Options {
     Algorithm algorithm = Algorithm::kBrltScanRow;
     /// Parallel warp-scan network where one is used (Sec. VI-C1 evaluates
@@ -96,6 +143,14 @@ struct Options {
     /// gets kernel phase ranges for the requests it traces without
     /// reconstructing the worker's engine.
     bool profile = false;
+    /// Execution backend.  kSim (the default) is the instrumented
+    /// coroutine simulator; kNative runs the same kernel bodies as plain
+    /// vectorized loops (native_supported() algorithms only, and
+    /// incompatible with `check`/`profile` -- the native path carries no
+    /// instrumentation).  Callers should go through Runtime::plan, which
+    /// only selects kNative for hazard-certified configurations; kAuto
+    /// must be resolved there and aborts here.
+    Backend backend = Backend::kSim;
 };
 
 template <typename Tout>
@@ -196,6 +251,17 @@ compute_sat_wave(simt::Engine& eng,
         SATGPU_EXPECTS(img->height() == h && img->width() == w);
     const simt::CheckScope check_scope(eng, opt.check);
     const simt::ProfileEnableScope profile_scope(eng, opt.profile);
+    SATGPU_CHECK(opt.backend != Backend::kAuto,
+                 "Backend::kAuto must be resolved by Runtime::plan before "
+                 "execution");
+    const bool native = opt.backend == Backend::kNative;
+    if (native) {
+        SATGPU_CHECK(native_supported(opt.algorithm),
+                     "algorithm has no native lowering (native_supported)");
+        SATGPU_CHECK(!opt.check && !opt.profile,
+                     "the native backend carries no instrumentation; "
+                     "check/profile need Backend::kSim");
+    }
 
     std::vector<simt::BufferPool::Lease<Tin>> in_leases;
     in_leases.reserve(k);
@@ -223,28 +289,31 @@ compute_sat_wave(simt::Engine& eng,
     case Algorithm::kBrltScanRow: {
         auto mid = scratch(w * h), out = scratch(h * w);
         res.launches.push_back(launch_brlt_scanrow_wave<Tout, Tin>(
-            eng, ins, h, w, mid.outs(), opt.padded_smem));
+            eng, ins, h, w, mid.outs(), opt.padded_smem,
+            /*warps_override=*/0, native));
         res.launches.push_back(launch_brlt_scanrow_wave<Tout, Tout>(
-            eng, mid.ins(), w, h, out.outs(), opt.padded_smem));
+            eng, mid.ins(), w, h, out.outs(), opt.padded_smem,
+            /*warps_override=*/0, native));
         tables(out, res.tables);
         break;
     }
     case Algorithm::kScanRowBrlt: {
         auto mid = scratch(w * h), out = scratch(h * w);
         res.launches.push_back(launch_scanrow_brlt_wave<Tout, Tin>(
-            eng, ins, h, w, mid.outs(), opt.warp_scan, opt.padded_smem));
+            eng, ins, h, w, mid.outs(), opt.warp_scan, opt.padded_smem,
+            native));
         res.launches.push_back(launch_scanrow_brlt_wave<Tout, Tout>(
             eng, mid.ins(), w, h, out.outs(), opt.warp_scan,
-            opt.padded_smem));
+            opt.padded_smem, native));
         tables(out, res.tables);
         break;
     }
     case Algorithm::kScanRowColumn: {
         auto mid = scratch(h * w), out = scratch(h * w);
         res.launches.push_back(launch_scanrow_wave<Tout, Tin>(
-            eng, ins, h, w, mid.outs(), opt.warp_scan));
+            eng, ins, h, w, mid.outs(), opt.warp_scan, native));
         res.launches.push_back(launch_scancolumn_wave<Tout>(
-            eng, mid.ins(), h, w, out.outs()));
+            eng, mid.ins(), h, w, out.outs(), native));
         tables(out, res.tables);
         break;
     }

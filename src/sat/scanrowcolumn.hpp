@@ -17,26 +17,27 @@
 #include "scan/serial_scan.hpp"
 #include "scan/warp_scan.hpp"
 #include "simt/engine.hpp"
+#include "simt/native_backend.hpp"
 #include "simt/profiler.hpp"
 
 #include <span>
+#include <vector>
 
 namespace satgpu::sat {
 
-/// ScanRow: warp `warp_id` of block `by` scans row by*WarpCount + warp_id.
-template <typename Tout, typename Tsrc>
-simt::KernelTask scanrow_warp(simt::WarpCtx& w,
-                              const simt::DeviceBuffer<Tsrc>& in,
-                              std::int64_t height, std::int64_t width,
-                              simt::DeviceBuffer<Tout>& out,
-                              scan::WarpScanKind kind)
+/// ScanRow warp body, the kernel source both lowerings share (W =
+/// simt::WarpCtx or simt::NativeWarpCtx).  Barrier free end to end, so the
+/// native lowering runs it whole per warp -- no phase splitting needed.
+template <typename Tout, typename Tsrc, typename W>
+void scanrow_warp_body(W& w, const simt::DeviceBuffer<Tsrc>& in,
+                       std::int64_t height, std::int64_t width,
+                       simt::DeviceBuffer<Tout>& out, scan::WarpScanKind kind)
 {
     const std::int64_t row =
         w.block_idx().y * w.warps_per_block() + w.warp_id();
     if (row >= height)
-        co_return; // kernel has no barriers, so early exit is safe
+        return; // kernel has no barriers, so early exit is safe
 
-    const auto lane = LaneVec<std::int64_t>::lane_index();
     LaneVec<Tout> carry{};
     const std::int64_t chunk_w = kWarpSize * kWarpSize; // C * WarpSize
     for (std::int64_t c0 = 0; c0 < width; c0 += chunk_w) {
@@ -51,7 +52,7 @@ simt::KernelTask scanrow_warp(simt::WarpCtx& w,
                 const std::int64_t col0 = c0 + std::int64_t{j} * kWarpSize;
                 const auto m = cols_in_range(col0, width);
                 data[static_cast<std::size_t>(j)] =
-                    in.load(lane + (row * width + col0), m)
+                    in.load_row(row * width + col0, m)
                         .template cast<Tout>();
             }
         }
@@ -69,10 +70,36 @@ simt::KernelTask scanrow_warp(simt::WarpCtx& w,
         for (int j = 0; j < groups; ++j) {
             const std::int64_t col0 = c0 + std::int64_t{j} * kWarpSize;
             const auto m = cols_in_range(col0, width);
-            out.store(lane + (row * width + col0),
-                      data[static_cast<std::size_t>(j)], m);
+            out.store_row(row * width + col0,
+                          data[static_cast<std::size_t>(j)], m);
         }
     }
+}
+
+/// ScanRow, simulator lowering: the shared body wrapped in a coroutine.
+template <typename Tout, typename Tsrc>
+simt::KernelTask scanrow_warp(simt::WarpCtx& w,
+                              const simt::DeviceBuffer<Tsrc>& in,
+                              std::int64_t height, std::int64_t width,
+                              simt::DeviceBuffer<Tout>& out,
+                              scan::WarpScanKind kind)
+{
+    scanrow_warp_body<Tout, Tsrc>(w, in, height, width, out, kind);
+    co_return;
+}
+
+/// ScanRow, native lowering: barrier free, so warp order is irrelevant.
+template <typename Tout, typename Tsrc>
+void scanrow_block_native(simt::NativeBlockCtx& blk,
+                          const simt::DeviceBuffer<Tsrc>& in,
+                          std::int64_t height, std::int64_t width,
+                          simt::DeviceBuffer<Tout>& out,
+                          scan::WarpScanKind kind)
+{
+    const int wc = blk.warps_per_block();
+    for (int wid = 0; wid < wc; ++wid)
+        scanrow_warp_body<Tout, Tsrc>(blk.warp(wid), in, height, width, out,
+                                      kind);
 }
 
 /// ScanColumn: block `bx` owns columns [bx*32, bx*32+32); warps stack in
@@ -111,14 +138,53 @@ simt::KernelTask scancolumn_warp(simt::WarpCtx& w,
 
         {
             const simt::ProfileRange pr{"apply-offset"};
-            const auto offset = simt::vadd(exclusive, run_carry);
-            for (auto& reg : data)
-                reg = simt::vadd(reg, offset);
-            run_carry = simt::vadd(run_carry, total);
+            apply_chunk_offset(data, exclusive, run_carry, total);
         }
 
         const simt::ProfileRange pr{"store"};
         store_tile_rows(out, height, width, row0, col0, data);
+    }
+}
+
+/// The native lowering of one ScanColumn block: the exact phase sequence of
+/// scancolumn_warp, phase-major over the block's warps (see
+/// brlt_scanrow_block_native for the schedule argument).
+template <typename Tout>
+void scancolumn_block_native(simt::NativeBlockCtx& blk,
+                             const simt::DeviceBuffer<Tout>& in,
+                             std::int64_t height, std::int64_t width,
+                             simt::DeviceBuffer<Tout>& out)
+{
+    const int wc = blk.warps_per_block();
+    const auto uwc = static_cast<std::size_t>(wc);
+    const std::int64_t col0 = blk.block_idx().x * kWarpSize;
+    const std::int64_t strip_h = std::int64_t{wc} * kWarpSize;
+    const std::int64_t steps = ceil_div(height, strip_h);
+    std::vector<RegTile<Tout>> data(uwc);
+    std::vector<LaneVec<Tout>> run_carry(uwc), partial(uwc), exclusive(uwc),
+        total(uwc);
+    const auto at = [](auto& v, int i) -> decltype(auto) {
+        return v[static_cast<std::size_t>(i)];
+    };
+
+    for (std::int64_t s = 0; s < steps; ++s) {
+        const auto row0 = [&](int wid) {
+            return s * strip_h + std::int64_t{wid} * kWarpSize;
+        };
+        for (int wid = 0; wid < wc; ++wid)
+            load_tile_rows(in, height, width, row0(wid), col0, at(data, wid));
+        for (int wid = 0; wid < wc; ++wid)
+            scan::serial_scan_registers(at(data, wid));
+        for (int wid = 0; wid < wc; ++wid)
+            at(partial, wid) = at(data, wid)[kWarpSize - 1];
+        block_exclusive_carry_block_native<Tout>(blk, partial, exclusive,
+                                                 total);
+        for (int wid = 0; wid < wc; ++wid)
+            apply_chunk_offset(at(data, wid), at(exclusive, wid),
+                               at(run_carry, wid), at(total, wid));
+        for (int wid = 0; wid < wc; ++wid)
+            store_tile_rows(out, height, width, row0(wid), col0,
+                            at(data, wid));
     }
 }
 
@@ -128,7 +194,8 @@ template <typename Tout, typename Tsrc>
 simt::LaunchStats launch_scanrow_wave(
     simt::Engine& eng, std::span<const simt::DeviceBuffer<Tsrc>* const> ins,
     std::int64_t height, std::int64_t width,
-    std::span<simt::DeviceBuffer<Tout>* const> outs, scan::WarpScanKind kind)
+    std::span<simt::DeviceBuffer<Tout>* const> outs, scan::WarpScanKind kind,
+    bool native = false)
 {
     SATGPU_EXPECTS(!ins.empty() && ins.size() == outs.size());
     // BlockDim.x = 4096 / sizeof(T) threads (Sec. IV-C1).
@@ -137,6 +204,13 @@ simt::LaunchStats launch_scanrow_wave(
         {1, ceil_div(height, wc), static_cast<std::int64_t>(ins.size())},
         {std::int64_t{wc} * kWarpSize, 1, 1}};
     const simt::KernelInfo info{"scanrow", regs_per_thread<Tout>(), 0};
+    if (native)
+        return simt::native_launch(
+            eng.options(), info, cfg, [&](simt::NativeBlockCtx& blk) {
+                const auto z = static_cast<std::size_t>(blk.block_idx().z);
+                scanrow_block_native<Tout, Tsrc>(blk, *ins[z], height, width,
+                                                 *outs[z], kind);
+            });
     return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
         const auto z = static_cast<std::size_t>(w.block_idx().z);
         return scanrow_warp<Tout, Tsrc>(w, *ins[z], height, width, *outs[z],
@@ -162,7 +236,7 @@ template <typename Tout>
 simt::LaunchStats launch_scancolumn_wave(
     simt::Engine& eng, std::span<const simt::DeviceBuffer<Tout>* const> ins,
     std::int64_t height, std::int64_t width,
-    std::span<simt::DeviceBuffer<Tout>* const> outs)
+    std::span<simt::DeviceBuffer<Tout>* const> outs, bool native = false)
 {
     SATGPU_EXPECTS(!ins.empty() && ins.size() == outs.size());
     const int wc = warps_per_block<Tout>();
@@ -172,6 +246,13 @@ simt::LaunchStats launch_scancolumn_wave(
         {kWarpSize, wc, 1}};
     const simt::KernelInfo info{"scancolumn", regs_per_thread<Tout>(),
                                 block_carry_smem_bytes<Tout>(wc)};
+    if (native)
+        return simt::native_launch(
+            eng.options(), info, cfg, [&](simt::NativeBlockCtx& blk) {
+                const auto z = static_cast<std::size_t>(blk.block_idx().z);
+                scancolumn_block_native<Tout>(blk, *ins[z], height, width,
+                                              *outs[z]);
+            });
     return eng.launch(info, cfg, [&](simt::WarpCtx& w) {
         const auto z = static_cast<std::size_t>(w.block_idx().z);
         return scancolumn_warp<Tout>(w, *ins[z], height, width, *outs[z]);

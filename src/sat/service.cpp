@@ -31,6 +31,9 @@ constexpr std::string_view kWaves = "satgpu_service_waves_total";
 constexpr std::string_view kFused = "satgpu_service_fused_requests_total";
 constexpr std::string_view kPoolHighWater =
     "satgpu_service_pool_high_water_bytes";
+constexpr std::string_view kBackendNative =
+    "satgpu_service_plan_backend_native";
+constexpr std::string_view kCertified = "satgpu_service_plan_certified";
 constexpr std::string_view kWaveSize = "satgpu_service_wave_size";
 constexpr std::string_view kQueueWaitUs = "satgpu_service_queue_wait_us";
 constexpr std::string_view kExecuteUs = "satgpu_service_execute_us";
@@ -62,6 +65,8 @@ std::string plan_key_label(const PlanKey& key)
         s += "/unpadded";
     if (key.check)
         s += "/check";
+    if (key.backend != Backend::kSim)
+        s += "/backend=" + std::string(to_string(key.backend));
     return s;
 }
 
@@ -74,7 +79,8 @@ PlanKey plan_key(const PlanRequest& req) noexcept
                    .warp_scan = req.warp_scan,
                    .padded_smem = req.padded_smem,
                    .tile = req.tile,
-                   .check = req.check};
+                   .check = req.check,
+                   .backend = req.backend};
 }
 
 std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept
@@ -95,7 +101,8 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept
         static_cast<std::uint64_t>(k.dtypes.out));
     mix(static_cast<std::uint64_t>(k.algorithm));
     mix(static_cast<std::uint64_t>(k.warp_scan));
-    mix((k.padded_smem ? 1u : 0u) | (k.check ? 2u : 0u));
+    mix((k.padded_smem ? 1u : 0u) | (k.check ? 2u : 0u) |
+        (static_cast<std::uint64_t>(k.backend) << 2));
     mix(static_cast<std::uint64_t>(k.tile.tile_h));
     mix(static_cast<std::uint64_t>(k.tile.tile_w));
     mix(static_cast<std::uint64_t>(k.tile.carry_fanout));
@@ -164,7 +171,8 @@ std::future<AnyMatrix> Service::submit(Request req)
                       .warp_scan = req.warp_scan,
                       .padded_smem = req.padded_smem,
                       .tile = req.tile,
-                      .check = req.check};
+                      .check = req.check,
+                      .backend = req.backend};
     const std::uint64_t bytes = image_bytes(req.image);
 
     std::promise<AnyMatrix> prom;
@@ -255,6 +263,8 @@ std::future<AnyMatrix> Service::submit(Request req)
             .fused = &metrics_->counter(kFused, e->label),
             .oversized = &metrics_->counter(kOversized, e->label),
             .pool_high_water = &metrics_->gauge(kPoolHighWater, e->label),
+            .backend_native = &metrics_->gauge(kBackendNative, e->label),
+            .certified = &metrics_->gauge(kCertified, e->label),
             .wave_size = &metrics_->histogram(kWaveSize, e->label),
             .queue_wait_us = &metrics_->histogram(kQueueWaitUs, e->label),
             .execute_us = &metrics_->histogram(kExecuteUs, e->label),
@@ -333,6 +343,29 @@ std::uint64_t Service::plan_high_water_bytes(const PlanKey& key) const
     std::lock_guard lk(mu_);
     const auto it = cache_.find(key);
     return it == cache_.end() ? 0 : it->second->high_water_bytes;
+}
+
+std::vector<Service::PlanInfo> Service::plan_info() const
+{
+    std::vector<PlanInfo> out;
+    std::lock_guard lk(mu_);
+    out.reserve(cache_.size());
+    for (const auto& [key, e] : cache_) {
+        PlanInfo pi;
+        pi.key = key;
+        pi.label = e->label;
+        std::lock_guard elk(e->mu);
+        pi.resolved = e->resolved;
+        pi.algorithm = e->resolved ? e->resolved_algo : key.algorithm;
+        pi.backend = e->resolved ? e->resolved_backend : key.backend;
+        pi.certified = e->resolved_certified;
+        out.push_back(std::move(pi));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PlanInfo& a, const PlanInfo& b) {
+                  return a.label < b.label;
+              });
+    return out;
 }
 
 bool Service::queue_has_room(std::uint64_t bytes) const
@@ -475,12 +508,14 @@ void Service::run_wave(Worker& w, CacheEntry* entry, std::vector<Item> batch,
                                  .worker = w.index,
                                  .t_begin = t_exec_begin,
                                  .t_end = t_exec_end,
-                                 .plan = entry->label});
+                                 .plan = entry->label,
+                                 .backend = plan.backend()});
             trace_->record_wave({.wave = wave_id,
                                  .worker = w.index,
                                  .t_exec_begin = t_exec_begin,
                                  .t_exec_end = t_exec_end,
                                  .plan = entry->label,
+                                 .backend = plan.backend(),
                                  .launches = wave.launches});
         }
 
@@ -539,20 +574,30 @@ Plan& Service::plan_for(Worker& w, CacheEntry* entry)
                      .check = entry->key.check,
                      // Profiling is what lets the trace nest kernel phase
                      // ranges under plan.execute; without a sink it stays
-                     // off and plans run at historical cost.
+                     // off and plans run at historical cost.  It also
+                     // forces the simulator backend (the native lowering
+                     // carries no instrumentation).
                      .profile = trace_ != nullptr,
-                     .pool_partition = entry->partition};
+                     .pool_partition = entry->partition,
+                     .backend = entry->key.backend};
 
     std::lock_guard elk(entry->mu);
     if (entry->resolved) {
         // Another worker already paid the kAuto ranking; plan the concrete
-        // algorithm directly (identical Plan, no calibration pass).
+        // algorithm directly (identical Plan, no calibration pass).  The
+        // backend stays the requested one: certification is deterministic,
+        // so every worker resolves the same executing backend.
         preq.algorithm = entry->resolved_algo;
     }
     Plan plan = w.rt->plan(preq);
     if (!entry->resolved) {
         entry->resolved_algo = plan.algorithm();
+        entry->resolved_backend = plan.backend();
+        entry->resolved_certified = plan.certified();
         entry->resolved = true;
+        entry->metrics.backend_native->set(
+            plan.backend() == Backend::kNative ? 1 : 0);
+        entry->metrics.certified->set(plan.certified() ? 1 : 0);
     }
     {
         std::lock_guard slk(mu_);

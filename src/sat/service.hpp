@@ -69,6 +69,11 @@ struct PlanKey {
     bool padded_smem = true;
     TileGeometry tile{};
     bool check = false;
+    /// Requested backend (PlanRequest::backend).  Part of the key because
+    /// it shapes the plan: kNative/kAuto may resolve to a different
+    /// executing backend than kSim, and must never share a cache entry
+    /// with a kSim request of the same shape.
+    Backend backend = Backend::kSim;
 
     friend bool operator==(const PlanKey&, const PlanKey&) = default;
 };
@@ -79,7 +84,8 @@ struct PlanKey {
 /// Human-readable metric/trace label of a plan key:
 /// "<h>x<w>/<in-out>/<algorithm>", plus "/tile<H>x<W>" when tiled,
 /// the warp-scan name when not Kogge-Stone, "/unpadded" and "/check"
-/// when those ablation flags are set.  Deterministic (pure function of
+/// when those ablation flags are set, and "/backend=<name>" when the
+/// requested backend is not kSim.  Deterministic (pure function of
 /// the key), so metric series and trace spans name plans identically
 /// across runs.
 [[nodiscard]] std::string plan_key_label(const PlanKey& key);
@@ -170,6 +176,26 @@ public:
         bool padded_smem = true;
         TileGeometry tile{};
         bool check = false;
+        /// Requested execution backend.  kNative/kAuto only take effect
+        /// when the resolved plan is hazard-certified (Runtime::certify);
+        /// uncertified plans fall back to the simulator.  Tracing
+        /// (Options::trace) forces the simulator: profiled plans need its
+        /// instrumentation.
+        Backend backend = Backend::kSim;
+    };
+
+    /// Snapshot of one plan-cache entry's resolution state, for
+    /// introspection (satgpu_serve's per-plan JSON report).
+    struct PlanInfo {
+        PlanKey key;
+        std::string label; ///< plan_key_label(key)
+        /// Whether any worker has instantiated the plan yet.  Until then
+        /// algorithm/backend/certified report the requested (unresolved)
+        /// values.
+        bool resolved = false;
+        Algorithm algorithm = Algorithm::kAuto; ///< resolved algorithm
+        Backend backend = Backend::kSim; ///< backend that executes the plan
+        bool certified = false; ///< hazard certificate held (docs/backends.md)
     };
 
     struct Stats {
@@ -233,6 +259,9 @@ public:
     /// Peak pooled bytes any single worker ever held in `key`'s partition
     /// (0 for unknown keys).  Bounded by max_wave * Plan::workspace_bytes.
     [[nodiscard]] std::uint64_t plan_high_water_bytes(const PlanKey& key) const;
+    /// Resolution state of every plan key ever admitted, sorted by label
+    /// (deterministic across runs for a fixed workload).
+    [[nodiscard]] std::vector<PlanInfo> plan_info() const;
 
 private:
     /// One cached plan identity, shared by all workers.  The entry owns
@@ -255,6 +284,11 @@ private:
         obs::Counter* fused = nullptr;
         obs::Counter* oversized = nullptr;
         obs::Gauge* pool_high_water = nullptr;
+        /// 1 when the resolved plan executes on the native backend, else 0
+        /// (set at first resolution; 0 while unresolved).
+        obs::Gauge* backend_native = nullptr;
+        /// 1 when the resolved plan holds a hazard certificate.
+        obs::Gauge* certified = nullptr;
         obs::Histogram* wave_size = nullptr;
         obs::Histogram* queue_wait_us = nullptr;
         obs::Histogram* execute_us = nullptr;
@@ -272,6 +306,11 @@ private:
         std::mutex mu; ///< guards resolution (first planner wins)
         bool resolved = false;
         Algorithm resolved_algo = Algorithm::kBrltScanRow;
+        /// Backend the resolved plan executes on, and whether it holds a
+        /// hazard certificate (Plan::backend()/certified() of the first
+        /// planner).  Guarded by mu, like resolved_algo.
+        Backend resolved_backend = Backend::kSim;
+        bool resolved_certified = false;
         /// Max over workers of that worker's pool high-water in this
         /// entry's partition.  Snapshotted by the owning worker after each
         /// wave (a worker's pool is thread-private); guarded by mu_.

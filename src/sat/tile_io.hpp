@@ -38,14 +38,12 @@ void load_tile_rows(const simt::DeviceBuffer<Tin>& src, std::int64_t height,
                     RegTile<Tout>& regs)
 {
     const LaneMask cols = cols_in_range(col0, width);
-    const auto lane = LaneVec<std::int64_t>::lane_index();
     for (int j = 0; j < kWarpSize; ++j) {
         if (row0 + j >= height) {
             regs[static_cast<std::size_t>(j)] = LaneVec<Tout>{};
             continue;
         }
-        const auto idx = lane + ((row0 + j) * width + col0);
-        const auto raw = src.load(idx, cols);
+        const auto raw = src.load_row((row0 + j) * width + col0, cols);
         regs[static_cast<std::size_t>(j)] = raw.template cast<Tout>();
     }
 }
@@ -57,13 +55,44 @@ void store_tile_rows(simt::DeviceBuffer<T>& dst, std::int64_t height,
                      const RegTile<T>& regs)
 {
     const LaneMask cols = cols_in_range(col0, width);
-    const auto lane = LaneVec<std::int64_t>::lane_index();
     for (int j = 0; j < kWarpSize; ++j) {
         if (row0 + j >= height)
             continue;
-        const auto idx = lane + ((row0 + j) * width + col0);
-        dst.store(idx, regs[static_cast<std::size_t>(j)], cols);
+        dst.store_row((row0 + j) * width + col0,
+                      regs[static_cast<std::size_t>(j)], cols);
     }
+}
+
+/// Transposed tile store, shared by both lowerings of the BRLT kernels:
+/// element (row0+lane, col0+j) of the source matrix lands at
+/// dst[col0+j][row0+lane] (dst is width x height).  Register row j becomes
+/// output row col0+j, so each j is one coalesced store.
+template <typename T>
+void store_tile_transposed(simt::DeviceBuffer<T>& dst, std::int64_t height,
+                           std::int64_t width, std::int64_t row0,
+                           std::int64_t col0, const RegTile<T>& regs)
+{
+    const LaneMask rows = cols_in_range(row0, height);
+    for (int j = 0; j < kWarpSize; ++j) {
+        if (col0 + j >= width)
+            continue;
+        dst.store_row((col0 + j) * height + row0,
+                      regs[static_cast<std::size_t>(j)], rows);
+    }
+}
+
+/// Apply-offset phase shared by both lowerings of the serial-scan kernels
+/// (BRLT-ScanRow, ScanColumn): add the thread's chunk offset (exclusive
+/// block prefix + running carry) to every register, then advance the
+/// running carry by the block total.
+template <typename T>
+void apply_chunk_offset(RegTile<T>& data, const LaneVec<T>& exclusive,
+                        LaneVec<T>& run_carry, const LaneVec<T>& total)
+{
+    const auto offset = simt::vadd(exclusive, run_carry);
+    for (auto& reg : data)
+        reg = simt::vadd(reg, offset);
+    run_carry = simt::vadd(run_carry, total);
 }
 
 } // namespace satgpu::sat

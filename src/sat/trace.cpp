@@ -179,6 +179,8 @@ void TraceSink::write_chrome_trace(std::ostream& os) const
         if (span_tid(s) != kServiceTid)
             j.kv("slot", s.slot);
         j.kv("plan", s.plan);
+        if (s.kind == SpanKind::kExecute)
+            j.kv("backend", to_string(s.backend));
         j.end_object();
         j.end_object();
     }
@@ -212,6 +214,7 @@ void TraceSink::write_chrome_trace(std::ostream& os) const
             j.begin_object();
             j.kv("wave", w->wave);
             j.kv("plan", w->plan);
+            j.kv("backend", to_string(w->backend));
             if (l.profile)
                 j.kv("virtual_cycles", l.profile->total_virtual_cycles);
             j.end_object();

@@ -24,6 +24,7 @@
 // fully reproducible (pinned by tests/test_metrics.cpp).
 #pragma once
 
+#include "sat/sat.hpp"
 #include "simt/engine.hpp"
 
 #include <atomic>
@@ -96,6 +97,9 @@ struct Span {
     std::uint64_t t_begin = 0;
     std::uint64_t t_end = 0;
     std::string plan;         ///< plan_key_label of the cache entry
+    /// Backend the plan executed on (meaningful for kExecute spans, which
+    /// are recorded after plan resolution; emitted only for those).
+    Backend backend = Backend::kSim;
 };
 
 /// One executed wave's kernel evidence: the fused launches (with
@@ -107,6 +111,7 @@ struct WaveRecord {
     std::uint64_t t_exec_begin = 0;
     std::uint64_t t_exec_end = 0;
     std::string plan;
+    Backend backend = Backend::kSim; ///< backend the wave executed on
     std::vector<simt::LaunchStats> launches;
 };
 

@@ -27,6 +27,20 @@ using simt::kWarpSize;
 template <typename T>
 [[nodiscard]] LaneVec<T> kogge_stone_scan(LaneVec<T> data)
 {
+    if (simt::current_counters() == nullptr &&
+        simt::current_hazard_checker() == nullptr) {
+        // Uninstrumented lowering (the native backend): the same add
+        // network, executed as shifted in-place adds.  Descending l keeps
+        // data[l - i] at its pre-stage value, so every lane performs the
+        // identical sum in the identical order -- bit-exact with the
+        // shuffle/predicate form below, minus the mask construction and
+        // per-op bookkeeping the counters would have consumed.
+        for (int i = 1; i < kWarpSize; i *= 2)
+            for (int l = kWarpSize - 1; l >= i; --l)
+                data.set(l, simt::detail::wrapping_add(data.get(l),
+                                                       data.get(l - i)));
+        return data;
+    }
     const auto lane = LaneVec<std::int64_t>::lane_index();
     for (int i = 1; i < kWarpSize; i *= 2) {
         const auto val = simt::shfl_up(data, i);

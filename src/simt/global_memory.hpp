@@ -81,6 +81,19 @@ public:
         const
     {
         LaneVec<T> r{};
+        if (current_counters() == nullptr) {
+            // Uninstrumented fast path (the native backend's fresh worker
+            // threads): only the bounds-checked data movement.
+            for (int l = 0; l < kWarpSize; ++l) {
+                if (!lane_active(active, l))
+                    continue;
+                const std::int64_t i = idx.get(l);
+                SATGPU_CHECK(i >= 0 && i < size(),
+                             "gmem load out of bounds");
+                r.set(l, data_[static_cast<std::size_t>(i)]);
+            }
+            return r;
+        }
         ByteAddrs addrs{};
         for (int l = 0; l < kWarpSize; ++l) {
             if (!lane_active(active, l))
@@ -111,6 +124,19 @@ public:
                LaneMask active = kFullMask,
                std::source_location site = SATGPU_SITE)
     {
+        if (current_counters() == nullptr) {
+            // Uninstrumented fast path; see load().
+            for (int l = 0; l < kWarpSize; ++l) {
+                if (!lane_active(active, l))
+                    continue;
+                const std::int64_t i = idx.get(l);
+                SATGPU_CHECK(i >= 0 && i < size(),
+                             "gmem store out of bounds");
+                record_write(i);
+                data_[static_cast<std::size_t>(i)] = val.get(l);
+            }
+            return;
+        }
         ByteAddrs addrs{};
         for (int l = 0; l < kWarpSize; ++l) {
             if (!lane_active(active, l))
@@ -134,6 +160,69 @@ public:
             if (Profiler* p = current_profiler())
                 p->record_gmem(site, /*is_store=*/true, sectors, bytes);
         }
+    }
+
+    /// Warp-wide CONTIGUOUS load: lane l reads element base + l.  Identical
+    /// semantics (and, when instrumented, identical accounting) to
+    /// load(lane_index() + base, active) -- the contiguity is a statement
+    /// of intent that lets the uninstrumented path move the row as one
+    /// straight copy instead of a per-lane gather.
+    [[nodiscard]] LaneVec<T> load_row(std::int64_t base,
+                                      LaneMask active = kFullMask,
+                                      std::source_location site = SATGPU_SITE)
+        const
+    {
+        if (current_counters() == nullptr) {
+            LaneVec<T> r{};
+            if (active == kFullMask) {
+                SATGPU_CHECK(base >= 0 && base + kWarpSize <= size(),
+                             "gmem load out of bounds");
+                const T* const p = data_.data() + base;
+                for (int l = 0; l < kWarpSize; ++l)
+                    r.set(l, p[l]);
+                return r;
+            }
+            for (int l = 0; l < kWarpSize; ++l) {
+                if (!lane_active(active, l))
+                    continue;
+                const std::int64_t i = base + l;
+                SATGPU_CHECK(i >= 0 && i < size(),
+                             "gmem load out of bounds");
+                r.set(l, data_[static_cast<std::size_t>(i)]);
+            }
+            return r;
+        }
+        return load(LaneVec<std::int64_t>::lane_index() + base, active,
+                    site);
+    }
+
+    /// Warp-wide CONTIGUOUS store: lane l writes val[l] to element base + l
+    /// (see load_row).
+    void store_row(std::int64_t base, const LaneVec<T>& val,
+                   LaneMask active = kFullMask,
+                   std::source_location site = SATGPU_SITE)
+    {
+        if (current_counters() == nullptr) {
+            if (active == kFullMask && !overlap_) {
+                SATGPU_CHECK(base >= 0 && base + kWarpSize <= size(),
+                             "gmem store out of bounds");
+                T* const p = data_.data() + base;
+                for (int l = 0; l < kWarpSize; ++l)
+                    p[l] = val.get(l);
+                return;
+            }
+            for (int l = 0; l < kWarpSize; ++l) {
+                if (!lane_active(active, l))
+                    continue;
+                const std::int64_t i = base + l;
+                SATGPU_CHECK(i >= 0 && i < size(),
+                             "gmem store out of bounds");
+                record_write(i);
+                data_[static_cast<std::size_t>(i)] = val.get(l);
+            }
+            return;
+        }
+        store(LaneVec<std::int64_t>::lane_index() + base, val, active, site);
     }
 
     /// Warp-wide atomicAdd: lane l adds val[l] to element idx[l].  Lanes

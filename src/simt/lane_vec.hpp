@@ -200,6 +200,20 @@ inline void count_selects(std::uint64_t n) noexcept
     if (PerfCounters* c = current_counters())
         c->lane_select += n;
 }
+
+/// Add with wrapping semantics for signed ints, so speculative adds on
+/// predicated-off lanes are defined behaviour.
+template <typename T>
+[[nodiscard]] inline T wrapping_add(T x, T y) noexcept
+{
+    if constexpr (std::is_integral_v<T>) {
+        using U = std::make_unsigned_t<T>;
+        return static_cast<T>(static_cast<U>(static_cast<U>(x) +
+                                             static_cast<U>(y)));
+    } else {
+        return static_cast<T>(x + y);
+    }
+}
 } // namespace detail
 
 // ---- Counted data-path operations (the paper's accounting) ----------------
@@ -219,10 +233,23 @@ template <typename T>
                                     const LaneVec<T>& b)
 {
     detail::count_adds(static_cast<std::uint64_t>(active_lane_count(m)));
-    LaneVec<T> r = a;
-    for (int l = 0; l < kWarpSize; ++l)
-        if (lane_active(m, l))
-            r.set(l, static_cast<T>(a.get(l) + b.get(l)));
+    if (m == kFullMask) {
+        // All lanes active: no blend needed (the serial register scans hit
+        // this case every step).
+        LaneVec<T> r;
+        for (int l = 0; l < kWarpSize; ++l)
+            r.set(l, detail::wrapping_add(a.get(l), b.get(l)));
+        return r;
+    }
+    // Branch-free: add every lane, then blend by the mask bit.  The
+    // speculative add on a predicated-off lane wraps instead of being UB,
+    // and the loop vectorizes where the per-lane branch would not -- this
+    // is the inner step of every Kogge-Stone warp scan.
+    LaneVec<T> r;
+    for (int l = 0; l < kWarpSize; ++l) {
+        const T s = detail::wrapping_add(a.get(l), b.get(l));
+        r.set(l, ((m >> l) & 1u) != 0 ? s : a.get(l));
+    }
     return r;
 }
 

@@ -117,9 +117,22 @@ public:
                LaneMask active = kFullMask,
                std::source_location site = SATGPU_SITE)
     {
-        ByteAddrs addrs{};
         T* const b = base();
         HazardChecker* const hc = current_hazard_checker();
+        if (current_counters() == nullptr && hc == nullptr) {
+            // Uninstrumented fast path (the native backend's fresh worker
+            // threads): only the bounds-checked data movement.
+            for (int l = 0; l < kWarpSize; ++l) {
+                if (!lane_active(active, l))
+                    continue;
+                const std::int64_t i = idx.get(l);
+                SATGPU_CHECK(i >= 0 && i < count_,
+                             "smem store out of bounds");
+                b[i] = val.get(l);
+            }
+            return;
+        }
+        ByteAddrs addrs{};
         for (int l = 0; l < kWarpSize; ++l) {
             if (!lane_active(active, l))
                 continue;
@@ -154,9 +167,20 @@ public:
         const
     {
         LaneVec<T> r{};
-        ByteAddrs addrs{};
         const T* const b = base();
         HazardChecker* const hc = current_hazard_checker();
+        if (current_counters() == nullptr && hc == nullptr) {
+            // Uninstrumented fast path; see store().
+            for (int l = 0; l < kWarpSize; ++l) {
+                if (!lane_active(active, l))
+                    continue;
+                const std::int64_t i = idx.get(l);
+                SATGPU_CHECK(i >= 0 && i < count_, "smem load out of bounds");
+                r.set(l, b[i]);
+            }
+            return r;
+        }
+        ByteAddrs addrs{};
         for (int l = 0; l < kWarpSize; ++l) {
             if (!lane_active(active, l))
                 continue;

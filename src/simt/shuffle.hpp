@@ -51,13 +51,15 @@ template <typename T>
     SATGPU_EXPECTS(delta >= 0);
     detail::count_shfl();
     HazardChecker* const hc = current_hazard_checker();
+    // width is a power of two, so l % width == l & seg_mask and the
+    // segment base survives in l's high bits -- no per-lane divisions on
+    // this hot path (the native backend is nothing but these loops).
+    const int seg_mask = width - 1;
     LaneVec<T> r;
     for (int l = 0; l < kWarpSize; ++l) {
-        const int seg = l / width;
-        const int idx = l % width;
-        const int src = idx - delta;
-        const int from = src >= 0 ? seg * width + src : l;
-        detail::check_shfl_source(hc, active, l, from, site);
+        const int from = (l & seg_mask) >= delta ? l - delta : l;
+        if (hc)
+            detail::check_shfl_source(hc, active, l, from, site);
         r.set(l, v.get(from));
     }
     return r;
@@ -75,13 +77,12 @@ template <typename T>
     SATGPU_EXPECTS(delta >= 0);
     detail::count_shfl();
     HazardChecker* const hc = current_hazard_checker();
+    const int seg_mask = width - 1; // see shfl_up
     LaneVec<T> r;
     for (int l = 0; l < kWarpSize; ++l) {
-        const int seg = l / width;
-        const int idx = l % width;
-        const int src = idx + delta;
-        const int from = src < width ? seg * width + src : l;
-        detail::check_shfl_source(hc, active, l, from, site);
+        const int from = (l & seg_mask) + delta < width ? l + delta : l;
+        if (hc)
+            detail::check_shfl_source(hc, active, l, from, site);
         r.set(l, v.get(from));
     }
     return r;
@@ -102,13 +103,14 @@ template <typename T>
                    (width & (width - 1)) == 0);
     SATGPU_EXPECTS(src_lane >= 0);
     detail::count_shfl();
-    const int src_in_seg = src_lane % width; // == src_lane & (width - 1)
+    const int seg_mask = width - 1;          // see shfl_up
+    const int src_in_seg = src_lane & seg_mask; // == src_lane % width
     HazardChecker* const hc = current_hazard_checker();
     LaneVec<T> r;
     for (int l = 0; l < kWarpSize; ++l) {
-        const int seg = l / width;
-        const int from = seg * width + src_in_seg;
-        detail::check_shfl_source(hc, active, l, from, site);
+        const int from = (l & ~seg_mask) | src_in_seg;
+        if (hc)
+            detail::check_shfl_source(hc, active, l, from, site);
         r.set(l, v.get(from));
     }
     return r;
@@ -123,14 +125,18 @@ template <typename T>
 {
     SATGPU_EXPECTS(width > 0 && width <= kWarpSize &&
                    (width & (width - 1)) == 0);
+    SATGPU_EXPECTS(lane_mask >= 0);
     detail::count_shfl();
     HazardChecker* const hc = current_hazard_checker();
+    const int seg_mask = width - 1; // see shfl_up
     LaneVec<T> r;
     for (int l = 0; l < kWarpSize; ++l) {
         const int src = l ^ lane_mask;
         const int from =
-            src < kWarpSize && (src / width) == (l / width) ? src : l;
-        detail::check_shfl_source(hc, active, l, from, site);
+            src < kWarpSize && (src & ~seg_mask) == (l & ~seg_mask) ? src
+                                                                    : l;
+        if (hc)
+            detail::check_shfl_source(hc, active, l, from, site);
         r.set(l, v.get(from));
     }
     return r;

@@ -45,7 +45,19 @@ struct Args {
     std::string profile_path; // --profile: per-launch JSON report
     std::string trace_path;   // --trace: chrome://tracing timeline
     std::string hazards_path; // --hazards: hazard report JSON
+    sat::Backend backend = sat::Backend::kSim; // --backend: execution backend
 };
+
+std::optional<sat::Backend> parse_backend(std::string_view s)
+{
+    if (s == "sim")
+        return sat::Backend::kSim;
+    if (s == "native")
+        return sat::Backend::kNative;
+    if (s == "auto")
+        return sat::Backend::kAuto;
+    return std::nullopt;
+}
 
 std::optional<sat::Algorithm> parse_algo(std::string_view s)
 {
@@ -86,6 +98,11 @@ void usage()
         "  --threads N   host threads simulating blocks; 0 = all hardware\n"
         "                threads, 1 = sequential (default 0; results and\n"
         "                counters are identical for every value)\n"
+        "  --backend B   sim | native | auto (default sim).  native runs\n"
+        "                hazard-certified plans as plain vectorized loops\n"
+        "                (bit-identical tables, no instrumentation) and\n"
+        "                falls back to the simulator when the plan is\n"
+        "                uncertified or --check/--profile is on\n"
         "  --check       run the warp-synchronous hazard checker\n"
         "                (racecheck/synccheck analog) on every launch and\n"
         "                report findings; exit 1 if any hazard is found\n"
@@ -178,6 +195,14 @@ std::optional<Args> parse(int argc, char** argv)
                 std::cerr << "bad --threads (want a non-negative count)\n";
                 return std::nullopt;
             }
+        } else if (arg == "--backend") {
+            const char* v = next();
+            auto b = v ? parse_backend(v) : std::nullopt;
+            if (!b) {
+                std::cerr << "bad --backend (want sim|native|auto)\n";
+                return std::nullopt;
+            }
+            a.backend = *b;
         } else if (arg == "--check") {
             a.check = true;
         } else if (arg == "--hazards") {
@@ -240,16 +265,29 @@ int run(const Args& args)
                                .padded_smem = !args.unpadded,
                                .gpu = gpu,
                                .tile = args.tile,
-                               .check = args.check});
+                               .check = args.check,
+                               .backend = args.backend});
 
     if (args.algo == sat::Algorithm::kAuto)
         std::cout << "auto selected: " << sat::to_string(plan.algorithm())
                   << " (cost model, " << gpu->name << ")\n";
+    if (args.backend != sat::Backend::kSim)
+        std::cout << "backend: " << sat::to_string(plan.backend())
+                  << (plan.certified() ? " (hazard-certified)"
+                                       : " (uncertified; simulator "
+                                         "fallback)")
+                  << '\n';
     if (args.verbose) {
         if (!plan.scores().empty()) {
-            TablePrinter scores({"candidate", "predicted time (us)"});
+            // With --backend sim the predicted column is modeled GPU time;
+            // otherwise every candidate is ranked by host wall time under
+            // the backend that would actually run it.
+            TablePrinter scores({"candidate", "backend", "certified",
+                                 "predicted time (us)"});
             for (const auto& s : plan.scores())
                 scores.add_row({std::string(sat::to_string(s.algo)),
+                                std::string(sat::to_string(s.backend)),
+                                s.certified ? "yes" : "no",
                                 TablePrinter::fmt(s.predicted_us, 2)});
             scores.print(std::cout);
         }

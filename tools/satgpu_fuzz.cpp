@@ -16,6 +16,9 @@
 //                             whose worker count / wave size / linger /
 //                             queue depth are sampled per seed, instead
 //                             of a direct Runtime plan
+//   satgpu_fuzz --backend-diff  additionally execute each case through a
+//                             Backend::kNative plan and demand the native
+//                             table equal the simulator's bit for bit
 //
 // On mismatch the tool prints the failing seed plus the full sampled
 // configuration and exits 1; re-running `satgpu_fuzz --seed S` replays that
@@ -272,6 +275,64 @@ bool run_one_service(const FuzzConfig& c, bool verbose)
     return true;
 }
 
+/// --backend-diff analog of run_one: plan the same sampled case twice --
+/// once pinned to the simulator, once requesting the native backend --
+/// and demand the two tables agree bit for bit (the simulator table is
+/// additionally checked against the serial oracle, so agreement can never
+/// hide a shared bug).  Configs the native backend refuses (uncertified
+/// or unsupported algorithms) resolve back to the simulator; the diff is
+/// then trivially exact, but the refusal path itself gets exercised.
+bool run_one_backend_diff(const FuzzConfig& c, bool verbose)
+{
+    sat::Runtime& rt = runtime_for(c.threads);
+    const auto sim_plan = rt.plan({.height = c.h,
+                                   .width = c.w,
+                                   .dtypes = c.pair,
+                                   .algorithm = c.algo,
+                                   .tile = c.tile,
+                                   .backend = sat::Backend::kSim});
+    const auto nat_plan = rt.plan({.height = c.h,
+                                   .width = c.w,
+                                   .dtypes = c.pair,
+                                   .algorithm = c.algo,
+                                   .tile = c.tile,
+                                   .backend = sat::Backend::kNative});
+    for (int b = 0; b < c.batch; ++b) {
+        const std::uint64_t fill_seed =
+            c.seed * 1000003u + static_cast<std::uint64_t>(b);
+        const auto image =
+            random_image(c.pair.in, c.h, c.w, fill_seed, c.fill_hi);
+        const auto sim_res = sim_plan.execute(image);
+        const auto nat_res = nat_plan.execute(image);
+        if (!(sim_res.table == rt.reference(image, c.pair.out))) {
+            std::cout << "FAIL seed " << c.seed << " batch image " << b
+                      << ": simulator vs oracle: " << describe(c)
+                      << "\n  reproduce: satgpu_fuzz --backend-diff --seed "
+                      << c.seed << '\n';
+            return false;
+        }
+        if (!(nat_res.table == sim_res.table)) {
+            std::cout << "FAIL seed " << c.seed << " batch image " << b
+                      << ": " << sat::to_string(nat_plan.backend())
+                      << " backend differs from simulator: " << describe(c)
+                      << "\n  resolved algorithms: sim "
+                      << sat::to_string(sim_plan.algorithm()) << ", native "
+                      << sat::to_string(nat_plan.algorithm())
+                      << "\n  reproduce: satgpu_fuzz --backend-diff --seed "
+                      << c.seed << '\n';
+            return false;
+        }
+    }
+    if (verbose)
+        std::cout << "seed " << c.seed << ": " << describe(c) << " -> sim "
+                  << sat::to_string(sim_plan.algorithm()) << " vs "
+                  << sat::to_string(nat_plan.backend()) << " "
+                  << sat::to_string(nat_plan.algorithm())
+                  << (nat_plan.certified() ? " (certified)" : "")
+                  << ", bit-exact\n";
+    return true;
+}
+
 /// Run one sampled case; returns true when every batch image matches the
 /// serial oracle bit for bit.
 bool run_one(const FuzzConfig& c, bool verbose)
@@ -312,6 +373,7 @@ int main(int argc, char** argv)
     std::uint64_t seeds = 32;
     std::int64_t single = -1;
     bool service = false;
+    bool backend_diff = false;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (arg == "--seeds" && i + 1 < argc) {
@@ -320,20 +382,33 @@ int main(int argc, char** argv)
             single = std::strtoll(argv[++i], nullptr, 10);
         } else if (arg == "--service") {
             service = true;
+        } else if (arg == "--backend-diff") {
+            backend_diff = true;
         } else {
             std::cout
-                << "usage: satgpu_fuzz [--service] [--seeds N] [--seed S]\n"
+                << "usage: satgpu_fuzz [--service | --backend-diff]\n"
+                   "                   [--seeds N] [--seed S]\n"
                    "  --seeds N: run seeds 0..N-1 (default 32); exit 1 on\n"
                    "             the first differential mismatch\n"
                    "  --seed S:  replay one seed verbosely (the reproduce\n"
                    "             command printed on failure)\n"
                    "  --service: route each case through a sat::Service\n"
                    "             with per-seed worker/wave/linger/queue\n"
-                   "             knobs instead of a direct Runtime plan\n";
+                   "             knobs instead of a direct Runtime plan\n"
+                   "  --backend-diff: run each case on the simulator AND\n"
+                   "             via a Backend::kNative plan; demand the\n"
+                   "             tables be bit-identical (and the sim\n"
+                   "             table right vs the serial oracle)\n";
             return arg == "--help" || arg == "-h" ? 0 : 2;
         }
     }
+    if (service && backend_diff) {
+        std::cerr << "--service and --backend-diff are mutually exclusive\n";
+        return 2;
+    }
     const auto run = [&](const FuzzConfig& c, bool verbose) {
+        if (backend_diff)
+            return run_one_backend_diff(c, verbose);
         return service ? run_one_service(c, verbose) : run_one(c, verbose);
     };
 
@@ -344,7 +419,9 @@ int main(int argc, char** argv)
         if (!run(sample(s), /*verbose=*/false))
             return 1;
     std::cout << "fuzz: " << seeds << " seed(s) bit-exact against the "
-              << (service ? "serial oracle (service mode)\n"
-                          : "serial oracle\n");
+              << (backend_diff
+                      ? "serial oracle (native vs simulator diff)\n"
+                      : (service ? "serial oracle (service mode)\n"
+                                 : "serial oracle\n"));
     return 0;
 }

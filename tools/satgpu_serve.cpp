@@ -121,11 +121,12 @@ struct LoadReport {
     std::uint64_t trace_spans = 0;
     std::uint64_t admission_events = 0;
     sat::Service::Stats stats;
+    std::vector<sat::Service::PlanInfo> plans; ///< snapshot at quiescence
 };
 
 LoadReport run_load(double qps, double duration_s,
                     sat::Service::Options sopt, std::string_view trace_kind,
-                    bool verify, const ObsConfig& obs)
+                    bool verify, sat::Backend backend, const ObsConfig& obs)
 {
     const auto templates = make_trace(trace_kind);
     const auto n = static_cast<std::size_t>(qps * duration_s);
@@ -194,7 +195,11 @@ LoadReport run_load(double qps, double duration_s,
             start + std::chrono::duration_cast<Clock::duration>(
                         interval * static_cast<double>(i)));
         submitted[i] = Clock::now();
-        futures[i] = svc.submit(sat::AnyMatrix(images[i]), outs[i]);
+        sat::Service::Request req;
+        req.image = sat::AnyMatrix(images[i]);
+        req.out = outs[i];
+        req.backend = backend;
+        futures[i] = svc.submit(std::move(req));
     }
 
     std::vector<double> latencies;
@@ -226,6 +231,7 @@ LoadReport run_load(double qps, double duration_s,
     if (!latencies.empty())
         rep.mean_us /= static_cast<double>(latencies.size());
     rep.stats = svc.stats();
+    rep.plans = svc.plan_info();
     SATGPU_CHECK(rep.stats.rejected == rejected_seen,
                  "rejection accounting out of sync");
 
@@ -396,6 +402,24 @@ void emit_json(const sat::Service::Options& sopt, double qps,
     w.key("modeled_gpu_us");
     w.value(load.stats.modeled_gpu_us);
     w.end_object();
+    // Per plan key: the label plus how the plan resolved -- which
+    // algorithm, which execution backend, and whether it holds a hazard
+    // certificate (docs/backends.md).
+    w.key("plans");
+    w.begin_array();
+    for (const auto& p : load.plans) {
+        w.begin_object();
+        w.key("key");
+        w.value(p.label);
+        w.key("algorithm");
+        w.value(sat::to_string(p.algorithm));
+        w.key("backend");
+        w.value(sat::to_string(p.backend));
+        w.key("certified");
+        w.value(p.certified);
+        w.end_object();
+    }
+    w.end_array();
     w.end_object();
 
     w.key("compare");
@@ -437,12 +461,17 @@ int usage(int code)
            "                    [--wave K] [--linger-us U] [--queue N]\n"
            "                    [--policy block|reject] [--trace "
            "same|mixed]\n"
+           "                    [--backend sim|native|auto]\n"
            "                    [--verify] [--compare] [--json]\n"
            "                    [--metrics-out F] [--metrics-every MS]\n"
            "                    [--trace-out F] [--events-out F]\n"
            "                    [--virtual-time]\n"
            "  Load phase: paced open-loop trace through sat::Service;\n"
            "  reports p50/p99 latency, throughput and service counters.\n"
+           "  --backend B  requested execution backend for every request\n"
+           "            (default sim).  native/auto run hazard-certified\n"
+           "            plans as plain vectorized loops; uncertified plans\n"
+           "            fall back to the simulator (docs/backends.md)\n"
            "  --verify  check every table against the serial CPU oracle\n"
            "  --compare also run the 8-image 512x512 coalescing burst and\n"
            "            report the modeled fused-vs-single speedup\n"
@@ -467,6 +496,7 @@ int main(int argc, char** argv)
     std::string trace_kind = "mixed";
     bool verify = false;
     bool compare = false;
+    sat::Backend backend = sat::Backend::kSim;
     ObsConfig obs;
     sat::Service::Options sopt;
     sopt.workers = 2;
@@ -507,6 +537,16 @@ int main(int argc, char** argv)
             trace_kind = next();
             if (trace_kind != "same" && trace_kind != "mixed")
                 return usage(2);
+        } else if (arg == "--backend") {
+            const std::string_view b = next();
+            if (b == "sim")
+                backend = sat::Backend::kSim;
+            else if (b == "native")
+                backend = sat::Backend::kNative;
+            else if (b == "auto")
+                backend = sat::Backend::kAuto;
+            else
+                return usage(2);
         } else if (arg == "--metrics-out")
             obs.metrics_out = next();
         else if (arg == "--metrics-every")
@@ -529,7 +569,7 @@ int main(int argc, char** argv)
     const bool json = bench::bench_json_requested(argc, argv);
 
     const LoadReport load =
-        run_load(qps, duration_s, sopt, trace_kind, verify, obs);
+        run_load(qps, duration_s, sopt, trace_kind, verify, backend, obs);
     CompareReport cmp;
     if (compare)
         cmp = run_compare();
@@ -554,6 +594,11 @@ int main(int argc, char** argv)
                   << load.stats.max_queue_depth << ")\n"
                   << "  modeled GPU time: "
                   << load.stats.modeled_gpu_us / 1000.0 << " ms\n";
+        if (backend != sat::Backend::kSim)
+            for (const auto& p : load.plans)
+                std::cout << "  plan " << p.label << ": "
+                          << sat::to_string(p.backend)
+                          << (p.certified ? " (certified)" : "") << "\n";
         if (obs.any())
             std::cout << "  obs: " << load.trace_spans << " trace spans, "
                       << load.admission_events << " admission events\n";
