@@ -1,0 +1,150 @@
+// bench_query: device-memory traffic of the fused SAT-consumer pipeline
+// (Runtime::plan_query, docs/fused_queries.md) against the classic
+// materialize-then-consume baseline, for the 8u -> 32u box filter (r=4,
+// 256x256 macro tiles) at 1k and 4k.
+//
+// Every number is derived from the simulator's LaunchStats byte counters
+// or the closed-form model::predict_query_traffic forecast -- no wall
+// clock anywhere -- so the `--json` document is byte-identical on every
+// machine and BENCH_query.json in the repo root is this program's
+// checked-in output, diffed by CI.
+//
+// The program also ENFORCES the PR's acceptance criteria and exits 1 when
+// either fails:
+//  * at 4096 x 4096 the fused path must move >= 1.8x fewer device bytes
+//    than materialize-then-consume;
+//  * at every size, fused, materialized, and the serial query oracle must
+//    agree bit for bit.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+int main(int argc, char** argv)
+{
+    using namespace satgpu;
+    const auto dt = make_pair_of<u8, u32>();
+    const sat::QuerySpec query{sat::BoxFilterSpec{4}};
+    const sat::TileGeometry tile{256, 256};
+    sat::Runtime rt(bench::bench_engine_options());
+    const bool json = bench::bench_json_requested(argc, argv);
+
+    struct Row {
+        std::int64_t n;
+        std::uint64_t fused_bytes, mat_bytes;
+        double model_fused, model_mat;
+        bool exact;
+    };
+    std::vector<Row> rows;
+    bool ok = true;
+
+    for (const std::int64_t n : {std::int64_t{1024}, std::int64_t{4096}}) {
+        const auto image = sat::AnyMatrix::random(dt.in, n, n, /*seed=*/42);
+        const auto moved = [](const sat::RuntimeResult& r) {
+            std::uint64_t b = 0;
+            for (const auto& l : r.launches)
+                b += l.counters.gmem_bytes_ld + l.counters.gmem_bytes_st;
+            return b;
+        };
+        const sat::PlanRequest base{.height = n,
+                                    .width = n,
+                                    .dtypes = dt,
+                                    .tile = tile,
+                                    .query = query};
+        sat::PlanRequest freq = base;
+        freq.query_mode = sat::QueryMode::kFused;
+        sat::PlanRequest mreq = base;
+        mreq.query_mode = sat::QueryMode::kMaterialize;
+        const auto fused = rt.plan_query(freq).execute(image);
+        const auto mat = rt.plan_query(mreq).execute(image);
+        const auto want = rt.query_reference(image, dt.out, query);
+        const bool exact = fused.table == want && mat.table == want;
+
+        const auto t = model::predict_query_traffic(query, dt, n, n,
+                                                    tile.tile_h,
+                                                    tile.tile_w);
+        rows.push_back({n, moved(fused), moved(mat), t.fused_bytes,
+                        t.materialized_bytes, exact});
+        ok = ok && exact;
+    }
+
+    const Row& big = rows.back();
+    const double ratio = static_cast<double>(big.mat_bytes) /
+                         static_cast<double>(big.fused_bytes);
+    const bool traffic_ok = ratio >= 1.8;
+    ok = ok && traffic_ok;
+
+    if (json) {
+        JsonWriter w(std::cout);
+        bench::bench_json_prelude(w, "query_traffic");
+        w.key("dtype");
+        w.value(std::string_view{"8u32u"});
+        w.key("query");
+        w.value(std::string_view{"box:r=4"});
+        w.key("tile");
+        w.value(std::string_view{"256x256"});
+        w.key("unit");
+        w.value(std::string_view{"bytes"});
+        w.key("rows");
+        w.begin_array();
+        for (const Row& r : rows) {
+            w.begin_object();
+            w.key("size");
+            w.value(r.n);
+            w.key("fused_bytes");
+            w.value(r.fused_bytes);
+            w.key("materialized_bytes");
+            w.value(r.mat_bytes);
+            w.key("ratio");
+            w.value(static_cast<double>(r.mat_bytes) /
+                    static_cast<double>(r.fused_bytes));
+            w.key("model_fused_bytes");
+            w.value(r.model_fused);
+            w.key("model_materialized_bytes");
+            w.value(r.model_mat);
+            w.key("bit_exact_vs_oracle");
+            w.value(r.exact);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("traffic_target");
+        w.value(1.8);
+        w.key("traffic_target_met");
+        w.value(traffic_ok);
+        w.end_object();
+        std::cout << '\n';
+    } else {
+        std::cout << "== fused query traffic vs materialize-then-consume "
+                     "[8u32u box:r=4, 256x256 tiles] ==\n";
+        TablePrinter t({"size", "fused (B/px)", "materialized (B/px)",
+                        "ratio", "model fused", "model mat", "bit-exact"});
+        for (const Row& r : rows) {
+            const double px = static_cast<double>(r.n) *
+                              static_cast<double>(r.n);
+            t.add_row({std::to_string(r.n / 1024) + "k",
+                       TablePrinter::fmt(
+                           static_cast<double>(r.fused_bytes) / px, 2),
+                       TablePrinter::fmt(
+                           static_cast<double>(r.mat_bytes) / px, 2),
+                       TablePrinter::fmt(
+                           static_cast<double>(r.mat_bytes) /
+                               static_cast<double>(r.fused_bytes),
+                           2),
+                       TablePrinter::fmt(r.model_fused / px, 2),
+                       TablePrinter::fmt(r.model_mat / px, 2),
+                       r.exact ? "yes" : "NO"});
+        }
+        t.print(std::cout);
+        std::cout << "\n4k traffic ratio " << TablePrinter::fmt(ratio, 2)
+                  << "x (target >= 1.8x): "
+                  << (traffic_ok ? "met" : "NOT MET") << '\n';
+    }
+
+    if (!ok) {
+        std::cerr << "bench_query: acceptance criteria failed ("
+                  << (traffic_ok ? "outputs not bit-exact"
+                                 : "traffic ratio below 1.8x")
+                  << ")\n";
+        return 1;
+    }
+    return 0;
+}

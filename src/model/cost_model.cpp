@@ -3,6 +3,7 @@
 #include "core/random_fill.hpp"
 #include "sat/launch_params.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -172,6 +173,64 @@ CostModel::predict(Algorithm algo, DtypePair dt, std::int64_t h,
         out.push_back(std::move(s));
     }
     return out;
+}
+
+QueryTraffic predict_query_traffic(const sat::QuerySpec& query,
+                                   DtypePair dt, std::int64_t h,
+                                   std::int64_t w, std::int64_t tile_h,
+                                   std::int64_t tile_w)
+{
+    SATGPU_EXPECTS(sat::query_enabled(query));
+    SATGPU_EXPECTS(h > 0 && w > 0 && tile_h > 0 && tile_w > 0);
+    const double area = static_cast<double>(h) * static_cast<double>(w);
+    const double in_b = static_cast<double>(dtype_size(dt.in));
+    const double sat_b = static_cast<double>(dtype_size(dt.out));
+    const double out_b = static_cast<double>(
+        dtype_size(sat::query_out_dtype(query, dt.out)));
+    const sat::QueryHalo halo = sat::query_halo(query);
+    // Halo inflation of the fused path's per-tile staging, clamped so a
+    // halo larger than the image never inflates past "the whole image per
+    // tile".
+    const double eh =
+        std::min<double>(static_cast<double>(h),
+                         static_cast<double>(tile_h + halo.top +
+                                             halo.bottom)) /
+        static_cast<double>(std::min(tile_h, h));
+    const double ew =
+        std::min<double>(static_cast<double>(w),
+                         static_cast<double>(tile_w + halo.left +
+                                             halo.right)) /
+        static_cast<double>(std::min(tile_w, w));
+    const double e = eh * ew;
+
+    const auto* hist = std::get_if<sat::RegionHistogramSpec>(&query);
+    const double bins = hist != nullptr ? hist->bins : 1.0;
+    // Source element the per-plane SAT integrates: the image itself, or a
+    // one-byte bin mask (which is itself derived by reading the staged
+    // image once and writing the mask once, per bin).
+    const double src_b = hist != nullptr ? 1.0 : in_b;
+    const double mask_b = hist != nullptr ? e * area * (in_b + 1.0) : 0.0;
+    const bool reads_pixel =
+        std::holds_alternative<sat::AdaptiveThresholdSpec>(query);
+
+    // Fused, per plane: the tile-SAT kernel reads the staged source and
+    // writes the local SAT (both halo-inflated); the ring-cached consumer
+    // reads each needed local-SAT row segment exactly once (~the extended
+    // area); the output is written once.
+    const double fused_plane =
+        e * area * (src_b + 2.0 * sat_b) + area * out_b;
+    // Materialized, per plane: a two-pass SAT build (read source, write
+    // SAT, then read + rewrite it column-wise), four corner gathers per
+    // output pixel over the full table, one output write.
+    const double mat_plane =
+        area * (src_b + 3.0 * sat_b) + 4.0 * area * sat_b + area * out_b;
+
+    QueryTraffic t;
+    t.fused_bytes = bins * (fused_plane + mask_b) +
+                    (reads_pixel ? area * in_b : 0.0);
+    t.materialized_bytes = bins * (mat_plane + mask_b / e) +
+                           (reads_pixel ? area * in_b : 0.0);
+    return t;
 }
 
 double CostModel::predict_wall_us(Algorithm algo, DtypePair dt,

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "core/dtype.hpp"
+#include "sat/query_spec.hpp"
 #include "sat/sat.hpp"
 #include "simt/engine.hpp"
 
@@ -73,5 +74,22 @@ private:
 /// Scale every event counter by `factor` (launch geometry fields excluded).
 [[nodiscard]] simt::PerfCounters scale_counters(const simt::PerfCounters& c,
                                                 double factor);
+
+/// Device-memory traffic forecast for a SAT-consumer query
+/// (docs/fused_queries.md): total useful gmem bytes moved by the fused
+/// tiled pipeline vs the materialize-then-consume baseline.  Closed form
+/// (no calibration run), so QueryMode::kAuto resolution is deterministic
+/// and allocation free; the per-term decomposition is within a few percent
+/// of the simulator's measured LaunchStats byte counters (bench_query
+/// pins this).
+struct QueryTraffic {
+    double fused_bytes = 0;
+    double materialized_bytes = 0;
+};
+
+[[nodiscard]] QueryTraffic
+predict_query_traffic(const sat::QuerySpec& query, DtypePair dtypes,
+                      std::int64_t height, std::int64_t width,
+                      std::int64_t tile_h, std::int64_t tile_w);
 
 } // namespace satgpu::model

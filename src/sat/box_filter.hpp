@@ -4,6 +4,7 @@
 // realistic *consumer* workload for the SAT tables (gather-heavy reads).
 #pragma once
 
+#include "sat/launch_params.hpp"
 #include "sat/sat.hpp"
 
 namespace satgpu::sat {
@@ -67,13 +68,22 @@ simt::KernelTask box_filter_warp(simt::WarpCtx& w,
                           static_cast<double>(xb.get(l) - xa.get(l));
         mean.set(l, static_cast<f32>(sum / area));
     }
-    simt::detail::count_adds(3 * simt::kWarpSize); // a+d-b-c per lane
+    // a+d-b-c: three adds per ACTIVE lane.  Charging all 32 lanes here used
+    // to overcount ragged right-edge warps (width % 32 != 0) and skew the
+    // profiler's hotspot tables.
+    simt::detail::count_adds(
+        3 * static_cast<std::uint64_t>(simt::active_lane_count(m)));
     out.store(lane + (y * width + x0), mean, m);
 }
 
 } // namespace detail
 
 /// Blur on the simulated GPU: table is the inclusive SAT of the image.
+///
+/// `radius <= 0` is a defined no-op: the window degenerates to the pixel
+/// itself (area 1), so the output is a copy of the image the table
+/// integrates.  A negative radius used to produce a reversed window whose
+/// signed area could reach zero -- a divide-by-zero feeding NaNs downstream.
 template <typename Tsat>
 [[nodiscard]] Matrix<f32> box_filter_device(simt::Engine& eng,
                                             const Matrix<Tsat>& table,
@@ -81,11 +91,19 @@ template <typename Tsat>
                                             simt::LaunchStats* stats = nullptr)
 {
     const std::int64_t h = table.height(), w = table.width();
+    radius = std::max<std::int64_t>(0, radius);
     auto dev_table = simt::DeviceBuffer<Tsat>::from_matrix(table);
     simt::DeviceBuffer<f32> out(h * w);
+    // Launch shape comes from launch_params.hpp like every other kernel
+    // touching Tsat-sized accumulators (1024 threads for 4-byte tables, 512
+    // for 8-byte), instead of the hard-coded 256-thread block this wrapper
+    // used to pin.
+    const std::int64_t block_w =
+        std::int64_t{warps_per_block<Tsat>()} * simt::kWarpSize;
     const auto s = eng.launch(
         {"box_filter", 24, 0},
-        {{ceil_div(w, 256), h, 1}, {256, 1, 1}}, [&](simt::WarpCtx& wc) {
+        {{ceil_div(w, block_w), h, 1}, {block_w, 1, 1}},
+        [&](simt::WarpCtx& wc) {
             return detail::box_filter_warp<Tsat>(wc, dev_table, h, w, radius,
                                                  out);
         });

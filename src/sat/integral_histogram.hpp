@@ -9,6 +9,7 @@
 
 #include "sat/sat.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace satgpu::sat {
@@ -22,14 +23,30 @@ struct IntegralHistogram {
 
     /// Histogram of the inclusive rectangle [x0,x1] x [y0,y1]: four SAT
     /// lookups per bin.
+    ///
+    /// The rectangle is clamped to the table extent (a partially
+    /// overlapping query counts the intersection); an empty or reversed
+    /// rectangle yields all-zero counts.  Unclamped coordinates used to
+    /// flow straight into rect_sum, whose preconditions abort on
+    /// out-of-range `y1/x1` and whose wrapping arithmetic silently
+    /// produced garbage for `y0 > y1`.
     [[nodiscard]] std::vector<u32> region(std::int64_t y0, std::int64_t x0,
                                           std::int64_t y1,
                                           std::int64_t x1) const
     {
-        std::vector<u32> h;
-        h.reserve(tables.size());
-        for (const auto& t : tables)
-            h.push_back(rect_sum(t, y0, x0, y1, x1));
+        std::vector<u32> h(tables.size(), 0u);
+        if (tables.empty())
+            return h;
+        const std::int64_t height = tables.front().height();
+        const std::int64_t width = tables.front().width();
+        y0 = std::max<std::int64_t>(y0, 0);
+        x0 = std::max<std::int64_t>(x0, 0);
+        y1 = std::min(y1, height - 1);
+        x1 = std::min(x1, width - 1);
+        if (y0 > y1 || x0 > x1)
+            return h; // empty or reversed: zero counts
+        for (std::size_t i = 0; i < tables.size(); ++i)
+            h[i] = rect_sum(tables[i], y0, x0, y1, x1);
         return h;
     }
 };

@@ -3,6 +3,7 @@
 #include "core/random_fill.hpp"
 #include "model/cost_model.hpp"
 #include "model/timing.hpp"
+#include "sat/query.hpp"
 #include "simt/hazard_checker.hpp"
 
 #include <algorithm>
@@ -107,6 +108,64 @@ KernelEntry make_entry()
     e.reference = [](const AnyMatrix& image) {
         return AnyMatrix(sat_serial<Tout>(image.as<Tin>()));
     };
+    e.exec_query_fused = [](simt::Engine& eng, simt::BufferPool& pool,
+                            const AnyMatrix& image, const Options& opt,
+                            const QuerySpec& q, const TileGeometry& tile) {
+        Options with_pool = opt;
+        with_pool.pool = &pool;
+        return std::visit(
+            [&]<typename Spec>(const Spec& spec) -> RuntimeResult {
+                if constexpr (std::is_same_v<Spec, std::monostate>) {
+                    SATGPU_CHECK(false, "query execution without a query");
+                } else {
+                    auto r = compute_query_fused<Tout>(
+                        eng, image.as<Tin>(), spec, tile, with_pool);
+                    return RuntimeResult{AnyMatrix(std::move(r.out)),
+                                         std::move(r.launches)};
+                }
+            },
+            q);
+    };
+    e.exec_query_mat = [](simt::Engine& eng, simt::BufferPool& pool,
+                          const AnyMatrix& image, const Options& opt,
+                          const QuerySpec& q) {
+        Options with_pool = opt;
+        with_pool.pool = &pool;
+        return std::visit(
+            [&]<typename Spec>(const Spec& spec) -> RuntimeResult {
+                if constexpr (std::is_same_v<Spec, std::monostate>) {
+                    SATGPU_CHECK(false, "query execution without a query");
+                } else {
+                    auto r = compute_query_materialized<Tout>(
+                        eng, image.as<Tin>(), spec, with_pool);
+                    return RuntimeResult{AnyMatrix(std::move(r.out)),
+                                         std::move(r.launches)};
+                }
+            },
+            q);
+    };
+    e.query_reference = [](const AnyMatrix& image, const QuerySpec& q) {
+        return std::visit(
+            [&]<typename Spec>(const Spec& spec) -> AnyMatrix {
+                if constexpr (std::is_same_v<Spec, std::monostate>) {
+                    SATGPU_CHECK(false, "query reference without a query");
+                } else if constexpr (std::is_same_v<Spec,
+                                                    RegionHistogramSpec>) {
+                    if constexpr (std::is_same_v<Tin, u8> &&
+                                  std::is_same_v<Tout, u32>)
+                        return AnyMatrix(
+                            query_serial_hist(image.as<u8>(), spec));
+                    else
+                        SATGPU_CHECK(false,
+                                     "region histogram queries require the "
+                                     "8u -> 32u dtype pair");
+                } else {
+                    return AnyMatrix(
+                        query_serial<Tout>(image.as<Tin>(), spec));
+                }
+            },
+            q);
+    };
     return e;
 }
 
@@ -179,6 +238,13 @@ RuntimeResult Plan::execute(const AnyMatrix& image) const
                  "executing a default-constructed Plan");
     check_plan_input(req_, image);
     const Options opt = plan_options(req_, resolved_, backend_);
+    if (query_enabled(req_.query)) {
+        if (query_fused_)
+            return entry_->exec_query_fused(rt_->eng_, rt_->pool_, image,
+                                            opt, req_.query, req_.tile);
+        return entry_->exec_query_mat(rt_->eng_, rt_->pool_, image, opt,
+                                      req_.query);
+    }
     if (req_.tile.enabled())
         return entry_->exec_tiled(rt_->eng_, rt_->pool_, image, opt,
                                   req_.tile);
@@ -203,6 +269,21 @@ WaveResult Plan::execute_wave(std::span<const AnyMatrix* const> images) const
     for (const AnyMatrix* img : images)
         check_plan_input(req_, *img);
     const Options opt = plan_options(req_, resolved_, backend_);
+    if (query_enabled(req_.query)) {
+        // Query pipelines are already multi-launch per image (tile SATs +
+        // consumers, or build + gather); run the wave as a per-image loop
+        // -- bit-identical outputs, no grid.z fusion.
+        WaveResult out;
+        out.tables.reserve(images.size());
+        for (const AnyMatrix* img : images) {
+            auto r = execute(*img);
+            out.tables.push_back(std::move(r.table));
+            out.launches.insert(out.launches.end(),
+                                std::make_move_iterator(r.launches.begin()),
+                                std::make_move_iterator(r.launches.end()));
+        }
+        return out;
+    }
     if (req_.tile.enabled()) {
         // Macro-tile execution is already a multi-launch pipeline per
         // image; run the wave as a per-image loop (bit-identical tables,
@@ -305,6 +386,23 @@ AnyMatrix Runtime::reference(const AnyMatrix& image, Dtype out) const
     return e->reference(image);
 }
 
+Plan Runtime::plan_query(const PlanRequest& req)
+{
+    SATGPU_CHECK(query_enabled(req.query),
+                 "plan_query needs a query spec (use plan for plain SATs)");
+    return plan(req);
+}
+
+AnyMatrix Runtime::query_reference(const AnyMatrix& image, Dtype out,
+                                   const QuerySpec& query) const
+{
+    SATGPU_CHECK(query_enabled(query),
+                 "query_reference needs a query spec");
+    const KernelEntry* e = find_kernel({image.dtype(), out});
+    SATGPU_CHECK(e != nullptr, "unsupported dtype pair");
+    return e->query_reference(image, query);
+}
+
 // -------------------------------------------------------- certification ----
 
 namespace {
@@ -357,6 +455,43 @@ bool default_certification_probe(Algorithm algo, const PlanRequest& req)
         if (!(nat_tiled.table == sim.table))
             return false;
     }
+
+    if (query_enabled(req.query)) {
+        // Query plans certify the CONSUMER paths too: both the fused tiled
+        // pipeline (at the same ragged probe grid) and the materialized
+        // gather pass must run hazard free on the simulator, match the
+        // serial oracle exactly, and re-match under the native lowering.
+        const AnyMatrix want = entry->query_reference(img, req.query);
+        const TileGeometry probe_tile{64, 64, req.tile.carry_fanout};
+        Options qopt;
+        qopt.algorithm = algo;
+        qopt.warp_scan = req.warp_scan;
+        qopt.padded_smem = req.padded_smem;
+        qopt.check = true;
+        const RuntimeResult fsim = entry->exec_query_fused(
+            eng, pool, img, qopt, req.query, probe_tile);
+        if (simt::total_hazards(fsim.launches) != 0)
+            return false;
+        if (!(fsim.table == want))
+            return false;
+        const RuntimeResult msim =
+            entry->exec_query_mat(eng, pool, img, qopt, req.query);
+        if (simt::total_hazards(msim.launches) != 0)
+            return false;
+        if (!(msim.table == want))
+            return false;
+
+        qopt.check = false;
+        qopt.backend = Backend::kNative;
+        const RuntimeResult fnat = entry->exec_query_fused(
+            eng, pool, img, qopt, req.query, probe_tile);
+        if (!(fnat.table == want))
+            return false;
+        const RuntimeResult mnat =
+            entry->exec_query_mat(eng, pool, img, qopt, req.query);
+        if (!(mnat.table == want))
+            return false;
+    }
     return true;
 }
 
@@ -367,7 +502,8 @@ bool Runtime::certify(Algorithm algo, const PlanRequest& req)
     if (!native_supported(algo))
         return false;
     const CertKey key{algo, req.dtypes, req.warp_scan, req.padded_smem,
-                      req.tile.enabled()};
+                      req.tile.enabled(),
+                      static_cast<int>(req.query.index())};
     CertificationProbe probe;
     {
         const std::lock_guard lk(cert_mutex_);
@@ -390,13 +526,47 @@ void Runtime::set_certification_probe(CertificationProbe probe)
     cert_cache_.clear();
 }
 
-Plan Runtime::plan(const PlanRequest& req)
+Plan Runtime::plan(const PlanRequest& req_in)
 {
+    // The plan may rewrite the request (fused queries acquire a tile
+    // geometry); keep a mutable copy so the stored request is what
+    // execution will actually see.
+    PlanRequest req = req_in;
     SATGPU_CHECK(req.height > 0 && req.width > 0,
                  "plan needs a positive shape");
+
+    bool query_fused = false;
+    if (query_enabled(req.query)) {
+        validate_query(req.query, req.dtypes);
+        // The tile geometry a fused query would run under: the requested
+        // one, or the 256x256 default for untiled requests (queries never
+        // materialize the global SAT, so "untiled" still tiles).
+        const TileGeometry fused_tile =
+            req.tile.enabled()
+                ? req.tile
+                : TileGeometry{256, 256, req.tile.carry_fanout};
+        switch (req.query_mode) {
+        case QueryMode::kFused: query_fused = true; break;
+        case QueryMode::kMaterialize: query_fused = false; break;
+        case QueryMode::kAuto: {
+            // Deterministic closed-form resolution: fuse iff the traffic
+            // forecast says the halo rework stays below the four-gather
+            // pass over a materialized table.
+            const model::QueryTraffic t = model::predict_query_traffic(
+                req.query, req.dtypes, req.height, req.width,
+                fused_tile.tile_h, fused_tile.tile_w);
+            query_fused = t.fused_bytes < t.materialized_bytes;
+            break;
+        }
+        }
+        if (query_fused)
+            req.tile = fused_tile;
+    }
+
     Plan p;
     p.rt_ = this;
     p.req_ = req;
+    p.query_fused_ = query_fused;
     p.entry_ = find_kernel(req.dtypes);
     SATGPU_CHECK(p.entry_ != nullptr,
                  "dtype pair outside the paper's seven supported pairs");
@@ -472,6 +642,40 @@ Plan Runtime::plan(const PlanRequest& req)
     const auto per_image_bytes = [&](std::int64_t h, std::int64_t w) {
         return h * w * (in_bytes + scratch_images(p.resolved_) * out_bytes);
     };
+    if (query_enabled(req.query)) {
+        // Query workspace high-water (outputs are plain DeviceBuffers, not
+        // pooled, so they are excluded by the workspace_bytes contract).
+        const bool hist =
+            std::holds_alternative<RegionHistogramSpec>(req.query);
+        const std::int64_t mask_bytes = hist ? 1 : 0;
+        if (query_fused) {
+            // carry_fanout staging groups, each holding one halo-extended
+            // tile's source, local SAT, and (histogram) bin mask.
+            const QueryHalo halo = query_halo(req.query);
+            const std::int64_t eh = std::min(
+                req.height, req.tile.tile_h + halo.top + halo.bottom);
+            const std::int64_t ew = std::min(
+                req.width, req.tile.tile_w + halo.left + halo.right);
+            const std::int64_t fanout =
+                std::max(1, req.tile.carry_fanout);
+            p.workspace_bytes_ =
+                fanout * eh * ew * (in_bytes + out_bytes + mask_bytes);
+            // Extended tiles wider than one block's warp span fall back to
+            // a pooled multi-kernel local-SAT build per staged tile.
+            const std::int64_t warps = out_bytes <= 4 ? 32 : 16;
+            if (ceil_div(ew, std::int64_t{32}) > warps)
+                p.workspace_bytes_ += per_image_bytes(eh, ew);
+        } else {
+            // Materialize-then-consume: the full SAT build's scratch plus
+            // the table itself (and the histogram's per-bin mask plane),
+            // all pooled for the duration of the consumer pass.
+            p.workspace_bytes_ =
+                per_image_bytes(req.height, req.width) +
+                req.height * req.width *
+                    (out_bytes + in_bytes + mask_bytes);
+        }
+        return p;
+    }
     if (grid && grid->count() > 1) {
         // Pool high-water bound: the free lists are keyed by exact element
         // count, so each DISTINCT ragged tile shape (at most four) keeps

@@ -26,6 +26,7 @@
 #pragma once
 
 #include "model/gpu_specs.hpp"
+#include "sat/query_spec.hpp"
 #include "sat/sat.hpp"
 #include "sat/tiled.hpp"
 #include "simt/buffer_pool.hpp"
@@ -149,6 +150,20 @@ struct KernelEntry {
                             const Options&);
     /// Serial CPU oracle (paper Alg. 1) at this pair.
     AnyMatrix (*reference)(const AnyMatrix&);
+    /// Runs compute_query_fused: per macro-tile halo-extended local SATs
+    /// consumed in place, the global table never materialized
+    /// (docs/fused_queries.md).
+    RuntimeResult (*exec_query_fused)(simt::Engine&, simt::BufferPool&,
+                                      const AnyMatrix&, const Options&,
+                                      const QuerySpec&, const TileGeometry&);
+    /// Runs compute_query_materialized: full SAT, then the Fig. 1 gather
+    /// consumer pass over it (the fused path's baseline twin).
+    RuntimeResult (*exec_query_mat)(simt::Engine&, simt::BufferPool&,
+                                    const AnyMatrix&, const Options&,
+                                    const QuerySpec&);
+    /// Serial host oracle for a query at this pair (query_serial /
+    /// query_serial_hist over sat_serial).
+    AnyMatrix (*query_reference)(const AnyMatrix&, const QuerySpec&);
 };
 
 /// The kernel registry: one entry per paper dtype pair, populated once
@@ -212,6 +227,17 @@ struct PlanRequest {
     /// (Runtime::certify); otherwise the plan falls back to the simulator
     /// -- Plan::backend() says what was actually selected.
     Backend backend = Backend::kSim;
+    /// SAT-consumer query (docs/fused_queries.md).  monostate (the
+    /// default) plans a plain SAT; otherwise execute() returns the query's
+    /// output (box-filter mean, threshold mask, window sums, histogram
+    /// planes) instead of the table, and the SAT becomes an internal
+    /// stage.  Runtime::plan_query is the checked front door.
+    QuerySpec query{};
+    /// How an enabled query consumes the SAT.  kFused runs the tiled
+    /// pipeline (local SATs consumed from pooled buffers; O(tile area)
+    /// high-water); kMaterialize builds the full table then gathers;
+    /// kAuto lets model::predict_query_traffic pick the cheaper.
+    QueryMode query_mode = QueryMode::kAuto;
 };
 
 class Runtime;
@@ -230,10 +256,30 @@ public:
     [[nodiscard]] DtypePair dtypes() const noexcept { return req_.dtypes; }
     [[nodiscard]] std::int64_t height() const noexcept { return req_.height; }
     [[nodiscard]] std::int64_t width() const noexcept { return req_.width; }
-    /// Macro-tile geometry; disabled for single-workspace plans.
+    /// Macro-tile geometry; disabled for single-workspace plans.  A fused
+    /// query plan always reports an enabled geometry (plan_query defaults
+    /// an untiled fused request to 256x256 tiles).
     [[nodiscard]] const TileGeometry& tile() const noexcept
     {
         return req_.tile;
+    }
+    /// The plan's query spec; monostate for plain SAT plans.
+    [[nodiscard]] const QuerySpec& query() const noexcept
+    {
+        return req_.query;
+    }
+    [[nodiscard]] bool has_query() const noexcept
+    {
+        return query_enabled(req_.query);
+    }
+    /// Whether an enabled query runs the fused tiled pipeline (vs
+    /// materialize-then-consume).  Always false without a query.
+    [[nodiscard]] bool query_fused() const noexcept { return query_fused_; }
+    /// Dtype of what execute() yields: the query's output dtype when a
+    /// query is enabled, the SAT dtype otherwise.
+    [[nodiscard]] Dtype out_dtype() const
+    {
+        return query_out_dtype(req_.query, req_.dtypes.out);
     }
     /// Cost-model ranking, best first.  Non-empty iff requested() == kAuto.
     [[nodiscard]] const std::vector<AlgoScore>& scores() const noexcept
@@ -288,6 +334,7 @@ private:
     const KernelEntry* entry_ = nullptr;
     std::vector<AlgoScore> scores_;
     std::int64_t workspace_bytes_ = 0;
+    bool query_fused_ = false;
 };
 
 /// The library-style entry point: owns the engine, the buffer pool and a
@@ -301,8 +348,26 @@ public:
     Runtime& operator=(const Runtime&) = delete;
 
     /// Resolve a request into an executable Plan.  Aborts on an
-    /// unsupported dtype pair or a non-positive shape.
+    /// unsupported dtype pair or a non-positive shape.  Accepts query
+    /// requests too (the service layer routes through here); plan_query
+    /// is the checked front door for them.
     [[nodiscard]] Plan plan(const PlanRequest& req);
+
+    /// Resolve a SAT-consumer query request (docs/fused_queries.md):
+    /// validates PlanRequest::query (aborts when it is monostate or
+    /// malformed, or when a histogram query asks for a pair other than
+    /// 8u -> 32u), resolves QueryMode::kAuto via the cost model's traffic
+    /// forecast, and defaults the tile geometry to 256x256 when the fused
+    /// pipeline runs on an untiled request.  The returned Plan's
+    /// execute() yields the query output (Plan::out_dtype()).
+    [[nodiscard]] Plan plan_query(const PlanRequest& req);
+
+    /// Serial host oracle for a query at any supported pair: what
+    /// execute() of a query plan must reproduce (bit-exactly so for
+    /// integer SAT dtypes).
+    [[nodiscard]] AnyMatrix query_reference(const AnyMatrix& image,
+                                            Dtype out,
+                                            const QuerySpec& query) const;
 
     /// Predicted end-to-end time of one algorithm at one shape on one GPU
     /// (the same estimate kAuto ranks by; benches sweep through this).
@@ -366,12 +431,17 @@ private:
         scan::WarpScanKind warp_scan;
         bool padded_smem;
         bool tiled;
+        /// Query kind (QuerySpec variant index; 0 = no query).  Query
+        /// plans run extra consumer kernels, so their certificates are
+        /// probed per consumer kind -- the spec's parameters (radius,
+        /// window, bins) vary only predication, not phase structure.
+        int query_kind;
         friend bool operator<(const CertKey& a, const CertKey& b)
         {
             return std::tie(a.algo, a.dtypes.in, a.dtypes.out, a.warp_scan,
-                            a.padded_smem, a.tiled) <
+                            a.padded_smem, a.tiled, a.query_kind) <
                    std::tie(b.algo, b.dtypes.in, b.dtypes.out, b.warp_scan,
-                            b.padded_smem, b.tiled);
+                            b.padded_smem, b.tiled, b.query_kind);
         }
     };
 

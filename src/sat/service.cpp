@@ -67,6 +67,11 @@ std::string plan_key_label(const PlanKey& key)
         s += "/check";
     if (key.backend != Backend::kSim)
         s += "/backend=" + std::string(to_string(key.backend));
+    if (query_enabled(key.query)) {
+        s += "/query=" + query_label(key.query);
+        if (key.query_mode != QueryMode::kAuto)
+            s += "/qmode=" + std::string(to_string(key.query_mode));
+    }
     return s;
 }
 
@@ -80,7 +85,9 @@ PlanKey plan_key(const PlanRequest& req) noexcept
                    .padded_smem = req.padded_smem,
                    .tile = req.tile,
                    .check = req.check,
-                   .backend = req.backend};
+                   .backend = req.backend,
+                   .query = req.query,
+                   .query_mode = req.query_mode};
 }
 
 std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept
@@ -106,6 +113,13 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const noexcept
     mix(static_cast<std::uint64_t>(k.tile.tile_h));
     mix(static_cast<std::uint64_t>(k.tile.tile_w));
     mix(static_cast<std::uint64_t>(k.tile.carry_fanout));
+    if (query_enabled(k.query)) {
+        // The label is a complete, stable encoding of the spec's variant
+        // and every parameter, so hashing it keeps this function in sync
+        // with any future spec field for free.
+        mix(std::hash<std::string>{}(query_label(k.query)));
+        mix(static_cast<std::uint64_t>(k.query_mode));
+    }
     return seed;
 }
 
@@ -163,6 +177,8 @@ std::future<AnyMatrix> Service::submit(Request req)
     const DtypePair dt{req.image.dtype(), req.out};
     SATGPU_CHECK(find_kernel(dt) != nullptr,
                  "Service::submit: unsupported dtype pair");
+    if (query_enabled(req.query))
+        validate_query(req.query, dt); // abort on the caller, not a worker
 
     const PlanKey key{.height = req.image.height(),
                       .width = req.image.width(),
@@ -172,7 +188,9 @@ std::future<AnyMatrix> Service::submit(Request req)
                       .padded_smem = req.padded_smem,
                       .tile = req.tile,
                       .check = req.check,
-                      .backend = req.backend};
+                      .backend = req.backend,
+                      .query = req.query,
+                      .query_mode = req.query_mode};
     const std::uint64_t bytes = image_bytes(req.image);
 
     std::promise<AnyMatrix> prom;
@@ -579,7 +597,9 @@ Plan& Service::plan_for(Worker& w, CacheEntry* entry)
                      // carries no instrumentation).
                      .profile = trace_ != nullptr,
                      .pool_partition = entry->partition,
-                     .backend = entry->key.backend};
+                     .backend = entry->key.backend,
+                     .query = entry->key.query,
+                     .query_mode = entry->key.query_mode};
 
     std::lock_guard elk(entry->mu);
     if (entry->resolved) {

@@ -74,6 +74,12 @@ struct PlanKey {
     /// executing backend than kSim, and must never share a cache entry
     /// with a kSim request of the same shape.
     Backend backend = Backend::kSim;
+    /// SAT-consumer query this plan serves (monostate = a plain SAT
+    /// table) and how it consumes the table.  Plan shaping: a query
+    /// changes what execute() returns, and a fused query rewrites the
+    /// tile geometry (docs/fused_queries.md).
+    QuerySpec query{};
+    QueryMode query_mode = QueryMode::kAuto;
 
     friend bool operator==(const PlanKey&, const PlanKey&) = default;
 };
@@ -182,6 +188,14 @@ public:
         /// (Options::trace) forces the simulator: profiled plans need its
         /// instrumentation.
         Backend backend = Backend::kSim;
+        /// SAT-consumer query (sat/query_spec.hpp).  monostate (the
+        /// default) requests the plain SAT table; otherwise the future
+        /// resolves to the query's output matrix instead
+        /// (docs/fused_queries.md).  Aborts at submit() on a malformed
+        /// spec or an unservable dtype pair, like the other precondition
+        /// checks.
+        QuerySpec query{};
+        QueryMode query_mode = QueryMode::kAuto;
     };
 
     /// Snapshot of one plan-cache entry's resolution state, for

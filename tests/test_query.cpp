@@ -1,0 +1,480 @@
+// Tests for the fused SAT-consumer query pipeline (sat/query.hpp,
+// Runtime::plan_query, docs/fused_queries.md): spec grammar round-trips,
+// halo rules, bit-exact agreement of the fused tiled pipeline AND the
+// materialize-then-consume path with the serial query oracle across specs,
+// dtype pairs, and geometries, QueryMode::kAuto resolution against the
+// closed-form traffic forecast, hazard-free execution under the checker,
+// pooled-workspace bounds, native-backend certification, golden checks
+// against the example workloads' own host loops, and the service-layer
+// integration (plan-cache keys, submit, waves).
+#include "core/random_fill.hpp"
+#include "model/cost_model.hpp"
+#include "sat/box_filter.hpp"
+#include "sat/cpu_reference.hpp"
+#include "sat/query.hpp"
+#include "sat/runtime.hpp"
+#include "sat/service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sat = satgpu::sat;
+namespace simt = satgpu::simt;
+namespace model = satgpu::model;
+using satgpu::Dtype;
+using satgpu::DtypePair;
+using satgpu::Matrix;
+
+namespace {
+
+// Ragged, non-multiple-of-32 shape (same as test_runtime.cpp): a 64x64
+// macro tile grid over it is 2x3 with three distinct ragged edge shapes.
+constexpr std::int64_t kH = 97;
+constexpr std::int64_t kW = 130;
+
+const sat::QuerySpec kSpecs[] = {
+    sat::QuerySpec{sat::BoxFilterSpec{4}},
+    sat::QuerySpec{sat::AdaptiveThresholdSpec{6, 0.9}},
+    sat::QuerySpec{sat::WindowSumSpec{5, 9}},
+    sat::QuerySpec{sat::RegionHistogramSpec{8, 3}},
+};
+
+sat::Runtime& shared_runtime()
+{
+    static sat::Runtime rt({.record_history = false});
+    return rt;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ spec layer ----
+
+TEST(QuerySpec, LabelParseRoundTrip)
+{
+    for (const auto& q : kSpecs) {
+        const std::string label = sat::query_label(q);
+        const auto back = sat::parse_query_spec(label);
+        ASSERT_TRUE(back.has_value()) << label;
+        EXPECT_EQ(*back, q) << label;
+    }
+    // monostate round-trips through the empty label and "none".
+    EXPECT_EQ(sat::query_label(sat::QuerySpec{}), "");
+    EXPECT_EQ(sat::parse_query_spec(""), sat::QuerySpec{});
+    EXPECT_EQ(sat::parse_query_spec("none"), sat::QuerySpec{});
+    // A bare thresh radius takes the default fraction.
+    const auto bare = sat::parse_query_spec("thresh:r=7");
+    ASSERT_TRUE(bare.has_value());
+    EXPECT_EQ(std::get<sat::AdaptiveThresholdSpec>(*bare).radius, 7);
+}
+
+TEST(QuerySpec, ParseRejectsMalformedInput)
+{
+    for (const char* bad :
+         {"box", "box:r=", "box:r=4x", "box:r=4,", "thresh:f=0.5",
+          "wsum:h=8", "wsum:h=8,w=", "hist:b=8", "hist:r=4,b=8", "box:r=4 ",
+          "unknown:r=1"})
+        EXPECT_FALSE(sat::parse_query_spec(bad).has_value()) << bad;
+}
+
+TEST(QuerySpec, HaloMatchesWindowReach)
+{
+    const auto box = sat::query_halo(sat::QuerySpec{sat::BoxFilterSpec{4}});
+    EXPECT_EQ(box.top, 4);
+    EXPECT_EQ(box.left, 4);
+    EXPECT_EQ(box.bottom, 4);
+    EXPECT_EQ(box.right, 4);
+    // Anchored windows only reach down and right.
+    const auto ws =
+        sat::query_halo(sat::QuerySpec{sat::WindowSumSpec{5, 9}});
+    EXPECT_EQ(ws.top, 0);
+    EXPECT_EQ(ws.left, 0);
+    EXPECT_EQ(ws.bottom, 4);
+    EXPECT_EQ(ws.right, 8);
+}
+
+TEST(QuerySpec, OutputDtypeAndHeight)
+{
+    EXPECT_EQ(sat::query_out_dtype(kSpecs[0], Dtype::u32_), Dtype::f32_);
+    EXPECT_EQ(sat::query_out_dtype(kSpecs[1], Dtype::i32_), Dtype::u8_);
+    EXPECT_EQ(sat::query_out_dtype(kSpecs[2], Dtype::f64_), Dtype::f64_);
+    EXPECT_EQ(sat::query_out_dtype(kSpecs[3], Dtype::u32_), Dtype::u32_);
+    EXPECT_EQ(sat::query_out_height(kSpecs[3], kH), 8 * kH);
+    EXPECT_EQ(sat::query_out_height(kSpecs[0], kH), kH);
+}
+
+// -------------------------------------------- fused vs oracle, all specs ----
+
+namespace {
+
+/// Plan `q` under `mode` on `dt` and demand bit-exact agreement with the
+/// serial query oracle, for a tiled and the untiled-request geometry.
+void expect_query_exact(DtypePair dt, const sat::QuerySpec& q,
+                        sat::QueryMode mode)
+{
+    sat::Runtime& rt = shared_runtime();
+    const auto image = sat::AnyMatrix::random(dt.in, kH, kW, /*seed=*/11);
+    const auto want = rt.query_reference(image, dt.out, q);
+    for (const sat::TileGeometry tile :
+         {sat::TileGeometry{64, 64}, sat::TileGeometry{}}) {
+        const auto plan = rt.plan_query({.height = kH,
+                                         .width = kW,
+                                         .dtypes = dt,
+                                         .tile = tile,
+                                         .query = q,
+                                         .query_mode = mode});
+        const auto res = plan.execute(image);
+        EXPECT_EQ(res.table.dtype(), sat::query_out_dtype(q, dt.out));
+        EXPECT_TRUE(res.table == want)
+            << sat::query_label(q) << " " << pair_name(dt) << " mode "
+            << sat::to_string(mode) << (tile.enabled() ? " tiled" : "");
+    }
+}
+
+} // namespace
+
+TEST(QueryRuntime, FusedMatchesOracleAllSpecs)
+{
+    const DtypePair pair{Dtype::u8_, Dtype::u32_};
+    for (const auto& q : kSpecs)
+        expect_query_exact(pair, q, sat::QueryMode::kFused);
+}
+
+TEST(QueryRuntime, MaterializedMatchesOracleAllSpecs)
+{
+    const DtypePair pair{Dtype::u8_, Dtype::u32_};
+    for (const auto& q : kSpecs)
+        expect_query_exact(pair, q, sat::QueryMode::kMaterialize);
+}
+
+TEST(QueryRuntime, EveryPaperPairServesNonHistQueries)
+{
+    for (const DtypePair dt : satgpu::kPaperDtypePairs)
+        for (std::size_t i = 0; i < 3; ++i) { // hist needs 8u -> 32u
+            expect_query_exact(dt, kSpecs[i], sat::QueryMode::kFused);
+            expect_query_exact(dt, kSpecs[i], sat::QueryMode::kMaterialize);
+        }
+}
+
+TEST(QueryRuntime, LargeHaloStillExactWhenItSwallowsTheTile)
+{
+    // r=70 halo > the 64x64 tile: every extended tile is most of the
+    // image, and extended widths exceed one block's warp span, forcing
+    // the multi-kernel local-SAT fallback inside the fused path.
+    const sat::QuerySpec q{sat::BoxFilterSpec{70}};
+    expect_query_exact({Dtype::u8_, Dtype::u32_}, q, sat::QueryMode::kFused);
+}
+
+// ------------------------------------------------------- kAuto resolution ----
+
+TEST(QueryRuntime, AutoModePicksFusedForSmallHalos)
+{
+    sat::Runtime& rt = shared_runtime();
+    const auto plan = rt.plan_query({.height = 512,
+                                     .width = 512,
+                                     .dtypes = {Dtype::u8_, Dtype::u32_},
+                                     .query = kSpecs[0]});
+    EXPECT_TRUE(plan.query_fused());
+    // A fused plan always reports the tile geometry it will run under.
+    EXPECT_TRUE(plan.tile().enabled());
+    const auto t = model::predict_query_traffic(
+        kSpecs[0], {Dtype::u8_, Dtype::u32_}, 512, 512,
+        plan.tile().tile_h, plan.tile().tile_w);
+    EXPECT_LT(t.fused_bytes, t.materialized_bytes);
+}
+
+TEST(QueryRuntime, AutoModePicksMaterializeWhenTheHaloDominates)
+{
+    // A 400x400 anchored window over 64x64 tiles inflates every extended
+    // tile to ~the whole image; the forecast must flip to materialize.
+    sat::Runtime& rt = shared_runtime();
+    const sat::QuerySpec q{sat::WindowSumSpec{400, 400}};
+    const auto plan = rt.plan_query({.height = 512,
+                                     .width = 512,
+                                     .dtypes = {Dtype::u8_, Dtype::u32_},
+                                     .tile = {64, 64},
+                                     .query = q});
+    EXPECT_FALSE(plan.query_fused());
+    const auto t = model::predict_query_traffic(
+        q, {Dtype::u8_, Dtype::u32_}, 512, 512, 64, 64);
+    EXPECT_GT(t.fused_bytes, t.materialized_bytes);
+}
+
+// ------------------------------------------- hazards, workspace, backend ----
+
+TEST(QueryRuntime, FusedPipelineIsHazardFreeUnderTheChecker)
+{
+    sat::Runtime rt({.record_history = false});
+    const auto image =
+        sat::AnyMatrix::random(Dtype::u8_, kH, kW, /*seed=*/5);
+    for (const auto& q : kSpecs) {
+        const auto plan = rt.plan_query({.height = kH,
+                                         .width = kW,
+                                         .dtypes = {Dtype::u8_, Dtype::u32_},
+                                         .tile = {64, 64},
+                                         .check = true,
+                                         .query = q,
+                                         .query_mode =
+                                             sat::QueryMode::kFused});
+        const auto res = plan.execute(image);
+        EXPECT_EQ(simt::total_hazards(res.launches), 0u)
+            << sat::query_label(q);
+    }
+}
+
+TEST(QueryRuntime, PoolHighWaterStaysWithinTheWorkspaceBound)
+{
+    // Fresh runtime so the partition high-water is this plan's alone.
+    for (const auto mode :
+         {sat::QueryMode::kFused, sat::QueryMode::kMaterialize}) {
+        for (const auto& q : kSpecs) {
+            sat::Runtime rt({.record_history = false});
+            const auto plan =
+                rt.plan_query({.height = kH,
+                               .width = kW,
+                               .dtypes = {Dtype::u8_, Dtype::u32_},
+                               .tile = {64, 64},
+                               .query = q,
+                               .query_mode = mode});
+            const auto image =
+                sat::AnyMatrix::random(Dtype::u8_, kH, kW, /*seed=*/3);
+            (void)plan.execute(image);
+            EXPECT_LE(rt.pool().high_water_bytes(/*partition=*/0),
+                      static_cast<std::uint64_t>(plan.workspace_bytes()))
+                << sat::query_label(q) << " mode " << sat::to_string(mode);
+        }
+    }
+}
+
+TEST(QueryRuntime, NativeBackendCertifiesAndMatchesTheSimulator)
+{
+    sat::Runtime& rt = shared_runtime();
+    const auto image =
+        sat::AnyMatrix::random(Dtype::u8_, kH, kW, /*seed=*/13);
+    for (const auto& q : kSpecs) {
+        const auto want = rt.query_reference(image, Dtype::u32_, q);
+        const auto plan = rt.plan_query({.height = kH,
+                                         .width = kW,
+                                         .dtypes = {Dtype::u8_, Dtype::u32_},
+                                         .backend = sat::Backend::kAuto,
+                                         .query = q,
+                                         .query_mode =
+                                             sat::QueryMode::kFused});
+        EXPECT_EQ(plan.backend(), sat::Backend::kNative)
+            << sat::query_label(q);
+        EXPECT_TRUE(plan.certified()) << sat::query_label(q);
+        EXPECT_TRUE(plan.execute(image).table == want)
+            << sat::query_label(q);
+    }
+}
+
+TEST(QueryRuntime, WaveExecutionMatchesPerImageExecution)
+{
+    sat::Runtime& rt = shared_runtime();
+    std::vector<sat::AnyMatrix> images;
+    std::vector<const sat::AnyMatrix*> ptrs;
+    for (std::uint64_t s = 0; s < 3; ++s)
+        images.push_back(sat::AnyMatrix::random(Dtype::u8_, kH, kW, 40 + s));
+    for (const auto& img : images)
+        ptrs.push_back(&img);
+    const auto plan = rt.plan_query({.height = kH,
+                                     .width = kW,
+                                     .dtypes = {Dtype::u8_, Dtype::u32_},
+                                     .tile = {64, 64},
+                                     .query = kSpecs[0]});
+    const auto wave = plan.execute_wave(ptrs);
+    ASSERT_EQ(wave.tables.size(), images.size());
+    for (std::size_t i = 0; i < images.size(); ++i)
+        EXPECT_TRUE(wave.tables[i] ==
+                    rt.query_reference(images[i], Dtype::u32_, kSpecs[0]))
+            << "image " << i;
+}
+
+// ------------------------------------------------- example golden checks ----
+
+TEST(QueryGolden, BoxFilterMatchesTheDeviceConsumer)
+{
+    // The fused query and the classic SAT -> box_filter_device consumer
+    // (examples/box_filter.cpp's device path) compute the same mean from
+    // the same integer-valued sums -- bit-identical f32, not just close.
+    sat::Runtime& rt = shared_runtime();
+    Matrix<satgpu::u8> img(kH, kW);
+    satgpu::fill_random(img, 71);
+    simt::Engine eng({.record_history = false});
+    const auto table =
+        sat::compute_sat<satgpu::u32>(eng, img,
+                                      {sat::Algorithm::kBrltScanRow})
+            .table;
+    const auto classic = sat::box_filter_device(eng, table, 5);
+
+    const auto plan = rt.plan_query({.height = kH,
+                                     .width = kW,
+                                     .dtypes = {Dtype::u8_, Dtype::u32_},
+                                     .tile = {64, 64},
+                                     .query =
+                                         sat::QuerySpec{sat::BoxFilterSpec{5}},
+                                     .query_mode = sat::QueryMode::kFused});
+    const auto res = plan.execute(sat::AnyMatrix(img));
+    EXPECT_EQ(res.table.as<satgpu::f32>(), classic);
+}
+
+TEST(QueryGolden, AdaptiveThresholdMatchesTheBradleyRothLoop)
+{
+    // Host loop mirrored from examples/adaptive_threshold.cpp.
+    sat::Runtime& rt = shared_runtime();
+    Matrix<satgpu::u8> img(kH, kW);
+    satgpu::fill_random(img, 73, satgpu::u8{0}, satgpu::u8{255});
+    constexpr std::int64_t r = 12;
+    constexpr double frac = 0.80;
+
+    simt::Engine eng({.record_history = false});
+    const auto table =
+        sat::compute_sat<satgpu::u32>(eng, img,
+                                      {sat::Algorithm::kBrltScanRow})
+            .table;
+    Matrix<satgpu::u8> want(kH, kW);
+    for (std::int64_t y = 0; y < kH; ++y)
+        for (std::int64_t x = 0; x < kW; ++x) {
+            const auto y0 = std::max<std::int64_t>(0, y - r);
+            const auto x0 = std::max<std::int64_t>(0, x - r);
+            const auto y1 = std::min(kH - 1, y + r);
+            const auto x1 = std::min(kW - 1, x + r);
+            const double mean =
+                static_cast<double>(sat::rect_sum(table, y0, x0, y1, x1)) /
+                static_cast<double>((y1 - y0 + 1) * (x1 - x0 + 1));
+            want(y, x) =
+                static_cast<double>(img(y, x)) < mean * frac ? 1 : 0;
+        }
+
+    const auto plan = rt.plan_query(
+        {.height = kH,
+         .width = kW,
+         .dtypes = {Dtype::u8_, Dtype::u32_},
+         .tile = {64, 64},
+         .query = sat::QuerySpec{sat::AdaptiveThresholdSpec{r, frac}},
+         .query_mode = sat::QueryMode::kFused});
+    const auto res = plan.execute(sat::AnyMatrix(img));
+    EXPECT_EQ(res.table.as<satgpu::u8>(), want);
+}
+
+TEST(QueryGolden, WindowSumOfSquaresMatchesTemplateMatchingEnergy)
+{
+    // examples/template_matching.cpp's per-window energy is the anchored
+    // window sum over the SQUARED image: run the wsum query on x^2.
+    sat::Runtime& rt = shared_runtime();
+    Matrix<satgpu::u8> img(kH, kW);
+    satgpu::fill_random(img, 79);
+    constexpr std::int64_t th = 8, tw = 12;
+    Matrix<satgpu::u32> sq(kH, kW);
+    for (std::int64_t y = 0; y < kH; ++y)
+        for (std::int64_t x = 0; x < kW; ++x)
+            sq(y, x) = static_cast<satgpu::u32>(img(y, x)) *
+                       static_cast<satgpu::u32>(img(y, x));
+
+    const auto plan = rt.plan_query(
+        {.height = kH,
+         .width = kW,
+         .dtypes = {Dtype::u32_, Dtype::u32_},
+         .tile = {64, 64},
+         .query = sat::QuerySpec{sat::WindowSumSpec{th, tw}},
+         .query_mode = sat::QueryMode::kFused});
+    const auto res = plan.execute(sat::AnyMatrix(sq));
+    const auto& energy = res.table.as<satgpu::u32>();
+
+    for (std::int64_t y = 0; y + th <= kH; y += 13)
+        for (std::int64_t x = 0; x + tw <= kW; x += 17) {
+            satgpu::u32 want = 0;
+            for (std::int64_t dy = 0; dy < th; ++dy)
+                for (std::int64_t dx = 0; dx < tw; ++dx)
+                    want += sq(y + dy, x + dx);
+            ASSERT_EQ(energy(y, x), want) << y << "," << x;
+        }
+    // Windows that do not fit are defined zero.
+    EXPECT_EQ(energy(kH - 1, 0), 0u);
+    EXPECT_EQ(energy(0, kW - 1), 0u);
+}
+
+TEST(QueryGolden, HaarEdgeFeatureIsADifferenceOfWindowSums)
+{
+    // examples/haar_features.cpp's edge feature: top (h x w) window minus
+    // the (h x w) window anchored h rows below -- two reads of ONE wsum
+    // query output, no second plan needed.
+    sat::Runtime& rt = shared_runtime();
+    Matrix<satgpu::u8> img(kH, kW);
+    satgpu::fill_random(img, 87, satgpu::u8{0}, satgpu::u8{255});
+    constexpr std::int64_t fh = 6, fw = 10;
+
+    simt::Engine eng({.record_history = false});
+    const auto table =
+        sat::compute_sat<satgpu::i32>(eng, img,
+                                      {sat::Algorithm::kBrltScanRow})
+            .table;
+
+    const auto plan = rt.plan_query(
+        {.height = kH,
+         .width = kW,
+         .dtypes = {Dtype::u8_, Dtype::i32_},
+         .tile = {64, 64},
+         .query = sat::QuerySpec{sat::WindowSumSpec{fh, fw}},
+         .query_mode = sat::QueryMode::kFused});
+    const auto res = plan.execute(sat::AnyMatrix(img));
+    const auto& wsum = res.table.as<satgpu::i32>();
+
+    for (std::int64_t y = 0; y + 2 * fh <= kH; y += 11)
+        for (std::int64_t x = 0; x + fw <= kW; x += 19) {
+            const auto top =
+                sat::rect_sum(table, y, x, y + fh - 1, x + fw - 1);
+            const auto bottom = sat::rect_sum(table, y + fh, x,
+                                              y + 2 * fh - 1, x + fw - 1);
+            ASSERT_EQ(wsum(y, x) - wsum(y + fh, x), top - bottom)
+                << y << "," << x;
+        }
+}
+
+// -------------------------------------------------------- service layer ----
+
+TEST(QueryService, PlanKeySeparatesQueriesFromPlainSats)
+{
+    sat::PlanRequest plain{.height = kH, .width = kW};
+    sat::PlanRequest boxed = plain;
+    boxed.query = kSpecs[0];
+    sat::PlanRequest modal = boxed;
+    modal.query_mode = sat::QueryMode::kMaterialize;
+
+    const auto kp = sat::plan_key(plain);
+    const auto kb = sat::plan_key(boxed);
+    const auto km = sat::plan_key(modal);
+    EXPECT_FALSE(kp == kb);
+    EXPECT_FALSE(kb == km);
+    const sat::PlanKeyHash h;
+    EXPECT_NE(h(kp), h(kb));
+    EXPECT_NE(h(kb), h(km));
+
+    EXPECT_EQ(sat::plan_key_label(kb),
+              sat::plan_key_label(kp) + "/query=box:r=4");
+    EXPECT_EQ(sat::plan_key_label(km),
+              sat::plan_key_label(kb) + "/qmode=materialize");
+}
+
+TEST(QueryService, SubmittedQueriesResolveToTheOracleAnswer)
+{
+    sat::Service svc({.workers = 2, .max_wave = 4});
+    std::vector<sat::AnyMatrix> images;
+    std::vector<std::future<sat::AnyMatrix>> futures;
+    for (std::uint64_t s = 0; s < 6; ++s) {
+        images.push_back(
+            sat::AnyMatrix::random(Dtype::u8_, kH, kW, 60 + s));
+        sat::Service::Request req;
+        req.image = images.back();
+        req.out = Dtype::u32_;
+        req.query = kSpecs[s % std::size(kSpecs)];
+        futures.push_back(svc.submit(std::move(req)));
+    }
+    sat::Runtime& oracle = shared_runtime();
+    for (std::size_t i = 0; i < images.size(); ++i)
+        EXPECT_TRUE(futures[i].get() ==
+                    oracle.query_reference(images[i], Dtype::u32_,
+                                           kSpecs[i % std::size(kSpecs)]))
+            << "request " << i;
+    const auto stats = svc.stats();
+    EXPECT_EQ(stats.completed, 6u);
+    EXPECT_EQ(stats.failed, 0u);
+}

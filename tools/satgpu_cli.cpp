@@ -46,7 +46,20 @@ struct Args {
     std::string trace_path;   // --trace: chrome://tracing timeline
     std::string hazards_path; // --hazards: hazard report JSON
     sat::Backend backend = sat::Backend::kSim; // --backend: execution backend
+    sat::QuerySpec query{}; // --query: fused SAT-consumer workload
+    sat::QueryMode query_mode = sat::QueryMode::kAuto; // --query-mode
 };
+
+std::optional<sat::QueryMode> parse_query_mode(std::string_view s)
+{
+    if (s == "auto")
+        return sat::QueryMode::kAuto;
+    if (s == "fused")
+        return sat::QueryMode::kFused;
+    if (s == "materialize")
+        return sat::QueryMode::kMaterialize;
+    return std::nullopt;
+}
 
 std::optional<sat::Backend> parse_backend(std::string_view s)
 {
@@ -103,6 +116,12 @@ void usage()
         "                (bit-identical tables, no instrumentation) and\n"
         "                falls back to the simulator when the plan is\n"
         "                uncertified or --check/--profile is on\n"
+        "  --query Q     run a SAT-consumer query instead of emitting the\n"
+        "                table: box:r=N | thresh:r=N[,f=F] | wsum:h=H,w=W |\n"
+        "                hist:b=B,r=N (hist needs --dtype 8u32u).  The\n"
+        "                fused path never materializes the global SAT\n"
+        "  --query-mode M  auto | fused | materialize (default auto: the\n"
+        "                traffic forecast picks the cheaper consumer path)\n"
         "  --check       run the warp-synchronous hazard checker\n"
         "                (racecheck/synccheck analog) on every launch and\n"
         "                report findings; exit 1 if any hazard is found\n"
@@ -203,6 +222,24 @@ std::optional<Args> parse(int argc, char** argv)
                 return std::nullopt;
             }
             a.backend = *b;
+        } else if (arg == "--query") {
+            const char* v = next();
+            auto q = v ? sat::parse_query_spec(v) : std::nullopt;
+            if (!q || !sat::query_enabled(*q)) {
+                std::cerr << "bad --query (want box:r=N | thresh:r=N[,f=F] "
+                             "| wsum:h=H,w=W | hist:b=B,r=N)\n";
+                return std::nullopt;
+            }
+            a.query = *q;
+        } else if (arg == "--query-mode") {
+            const char* v = next();
+            auto m = v ? parse_query_mode(v) : std::nullopt;
+            if (!m) {
+                std::cerr << "bad --query-mode (want "
+                             "auto|fused|materialize)\n";
+                return std::nullopt;
+            }
+            a.query_mode = *m;
         } else if (arg == "--check") {
             a.check = true;
         } else if (arg == "--hazards") {
@@ -254,20 +291,30 @@ int run(const Args& args)
                      .num_threads = args.threads,
                      .profile = profiling});
 
-    const auto plan = rt.plan({.height = args.height,
-                               .width = args.width,
-                               .dtypes = *pair,
-                               .algorithm = args.algo,
-                               .warp_scan =
-                                   args.lf_scan
-                                       ? scan::WarpScanKind::kLadnerFischer
-                                       : scan::WarpScanKind::kKoggeStone,
-                               .padded_smem = !args.unpadded,
-                               .gpu = gpu,
-                               .tile = args.tile,
-                               .check = args.check,
-                               .backend = args.backend});
+    const sat::PlanRequest preq{.height = args.height,
+                                .width = args.width,
+                                .dtypes = *pair,
+                                .algorithm = args.algo,
+                                .warp_scan =
+                                    args.lf_scan
+                                        ? scan::WarpScanKind::kLadnerFischer
+                                        : scan::WarpScanKind::kKoggeStone,
+                                .padded_smem = !args.unpadded,
+                                .gpu = gpu,
+                                .tile = args.tile,
+                                .check = args.check,
+                                .backend = args.backend,
+                                .query = args.query,
+                                .query_mode = args.query_mode};
+    const bool has_query = sat::query_enabled(args.query);
+    const auto plan = has_query ? rt.plan_query(preq) : rt.plan(preq);
 
+    if (has_query)
+        std::cout << "query: " << sat::query_label(args.query) << " ("
+                  << (plan.query_fused() ? "fused tiled pipeline, global "
+                                           "SAT never materialized"
+                                         : "materialize then consume")
+                  << ")\n";
     if (args.algo == sat::Algorithm::kAuto)
         std::cout << "auto selected: " << sat::to_string(plan.algorithm())
                   << " (cost model, " << gpu->name << ")\n";
@@ -373,6 +420,20 @@ int run(const Args& args)
     std::cout << "\ntotal estimated time: " << TablePrinter::fmt(total, 2)
               << " us per image\n";
 
+    if (has_query) {
+        std::uint64_t moved = 0;
+        for (const auto& l : res.launches)
+            moved += l.counters.gmem_bytes_ld + l.counters.gmem_bytes_st;
+        if (moved != 0) // the native backend carries no byte counters
+            std::cout << "device traffic: " << moved << " bytes ("
+                      << TablePrinter::fmt(
+                             static_cast<double>(moved) /
+                                 (static_cast<double>(args.height) *
+                                  static_cast<double>(args.width)),
+                             2)
+                      << " B/px)\n";
+    }
+
     if (args.verbose) {
         const auto ps = rt.pool_stats();
         std::cout << "buffer pool: " << ps.allocations << " allocations, "
@@ -412,7 +473,10 @@ int run(const Args& args)
     if (args.verify) {
         bool all_ok = true;
         for (std::size_t i = 0; i < results.size(); ++i) {
-            const auto want = rt.reference(images[i], pair->out);
+            const auto want =
+                has_query
+                    ? rt.query_reference(images[i], pair->out, args.query)
+                    : rt.reference(images[i], pair->out);
             if (!(results[i].table == want)) {
                 all_ok = false;
                 std::cout << "image " << i << ": FAIL\n";

@@ -19,6 +19,12 @@
 //   satgpu_fuzz --backend-diff  additionally execute each case through a
 //                             Backend::kNative plan and demand the native
 //                             table equal the simulator's bit for bit
+//   satgpu_fuzz --query-diff  attach a sampled SAT-consumer query
+//                             (box/thresh/wsum/hist) to each case and run
+//                             it BOTH ways -- the fused tiled pipeline and
+//                             materialize-then-consume -- demanding each
+//                             output equal the serial query oracle bit for
+//                             bit
 //
 // On mismatch the tool prints the failing seed plus the full sampled
 // configuration and exits 1; re-running `satgpu_fuzz --seed S` replays that
@@ -275,6 +281,101 @@ bool run_one_service(const FuzzConfig& c, bool verbose)
     return true;
 }
 
+/// Query spec for --query-diff, sampled from a SEPARATE rng stream for
+/// the same reason as ServiceConfig.  Histogram queries are only servable
+/// on the 8u -> 32u pair; other pairs remap that draw to a box filter so
+/// every seed stays a valid case.
+sat::QuerySpec sample_query(std::uint64_t seed, DtypePair pair)
+{
+    std::mt19937_64 rng(seed ^ 0x9ce5a7f00d5eedull);
+    const int kind = std::uniform_int_distribution<int>(0, 3)(rng);
+    const auto radius = std::uniform_int_distribution<std::int64_t>(0, 9)(rng);
+    if (kind == 1) {
+        constexpr double kFrac[] = {0.5, 0.85, 1.0};
+        return sat::AdaptiveThresholdSpec{
+            radius, kFrac[std::uniform_int_distribution<std::size_t>(
+                        0, std::size(kFrac) - 1)(rng)]};
+    }
+    if (kind == 2) {
+        const auto wh = std::uniform_int_distribution<std::int64_t>(1, 12)(rng);
+        const auto ww = std::uniform_int_distribution<std::int64_t>(1, 12)(rng);
+        return sat::WindowSumSpec{wh, ww};
+    }
+    if (kind == 3 && pair.in == Dtype::u8_ && pair.out == Dtype::u32_) {
+        constexpr int kBins[] = {2, 4, 8, 16};
+        return sat::RegionHistogramSpec{
+            kBins[std::uniform_int_distribution<std::size_t>(
+                0, std::size(kBins) - 1)(rng)],
+            std::min<std::int64_t>(radius, 6)};
+    }
+    return sat::BoxFilterSpec{radius};
+}
+
+/// --query-diff analog of run_one: attach a sampled query to the case and
+/// run it through BOTH consumer paths -- the fused tiled pipeline (global
+/// SAT never materialized) and materialize-then-consume -- each demanded
+/// bit-exact against the serial query oracle.  Exactness holds for float
+/// dtypes too: integer-valued fills keep every window sum exactly
+/// representable, and both paths apply the same final per-pixel op.
+bool run_one_query_diff(const FuzzConfig& c, bool verbose)
+{
+    // Query pipelines run several kernels per macro tile; cap the sides so
+    // the CI sweep stays fast while still covering ragged multi-tile grids.
+    FuzzConfig qc = c;
+    qc.h = std::min<std::int64_t>(qc.h, 512);
+    qc.w = std::min<std::int64_t>(qc.w, 512);
+    const sat::QuerySpec query = sample_query(c.seed, c.pair);
+
+    sat::Runtime& rt = runtime_for(qc.threads);
+    const auto fused = rt.plan_query({.height = qc.h,
+                                      .width = qc.w,
+                                      .dtypes = qc.pair,
+                                      .algorithm = qc.algo,
+                                      .tile = qc.tile,
+                                      .query = query,
+                                      .query_mode = sat::QueryMode::kFused});
+    const auto mat =
+        rt.plan_query({.height = qc.h,
+                       .width = qc.w,
+                       .dtypes = qc.pair,
+                       .algorithm = qc.algo,
+                       .tile = qc.tile,
+                       .query = query,
+                       .query_mode = sat::QueryMode::kMaterialize});
+    for (int b = 0; b < qc.batch; ++b) {
+        const std::uint64_t fill_seed =
+            qc.seed * 1000003u + static_cast<std::uint64_t>(b);
+        const auto image =
+            random_image(qc.pair.in, qc.h, qc.w, fill_seed, qc.fill_hi);
+        const auto want = rt.query_reference(image, qc.pair.out, query);
+        const auto fused_res = fused.execute(image);
+        if (!(fused_res.table == want)) {
+            std::cout << "FAIL seed " << qc.seed << " batch image " << b
+                      << ": fused query vs oracle: "
+                      << sat::query_label(query) << " on " << describe(qc)
+                      << " (" << qc.h << 'x' << qc.w << " after clamp)"
+                      << "\n  reproduce: satgpu_fuzz --query-diff --seed "
+                      << qc.seed << '\n';
+            return false;
+        }
+        const auto mat_res = mat.execute(image);
+        if (!(mat_res.table == want)) {
+            std::cout << "FAIL seed " << qc.seed << " batch image " << b
+                      << ": materialized query vs oracle: "
+                      << sat::query_label(query) << " on " << describe(qc)
+                      << " (" << qc.h << 'x' << qc.w << " after clamp)"
+                      << "\n  reproduce: satgpu_fuzz --query-diff --seed "
+                      << qc.seed << '\n';
+            return false;
+        }
+    }
+    if (verbose)
+        std::cout << "seed " << qc.seed << ": " << sat::query_label(query)
+                  << " on " << describe(qc) << " -> fused and materialized "
+                  << "both bit-exact vs the query oracle\n";
+    return true;
+}
+
 /// --backend-diff analog of run_one: plan the same sampled case twice --
 /// once pinned to the simulator, once requesting the native backend --
 /// and demand the two tables agree bit for bit (the simulator table is
@@ -374,6 +475,7 @@ int main(int argc, char** argv)
     std::int64_t single = -1;
     bool service = false;
     bool backend_diff = false;
+    bool query_diff = false;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (arg == "--seeds" && i + 1 < argc) {
@@ -384,9 +486,12 @@ int main(int argc, char** argv)
             service = true;
         } else if (arg == "--backend-diff") {
             backend_diff = true;
+        } else if (arg == "--query-diff") {
+            query_diff = true;
         } else {
             std::cout
-                << "usage: satgpu_fuzz [--service | --backend-diff]\n"
+                << "usage: satgpu_fuzz [--service | --backend-diff |\n"
+                   "                    --query-diff]\n"
                    "                   [--seeds N] [--seed S]\n"
                    "  --seeds N: run seeds 0..N-1 (default 32); exit 1 on\n"
                    "             the first differential mismatch\n"
@@ -398,17 +503,26 @@ int main(int argc, char** argv)
                    "  --backend-diff: run each case on the simulator AND\n"
                    "             via a Backend::kNative plan; demand the\n"
                    "             tables be bit-identical (and the sim\n"
-                   "             table right vs the serial oracle)\n";
+                   "             table right vs the serial oracle)\n"
+                   "  --query-diff: attach a sampled SAT-consumer query to\n"
+                   "             each case and run it both fused and\n"
+                   "             materialized; demand each output equal\n"
+                   "             the serial query oracle bit for bit\n";
             return arg == "--help" || arg == "-h" ? 0 : 2;
         }
     }
-    if (service && backend_diff) {
-        std::cerr << "--service and --backend-diff are mutually exclusive\n";
+    if (static_cast<int>(service) + static_cast<int>(backend_diff) +
+            static_cast<int>(query_diff) >
+        1) {
+        std::cerr << "--service, --backend-diff and --query-diff are "
+                     "mutually exclusive\n";
         return 2;
     }
     const auto run = [&](const FuzzConfig& c, bool verbose) {
         if (backend_diff)
             return run_one_backend_diff(c, verbose);
+        if (query_diff)
+            return run_one_query_diff(c, verbose);
         return service ? run_one_service(c, verbose) : run_one(c, verbose);
     };
 
@@ -421,6 +535,8 @@ int main(int argc, char** argv)
     std::cout << "fuzz: " << seeds << " seed(s) bit-exact against the "
               << (backend_diff
                       ? "serial oracle (native vs simulator diff)\n"
+                  : query_diff
+                      ? "serial oracle (fused vs materialized query diff)\n"
                       : (service ? "serial oracle (service mode)\n"
                                  : "serial oracle\n"));
     return 0;
