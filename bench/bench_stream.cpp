@@ -1,0 +1,169 @@
+// bench_stream: device-memory traffic of the incremental sliding-window
+// SAT (sat/integral_video.hpp, docs/streaming.md) against its
+// recompute-from-scratch twin, for the 8u -> 32u pair at 1024 x 1024 with
+// a window of T = 8 frames.
+//
+// Every number is derived from the simulator's LaunchStats byte counters
+// or the closed-form model::predict_stream_traffic forecast -- no wall
+// clock anywhere -- so the `--json` document is byte-identical on every
+// machine and BENCH_stream.json in the repo root is this program's
+// checked-in output, diffed by CI.
+//
+// The program also ENFORCES the PR's acceptance criteria and exits 1 when
+// either fails:
+//  * at T = 8 the steady-state incremental push must move >= 4x fewer
+//    device bytes than the recompute push;
+//  * both maintenance modes must agree bit for bit with the serial
+//    window oracle after every ring state seen here.
+#include "bench_common.hpp"
+
+#include "core/random_fill.hpp"
+#include "sat/integral_video.hpp"
+
+#include <iostream>
+
+int main(int argc, char** argv)
+{
+    using namespace satgpu;
+    const auto dt = make_pair_of<u8, u32>();
+    const std::int64_t n = 1024;
+    const std::int64_t window = 8;
+    const std::int64_t pushes = window + 2; // last two are steady-state
+    const bool json = bench::bench_json_requested(argc, argv);
+
+    simt::Engine eng(bench::bench_engine_options());
+    const sat::Options opt{.algorithm = sat::Algorithm::kBrltScanRow};
+    sat::SlidingWindowSat<u32, u8> inc(
+        eng, window, n, n, opt, {}, sat::StreamUpdateMode::kIncremental);
+    sat::SlidingWindowSat<u32, u8> rec(
+        eng, window, n, n, opt, {}, sat::StreamUpdateMode::kRecompute);
+
+    std::vector<Matrix<u8>> frames;
+    std::uint64_t inc_steady = 0, rec_steady = 0;
+    std::int64_t steady_pushes = 0;
+    for (std::int64_t f = 0; f < pushes; ++f) {
+        Matrix<u8> frame(n, n);
+        fill_random(frame, 42 + static_cast<std::uint64_t>(f));
+        const std::uint64_t ib = sat::device_bytes(inc.push(frame));
+        const std::uint64_t rb = sat::device_bytes(rec.push(frame));
+        if (f >= window) { // ring full before the push: steady state
+            inc_steady += ib;
+            rec_steady += rb;
+            ++steady_pushes;
+        }
+        frames.push_back(std::move(frame));
+        if (static_cast<std::int64_t>(frames.size()) > window)
+            frames.erase(frames.begin());
+    }
+    const double inc_per_push = static_cast<double>(inc_steady) /
+                                static_cast<double>(steady_pushes);
+    const double rec_per_push = static_cast<double>(rec_steady) /
+                                static_cast<double>(steady_pushes);
+    const double ratio = rec_per_push / inc_per_push;
+    const bool traffic_ok = ratio >= 4.0;
+
+    std::vector<const Matrix<u8>*> ptrs;
+    for (const auto& fr : frames)
+        ptrs.push_back(&fr);
+    const Matrix<u32> want = sat::window_sat_serial<u32, u8>(
+        std::span<const Matrix<u8>* const>(ptrs));
+    const bool exact =
+        inc.window_table() == want && rec.window_table() == want;
+    const bool ok = traffic_ok && exact;
+
+    const auto forecast = model::predict_stream_traffic(dt, n, n, window);
+    const double px = static_cast<double>(n) * static_cast<double>(n);
+
+    if (json) {
+        JsonWriter w(std::cout);
+        bench::bench_json_prelude(w, "stream_traffic");
+        w.key("dtype");
+        w.value(std::string_view{"8u32u"});
+        w.key("size");
+        w.value(n);
+        w.key("window");
+        w.value(window);
+        w.key("unit");
+        w.value(std::string_view{"bytes per steady-state push"});
+        w.key("incremental_bytes");
+        w.value(inc_per_push);
+        w.key("recompute_bytes");
+        w.value(rec_per_push);
+        w.key("ratio");
+        w.value(ratio);
+        w.key("model_incremental_bytes");
+        w.value(forecast.incremental_bytes);
+        w.key("model_recompute_bytes");
+        w.value(forecast.recompute_bytes);
+        w.key("bit_exact_vs_oracle");
+        w.value(exact);
+        w.key("crossover");
+        w.begin_array();
+        for (const std::int64_t t : {std::int64_t{1}, std::int64_t{2},
+                                     std::int64_t{4}, std::int64_t{8},
+                                     std::int64_t{16}}) {
+            const auto fc = model::predict_stream_traffic(dt, n, n, t);
+            w.begin_object();
+            w.key("window");
+            w.value(t);
+            w.key("model_incremental_bytes");
+            w.value(fc.incremental_bytes);
+            w.key("model_recompute_bytes");
+            w.value(fc.recompute_bytes);
+            w.key("ratio");
+            w.value(fc.recompute_bytes / fc.incremental_bytes);
+            w.key("auto_mode");
+            w.value(sat::to_string(sat::resolve_stream_mode(
+                sat::StreamUpdateMode::kAuto, dt, n, n, t)));
+            w.end_object();
+        }
+        w.end_array();
+        w.key("traffic_target");
+        w.value(4.0);
+        w.key("traffic_target_met");
+        w.value(traffic_ok);
+        w.end_object();
+        std::cout << '\n';
+    } else {
+        std::cout << "== sliding-window SAT traffic, incremental vs "
+                     "recompute [8u32u, 1024x1024, T=8] ==\n";
+        TablePrinter t({"mode", "bytes/push", "B/px", "model B/px"});
+        t.add_row({"incremental", TablePrinter::fmt(inc_per_push, 0),
+                   TablePrinter::fmt(inc_per_push / px, 2),
+                   TablePrinter::fmt(forecast.incremental_bytes / px, 2)});
+        t.add_row({"recompute", TablePrinter::fmt(rec_per_push, 0),
+                   TablePrinter::fmt(rec_per_push / px, 2),
+                   TablePrinter::fmt(forecast.recompute_bytes / px, 2)});
+        t.print(std::cout);
+        std::cout << "\ncrossover forecast (model, per push):\n";
+        TablePrinter c({"window", "incremental B/px", "recompute B/px",
+                        "ratio", "auto picks"});
+        for (const std::int64_t tw : {std::int64_t{1}, std::int64_t{2},
+                                      std::int64_t{4}, std::int64_t{8},
+                                      std::int64_t{16}}) {
+            const auto fc = model::predict_stream_traffic(dt, n, n, tw);
+            c.add_row({std::to_string(tw),
+                       TablePrinter::fmt(fc.incremental_bytes / px, 2),
+                       TablePrinter::fmt(fc.recompute_bytes / px, 2),
+                       TablePrinter::fmt(
+                           fc.recompute_bytes / fc.incremental_bytes, 2),
+                       std::string(sat::to_string(sat::resolve_stream_mode(
+                           sat::StreamUpdateMode::kAuto, dt, n, n, tw)))});
+        }
+        c.print(std::cout);
+        std::cout << "\nT=8 traffic ratio " << TablePrinter::fmt(ratio, 2)
+                  << "x (target >= 4x): "
+                  << (traffic_ok ? "met" : "NOT MET")
+                  << "\nbit-exact vs window_sat_serial: "
+                  << (exact ? "yes" : "NO") << '\n';
+    }
+
+    if (!ok) {
+        std::cerr << "bench_stream: acceptance criteria failed ("
+                  << (traffic_ok ? "tables not bit-exact"
+                                 : "traffic ratio below 4x")
+                  << ")\n";
+        return 1;
+    }
+    return 0;
+}

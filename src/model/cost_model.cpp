@@ -233,6 +233,28 @@ QueryTraffic predict_query_traffic(const sat::QuerySpec& query,
     return t;
 }
 
+StreamTraffic predict_stream_traffic(DtypePair dt, std::int64_t h,
+                                     std::int64_t w, std::int64_t window)
+{
+    SATGPU_EXPECTS(h > 0 && w > 0 && window > 0);
+    const double area = static_cast<double>(h) * static_cast<double>(w);
+    const double in_b = static_cast<double>(dtype_size(dt.in));
+    const double sat_b = static_cast<double>(dtype_size(dt.out));
+    // One two-pass SAT build: read the source, write the table, then read
+    // + rewrite it column-wise (the same decomposition mat_plane uses in
+    // predict_query_traffic).
+    const double build = area * (in_b + 3.0 * sat_b);
+    // Accumulate pass (win += sat): read both operands, write one.
+    const double add = 3.0 * area * sat_b;
+    // Fused incremental update (win += new - old): three reads, one write.
+    const double update = 4.0 * area * sat_b;
+    StreamTraffic t;
+    t.incremental_bytes = build + update;
+    t.recompute_bytes =
+        static_cast<double>(window) * (build + add);
+    return t;
+}
+
 double CostModel::predict_wall_us(Algorithm algo, DtypePair dt,
                                   std::int64_t h, std::int64_t w,
                                   sat::Backend backend,

@@ -92,4 +92,21 @@ predict_query_traffic(const sat::QuerySpec& query, DtypePair dtypes,
                       std::int64_t height, std::int64_t width,
                       std::int64_t tile_h, std::int64_t tile_w);
 
+/// Steady-state per-push device-traffic forecast for a sliding window of
+/// `window` frames (docs/streaming.md): the incremental ring update (one
+/// SAT build + one fused add/subtract pass) vs a from-scratch recompute
+/// (`window` SAT builds + `window` accumulate passes).  Closed form like
+/// predict_query_traffic, so StreamUpdateMode::kAuto resolution is
+/// deterministic and allocation free; bench_stream pins the forecast
+/// against the simulator's measured byte counters.
+struct StreamTraffic {
+    double incremental_bytes = 0;
+    double recompute_bytes = 0;
+};
+
+[[nodiscard]] StreamTraffic predict_stream_traffic(DtypePair dtypes,
+                                                   std::int64_t height,
+                                                   std::int64_t width,
+                                                   std::int64_t window);
+
 } // namespace satgpu::model

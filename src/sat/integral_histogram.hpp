@@ -4,9 +4,26 @@
 // motivates.
 //
 // The bin masks are built on the simulated GPU (a trivial binning kernel),
-// then each mask goes through the paper's BRLT-ScanRow SAT.
+// then each mask goes through a SAT.  Two builders:
+//
+//  * integral_histogram: the historical engine-level path, one bin at a
+//    time (mask launch + compute_sat per bin).
+//  * integral_histogram_batched: the 16-64 bin scaling path.  Bin-major
+//    batching end to end -- ONE fused grid.z = bins mask launch writes
+//    every bin plane, then all planes ride one Plan::execute_wave, with
+//    every lease (image staging, masks, the wave's workspaces) drawn from
+//    a single BufferPool partition so the whole build's device footprint
+//    is attributable and bounded by IntegralHistogram::workspace_bytes.
+//
+// Binning semantics: bins need NOT divide 256.  bin_width = 256 / bins
+// (floor, >= 1), and the TOP bin absorbs the ragged remainder: a pixel
+// value v lands in bin min(v / bin_width, bins - 1), so e.g. 48 bins give
+// 47 five-value bins plus a final bin covering [235, 255].  (The seed
+// implementation required bins | 256 and silently DROPPED values whose
+// quotient reached `bins`; masks now always partition the image.)
 #pragma once
 
+#include "sat/runtime.hpp"
 #include "sat/sat.hpp"
 
 #include <algorithm>
@@ -18,6 +35,11 @@ struct IntegralHistogram {
     std::vector<Matrix<u32>> tables; // one inclusive SAT per bin
     std::int64_t bin_width = 0;
     std::vector<simt::LaunchStats> launches;
+    /// Upper bound on the pooled device bytes the build ever held at once
+    /// in its partition (set by integral_histogram_batched; 0 from the
+    /// per-bin builder, which predates the accounting).  Asserted against
+    /// BufferPool::high_water_bytes by the property tests.
+    std::uint64_t workspace_bytes = 0;
 
     [[nodiscard]] std::size_t bins() const noexcept { return tables.size(); }
 
@@ -53,11 +75,14 @@ struct IntegralHistogram {
 
 namespace detail {
 
-/// Binning kernel: mask[i] = (img[i] / bin_width == bin) ? 1 : 0.
+/// Binning kernel: mask[i] = (bin_of(img[i]) == bin) ? 1 : 0, where
+/// bin_of(v) = min(v / bin_width, bins - 1) -- the top bin absorbs the
+/// ragged remainder when bins does not divide 256, so the masks always
+/// partition the image.
 inline simt::KernelTask bin_mask_warp(simt::WarpCtx& w,
                                       const simt::DeviceBuffer<u8>& img,
                                       std::int64_t n, int bin,
-                                      std::int64_t bin_width,
+                                      std::int64_t bin_width, int bins,
                                       simt::DeviceBuffer<u8>& mask)
 {
     const std::int64_t base =
@@ -70,23 +95,24 @@ inline simt::KernelTask bin_mask_warp(simt::WarpCtx& w,
     const auto v = img.load(lane + base, m);
     simt::LaneVec<u8> out{};
     for (int l = 0; l < simt::kWarpSize; ++l)
-        if (simt::lane_active(m, l))
-            out.set(l, v.get(l) / bin_width ==
-                               static_cast<std::int64_t>(bin)
-                           ? u8{1}
-                           : u8{0});
+        if (simt::lane_active(m, l)) {
+            const auto b = std::min<std::int64_t>(v.get(l) / bin_width,
+                                                  bins - 1);
+            out.set(l, b == static_cast<std::int64_t>(bin) ? u8{1} : u8{0});
+        }
     mask.store(lane + base, out, m);
 }
 
 } // namespace detail
 
-/// Build the integral histogram of an 8u image with `bins` equal-width bins
-/// (bins must divide 256).
+/// Build the integral histogram of an 8u image with `bins` equal-width
+/// bins (1 <= bins <= 256; the top bin is wider when bins does not divide
+/// 256 -- see the header comment).  One mask launch + one SAT per bin.
 [[nodiscard]] inline IntegralHistogram
 integral_histogram(simt::Engine& eng, const Matrix<u8>& image, int bins,
                    const Options& opt = {})
 {
-    SATGPU_EXPECTS(bins > 0 && 256 % bins == 0);
+    SATGPU_EXPECTS(bins > 0 && bins <= 256);
     IntegralHistogram ih;
     ih.bin_width = 256 / bins;
     const std::int64_t n = image.size();
@@ -100,7 +126,7 @@ integral_histogram(simt::Engine& eng, const Matrix<u8>& image, int bins,
             {"bin_mask", 12, 0}, {{ceil_div(n, 256), 1, 1}, {256, 1, 1}},
             [&](simt::WarpCtx& w) {
                 return detail::bin_mask_warp(w, img, n, b, ih.bin_width,
-                                             mask);
+                                             bins, mask);
             }));
         auto res = compute_sat<u32>(
             eng, mask.to_matrix(image.height(), image.width()), opt);
@@ -108,6 +134,84 @@ integral_histogram(simt::Engine& eng, const Matrix<u8>& image, int bins,
         for (auto& l : res.launches)
             ih.launches.push_back(std::move(l));
     }
+    return ih;
+}
+
+/// The 16-64 bin scaling path: bin-major batched build through the
+/// type-erased runtime.  One fused grid.z = bins mask launch, then every
+/// bin plane through a single Plan::execute_wave (each SAT kernel pass
+/// runs once for all bins).  All leases come from `pool_partition` of the
+/// runtime's pool; tables are bit-identical to the per-bin builder's.
+[[nodiscard]] inline IntegralHistogram
+integral_histogram_batched(Runtime& rt, const Matrix<u8>& image, int bins,
+                           int pool_partition = 0,
+                           Algorithm algorithm = Algorithm::kBrltScanRow)
+{
+    SATGPU_EXPECTS(bins > 0 && bins <= 256);
+    IntegralHistogram ih;
+    ih.bin_width = 256 / bins;
+    const std::int64_t h = image.height();
+    const std::int64_t w = image.width();
+    const std::int64_t n = image.size();
+    SATGPU_EXPECTS(n > 0);
+
+    Plan plan = rt.plan({.height = h,
+                         .width = w,
+                         .dtypes = {Dtype::u8_, Dtype::u32_},
+                         .algorithm = algorithm,
+                         .pool_partition = pool_partition});
+
+    std::vector<AnyMatrix> masks;
+    masks.reserve(static_cast<std::size_t>(bins));
+    {
+        // Phase 1: stage the image once, lease one mask plane per bin from
+        // the SAME partition, and bin every plane in ONE fused launch
+        // (block (x, 0, z) bins plane z).  Leases release before the wave,
+        // so the wave's u8 staging reuses the mask buffers and the
+        // partition's high-water stays within workspace_bytes.
+        auto img = rt.pool().acquire<u8>(n, pool_partition);
+        std::copy(image.flat().begin(), image.flat().end(),
+                  img->host().begin());
+        std::vector<simt::BufferPool::Lease<u8>> mask_leases;
+        std::vector<simt::DeviceBuffer<u8>*> mask_ptrs;
+        mask_leases.reserve(static_cast<std::size_t>(bins));
+        mask_ptrs.reserve(static_cast<std::size_t>(bins));
+        for (int b = 0; b < bins; ++b) {
+            mask_leases.push_back(rt.pool().acquire<u8>(n, pool_partition));
+            mask_ptrs.push_back(&*mask_leases.back());
+        }
+        ih.launches.push_back(rt.engine().launch(
+            {"bin_mask", 12, 0},
+            {{ceil_div(n, 256), 1, bins}, {256, 1, 1}},
+            [&](simt::WarpCtx& wc) {
+                const auto z = static_cast<std::size_t>(wc.block_idx().z);
+                return detail::bin_mask_warp(
+                    wc, *img, n, static_cast<int>(z), ih.bin_width, bins,
+                    *mask_ptrs[z]);
+            }));
+        for (auto* m : mask_ptrs)
+            masks.emplace_back(m->to_matrix(h, w));
+    }
+
+    std::vector<const AnyMatrix*> ptrs;
+    ptrs.reserve(masks.size());
+    for (const auto& m : masks)
+        ptrs.push_back(&m);
+    WaveResult wave = plan.execute_wave(ptrs);
+    ih.tables.reserve(masks.size());
+    for (auto& t : wave.tables)
+        ih.tables.push_back(std::move(t.as<u32>()));
+    for (auto& l : wave.launches)
+        ih.launches.push_back(std::move(l));
+
+    // Peak pooled footprint: the mask phase holds the staged image plus
+    // one u8 plane per bin; the wave holds `bins` full workspaces.  The
+    // partition's high-water is the larger of the two.
+    const auto ub = static_cast<std::uint64_t>(bins);
+    const auto un = static_cast<std::uint64_t>(n);
+    ih.workspace_bytes = std::max(
+        (ub + 1) * un,
+        ub * static_cast<std::uint64_t>(plan.workspace_bytes()));
     return ih;
 }
 

@@ -1,0 +1,28 @@
+// Streaming-mode resolution: the one piece of integral_video that needs
+// the cost model (kernel-layer header, model-linked implementation, like
+// tiled.cpp's synthetic carry prediction).
+
+#include "sat/integral_video.hpp"
+
+#include "model/cost_model.hpp"
+
+namespace satgpu::sat {
+
+StreamUpdateMode resolve_stream_mode(StreamUpdateMode mode, DtypePair dtypes,
+                                     std::int64_t height, std::int64_t width,
+                                     std::int64_t window)
+{
+    if (mode != StreamUpdateMode::kAuto)
+        return mode;
+    const model::StreamTraffic t =
+        model::predict_stream_traffic(dtypes, height, width, window);
+    // At window = 1 the fused update pass costs more than one plain
+    // accumulate, so the forecast sends T = 1 windows down the recompute
+    // path; every larger window forecasts (and measures) incremental
+    // cheaper (docs/streaming.md has the crossover table).
+    return t.incremental_bytes <= t.recompute_bytes
+               ? StreamUpdateMode::kIncremental
+               : StreamUpdateMode::kRecompute;
+}
+
+} // namespace satgpu::sat

@@ -42,6 +42,18 @@ constexpr std::string_view kQueueDepth = "satgpu_service_queue_depth";
 constexpr std::string_view kQueueDepthPeak =
     "satgpu_service_queue_depth_peak";
 constexpr std::string_view kQueuedBytes = "satgpu_service_queued_bytes";
+// Streaming sessions (docs/streaming.md); labeled by StreamSession::label.
+constexpr std::string_view kStreamFrames =
+    "satgpu_service_stream_frames_total";
+constexpr std::string_view kStreamBytes =
+    "satgpu_service_stream_device_bytes_total";
+constexpr std::string_view kStreamIncremental =
+    "satgpu_service_stream_incremental_pushes_total";
+constexpr std::string_view kStreamRecompute =
+    "satgpu_service_stream_recompute_pushes_total";
+constexpr std::string_view kStreamRingBytes =
+    "satgpu_service_stream_ring_bytes";
+constexpr std::string_view kStreamPushUs = "satgpu_service_stream_push_us";
 
 [[nodiscard]] std::uint64_t us_ticks(double us)
 {
@@ -624,6 +636,235 @@ Plan& Service::plan_for(Worker& w, CacheEntry* entry)
         ++stats_.plans_instantiated;
     }
     return w.plans.emplace(entry, std::move(plan)).first->second;
+}
+
+// ---------------------------------------------------------------------------
+// StreamSession: the streaming sliding-window front door (docs/streaming.md).
+
+/// Type-erasure seam over SlidingWindowSat<Tout, Tin>: one virtual hop per
+/// push, everything below it is the templated kernel layer.
+struct StreamSession::Impl {
+    Impl() = default;
+    Impl(const Impl&) = delete;
+    Impl& operator=(const Impl&) = delete;
+    virtual ~Impl() = default;
+    virtual const std::vector<simt::LaunchStats>&
+    push(const AnyMatrix& frame) = 0;
+    [[nodiscard]] virtual AnyMatrix table() const = 0;
+    [[nodiscard]] virtual double sum(std::int64_t y0, std::int64_t x0,
+                                     std::int64_t y1,
+                                     std::int64_t x1) const = 0;
+    [[nodiscard]] virtual std::uint64_t ring_bytes() const = 0;
+};
+
+namespace {
+
+template <typename Tin, typename Tout>
+struct StreamImplT final : StreamSession::Impl {
+    SlidingWindowSat<Tout, Tin> win;
+
+    StreamImplT(simt::Engine& eng, std::int64_t window, std::int64_t h,
+                std::int64_t w, const satgpu::sat::Options& opt,
+                const TileGeometry& tile, StreamUpdateMode mode)
+        : win(eng, window, h, w, opt, tile, mode)
+    {
+    }
+
+    const std::vector<simt::LaunchStats>&
+    push(const AnyMatrix& frame) override
+    {
+        return win.push(frame.as<Tin>());
+    }
+    [[nodiscard]] AnyMatrix table() const override
+    {
+        return AnyMatrix(win.window_table());
+    }
+    [[nodiscard]] double sum(std::int64_t y0, std::int64_t x0,
+                             std::int64_t y1, std::int64_t x1) const override
+    {
+        return static_cast<double>(
+            rect_sum(win.window_table(), y0, x0, y1, x1));
+    }
+    [[nodiscard]] std::uint64_t ring_bytes() const override
+    {
+        return win.ring_bytes();
+    }
+};
+
+} // namespace
+
+StreamSession::StreamSession(Service& svc, Options opt)
+    : svc_(&svc), opt_(opt)
+{
+    SATGPU_CHECK(opt_.height > 0 && opt_.width > 0,
+                 "StreamSession: non-positive frame shape");
+    SATGPU_CHECK(opt_.window > 0, "StreamSession: window must be >= 1");
+    SATGPU_CHECK(find_kernel(opt_.dtypes) != nullptr,
+                 "StreamSession: unsupported dtype pair");
+
+    simt::Engine::Options eo;
+    eo.record_history = false;
+    eo.num_threads = opt_.engine_threads;
+    rt_ = std::make_unique<Runtime>(eo);
+
+    // Resolve kAuto once per session on the session's own cost model, the
+    // way a plan-cache entry's first submission does (deterministic:
+    // counter-based ranking).
+    const Plan probe = rt_->plan({.height = opt_.height,
+                                  .width = opt_.width,
+                                  .dtypes = opt_.dtypes,
+                                  .algorithm = opt_.algorithm,
+                                  .warp_scan = opt_.warp_scan,
+                                  .padded_smem = opt_.padded_smem,
+                                  .gpu = svc.opt_.gpu,
+                                  .tile = opt_.tile});
+    algo_ = probe.algorithm();
+    mode_ = resolve_stream_mode(opt_.mode, opt_.dtypes, opt_.height,
+                                opt_.width, opt_.window);
+    label_ = plan_key_label(PlanKey{.height = opt_.height,
+                                    .width = opt_.width,
+                                    .dtypes = opt_.dtypes,
+                                    .algorithm = algo_,
+                                    .warp_scan = opt_.warp_scan,
+                                    .padded_smem = opt_.padded_smem,
+                                    .tile = opt_.tile}) +
+             "/stream=" + std::to_string(opt_.window) + "/" +
+             std::string(to_string(mode_));
+
+    const satgpu::sat::Options exec{.algorithm = algo_,
+                                    .warp_scan = opt_.warp_scan,
+                                    .padded_smem = opt_.padded_smem,
+                                    .pool = &rt_->pool()};
+    visit_paper_pair(opt_.dtypes, [&](auto ti, auto to) {
+        using Tin = typename decltype(ti)::type;
+        using Tout = typename decltype(to)::type;
+        impl_ = std::make_unique<StreamImplT<Tin, Tout>>(
+            rt_->engine(), opt_.window, opt_.height, opt_.width, exec,
+            opt_.tile, mode_);
+    });
+
+    c_frames_ = &svc_->metrics_->counter(kStreamFrames, label_);
+    c_bytes_ = &svc_->metrics_->counter(kStreamBytes, label_);
+    c_incremental_ = &svc_->metrics_->counter(kStreamIncremental, label_);
+    c_recompute_ = &svc_->metrics_->counter(kStreamRecompute, label_);
+    g_ring_bytes_ = &svc_->metrics_->gauge(kStreamRingBytes, label_);
+    h_push_us_ = &svc_->metrics_->histogram(kStreamPushUs, label_);
+}
+
+StreamSession::~StreamSession() = default;
+
+void StreamSession::push(const AnyMatrix& frame)
+{
+    SATGPU_CHECK(!frame.empty(), "StreamSession::push: empty frame");
+    SATGPU_CHECK(frame.dtype() == opt_.dtypes.in,
+                 "StreamSession::push: frame dtype mismatch");
+    SATGPU_CHECK(frame.height() == opt_.height &&
+                     frame.width() == opt_.width,
+                 "StreamSession::push: frame shape mismatch");
+
+    std::lock_guard lk(mu_);
+    // The push joins the service's wave sequence so traces interleave
+    // streaming pushes with request waves on one timeline.
+    std::uint64_t wave_id = 0;
+    {
+        std::lock_guard slk(svc_->mu_);
+        SATGPU_CHECK(!svc_->stopping_,
+                     "StreamSession::push after service shutdown began");
+        wave_id = ++svc_->next_wave_;
+    }
+    const std::uint64_t t_begin = svc_->clock_.now_us();
+    const std::vector<simt::LaunchStats>& launches = impl_->push(frame);
+    const model::GpuSpec& gpu =
+        svc_->opt_.gpu != nullptr ? *svc_->opt_.gpu : model::tesla_p100();
+    const double us = model::estimate_total_us(gpu, launches);
+    svc_->clock_.advance(us_ticks(us));
+    const std::uint64_t t_end = svc_->clock_.now_us();
+
+    last_bytes_ = device_bytes(launches);
+    ++pushed_;
+    c_frames_->inc();
+    c_bytes_->inc(last_bytes_);
+    (mode_ == StreamUpdateMode::kIncremental ? c_incremental_
+                                             : c_recompute_)
+        ->inc();
+    g_ring_bytes_->set(static_cast<std::int64_t>(impl_->ring_bytes()));
+    h_push_us_->observe(t_end > t_begin ? t_end - t_begin : 0);
+
+    if (svc_->trace_ != nullptr) {
+        // worker = -1 marks session-local execution (no queue, no worker).
+        svc_->trace_->record_span({.kind = obs::SpanKind::kExecute,
+                                   .wave = wave_id,
+                                   .worker = -1,
+                                   .t_begin = t_begin,
+                                   .t_end = t_end,
+                                   .plan = label_,
+                                   .backend = Backend::kSim});
+        svc_->trace_->record_wave({.wave = wave_id,
+                                   .worker = -1,
+                                   .t_exec_begin = t_begin,
+                                   .t_exec_end = t_end,
+                                   .plan = label_,
+                                   .backend = Backend::kSim,
+                                   .launches = launches});
+    }
+}
+
+AnyMatrix StreamSession::window_table() const
+{
+    std::lock_guard lk(mu_);
+    return impl_->table();
+}
+
+double StreamSession::window_sum(std::int64_t y0, std::int64_t x0,
+                                 std::int64_t y1, std::int64_t x1) const
+{
+    std::lock_guard lk(mu_);
+    return impl_->sum(y0, x0, y1, x1);
+}
+
+std::int64_t StreamSession::frames_pushed() const
+{
+    std::lock_guard lk(mu_);
+    return pushed_;
+}
+
+std::int64_t StreamSession::window() const noexcept
+{
+    return opt_.window;
+}
+
+StreamUpdateMode StreamSession::mode() const noexcept
+{
+    return mode_;
+}
+
+Algorithm StreamSession::algorithm() const noexcept
+{
+    return algo_;
+}
+
+const std::string& StreamSession::label() const noexcept
+{
+    return label_;
+}
+
+std::uint64_t StreamSession::last_push_bytes() const
+{
+    std::lock_guard lk(mu_);
+    return last_bytes_;
+}
+
+std::uint64_t StreamSession::ring_bytes() const
+{
+    std::lock_guard lk(mu_);
+    return impl_->ring_bytes();
+}
+
+std::unique_ptr<StreamSession>
+Service::open_stream(StreamSession::Options opt)
+{
+    return std::unique_ptr<StreamSession>(
+        new StreamSession(*this, std::move(opt)));
 }
 
 } // namespace satgpu::sat

@@ -39,6 +39,7 @@
 // max_wave * workspace_bytes (see docs/service_layer.md).
 #pragma once
 
+#include "sat/integral_video.hpp"
 #include "sat/metrics.hpp"
 #include "sat/runtime.hpp"
 #include "sat/trace.hpp"
@@ -48,6 +49,7 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -115,6 +117,102 @@ public:
         : std::runtime_error("sat::Service is shutting down")
     {
     }
+};
+
+class Service;
+
+/// A streaming submitter's handle on one sliding-window SAT
+/// (docs/streaming.md): push frames in arrival order, read the window's
+/// aggregate table (or a windowed box sum) at any point between pushes.
+/// Opened by Service::open_stream; the session rides the service's
+/// observability plane -- every push publishes the stream metric series
+/// (frames / device bytes / ring bytes / push latency under the session's
+/// label) into Service::metrics() and, when the service traces, emits a
+/// plan.execute span plus a wave record carrying the push's LaunchStats.
+///
+/// Execution is session-local: the session owns a private Runtime
+/// (Engine::launch is not reentrant, and worker runtimes are busy with
+/// submit() traffic), so pushes never contend with the request queue.
+/// push()/window_table() are mutex-serialized and safe to call from any
+/// thread; distinct sessions are independent.  A session borrows the
+/// Service (metrics, trace, clock) and must not outlive it.
+class StreamSession {
+public:
+    struct Options {
+        std::int64_t height = 0;
+        std::int64_t width = 0;
+        DtypePair dtypes{Dtype::u8_, Dtype::u32_};
+        /// Sliding-window length T (frames aggregated per query).
+        std::int64_t window = 8;
+        /// kAuto resolves once at open_stream through the session
+        /// runtime's cost model, like a cached plan's first submission.
+        Algorithm algorithm = Algorithm::kAuto;
+        scan::WarpScanKind warp_scan = scan::WarpScanKind::kKoggeStone;
+        bool padded_smem = true;
+        TileGeometry tile{};
+        /// kAuto picks incremental vs recompute by forecast per-push
+        /// device traffic (model::predict_stream_traffic).
+        StreamUpdateMode mode = StreamUpdateMode::kAuto;
+        /// Engine threads inside the session's private Runtime.
+        int engine_threads = 1;
+    };
+
+    ~StreamSession();
+    StreamSession(const StreamSession&) = delete;
+    StreamSession& operator=(const StreamSession&) = delete;
+
+    /// Ingest one frame (dtype/shape must match Options).  Synchronous:
+    /// when it returns, window_table() reflects the new window and the
+    /// push's metrics/spans are published.
+    void push(const AnyMatrix& frame);
+
+    /// The current window's aggregate SAT (dtype = Options::dtypes.out);
+    /// rect_sum over it answers any windowed box query in four lookups.
+    [[nodiscard]] AnyMatrix window_table() const;
+    /// Windowed box sum over the inclusive rectangle [y0,y1] x [x0,x1],
+    /// widened to double (integer dtypes wrap first, like rect_sum).
+    [[nodiscard]] double window_sum(std::int64_t y0, std::int64_t x0,
+                                    std::int64_t y1, std::int64_t x1) const;
+
+    [[nodiscard]] std::int64_t frames_pushed() const;
+    [[nodiscard]] std::int64_t window() const noexcept;
+    /// Resolved update mode (never kAuto).
+    [[nodiscard]] StreamUpdateMode mode() const noexcept;
+    /// Resolved algorithm (never kAuto).
+    [[nodiscard]] Algorithm algorithm() const noexcept;
+    /// Metric/trace label: plan_key_label of the resolved plan shape +
+    /// "/stream=<T>/<mode>".  Deterministic, like plan labels.
+    [[nodiscard]] const std::string& label() const noexcept;
+    /// Device bytes the most recent push moved (LaunchStats counters).
+    [[nodiscard]] std::uint64_t last_push_bytes() const;
+    /// Host bytes the ring currently holds resident (the streaming
+    /// memory bound: occupancy * H * W * elem size).
+    [[nodiscard]] std::uint64_t ring_bytes() const;
+
+    /// Type-erased SlidingWindowSat<Tout, Tin> (defined in service.cpp;
+    /// public only so the dtype-dispatched implementations can derive).
+    struct Impl;
+
+private:
+    friend class Service;
+    StreamSession(Service& svc, Options opt);
+
+    Service* svc_;
+    Options opt_;
+    StreamUpdateMode mode_ = StreamUpdateMode::kIncremental;
+    Algorithm algo_ = Algorithm::kBrltScanRow;
+    std::string label_;
+    std::unique_ptr<Runtime> rt_;
+    std::unique_ptr<Impl> impl_;
+    obs::Counter* c_frames_ = nullptr;
+    obs::Counter* c_bytes_ = nullptr;
+    obs::Counter* c_incremental_ = nullptr;
+    obs::Counter* c_recompute_ = nullptr;
+    obs::Gauge* g_ring_bytes_ = nullptr;
+    obs::Histogram* h_push_us_ = nullptr;
+    mutable std::mutex mu_;
+    std::int64_t pushed_ = 0;
+    std::uint64_t last_bytes_ = 0;
 };
 
 class Service {
@@ -277,7 +375,15 @@ public:
     /// (deterministic across runs for a fixed workload).
     [[nodiscard]] std::vector<PlanInfo> plan_info() const;
 
+    /// Open a streaming sliding-window session (docs/streaming.md).
+    /// Resolves Algorithm::kAuto and StreamUpdateMode::kAuto once, here;
+    /// the session publishes into this service's metrics()/trace sinks
+    /// and must not outlive the Service.
+    [[nodiscard]] std::unique_ptr<StreamSession>
+    open_stream(StreamSession::Options opt);
+
 private:
+    friend class StreamSession;
     /// One cached plan identity, shared by all workers.  The entry owns
     /// the deterministic kAuto resolution and the pool partition; each
     /// worker lazily builds its own Plan from it.

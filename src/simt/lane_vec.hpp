@@ -214,6 +214,18 @@ template <typename T>
         return static_cast<T>(x + y);
     }
 }
+/// Subtract with wrapping semantics for signed ints (see wrapping_add).
+template <typename T>
+[[nodiscard]] inline T wrapping_sub(T x, T y) noexcept
+{
+    if constexpr (std::is_integral_v<T>) {
+        using U = std::make_unsigned_t<T>;
+        return static_cast<T>(static_cast<U>(static_cast<U>(x) -
+                                             static_cast<U>(y)));
+    } else {
+        return static_cast<T>(x - y);
+    }
+}
 } // namespace detail
 
 // ---- Counted data-path operations (the paper's accounting) ----------------
@@ -248,6 +260,22 @@ template <typename T>
     LaneVec<T> r;
     for (int l = 0; l < kWarpSize; ++l) {
         const T s = detail::wrapping_add(a.get(l), b.get(l));
+        r.set(l, ((m >> l) & 1u) != 0 ? s : a.get(l));
+    }
+    return r;
+}
+
+/// Predicated subtract: lanes in `m` compute a-b, others keep a.  A
+/// subtract is an add on the data path, so it shares vadd_where's
+/// accounting (the sliding-window update kernel's `-old` term).
+template <typename T>
+[[nodiscard]] LaneVec<T> vsub_where(LaneMask m, const LaneVec<T>& a,
+                                    const LaneVec<T>& b)
+{
+    detail::count_adds(static_cast<std::uint64_t>(active_lane_count(m)));
+    LaneVec<T> r;
+    for (int l = 0; l < kWarpSize; ++l) {
+        const T s = detail::wrapping_sub(a.get(l), b.get(l));
         r.set(l, ((m >> l) & 1u) != 0 ? s : a.get(l));
     }
     return r;

@@ -2,6 +2,7 @@
 // every algorithm on randomized shapes and inputs.  These catch whole
 // classes of indexing/carry bugs that example-based tests miss.
 #include "core/random_fill.hpp"
+#include "sat/integral_histogram.hpp"
 #include "sat/sat.hpp"
 
 #include <gtest/gtest.h>
@@ -234,4 +235,108 @@ TEST(SatOverflowEdge, WideningU32ToU64AccumulatesPastU32Range)
                                    static_cast<std::uint64_t>(y + 1) * vmax)
                 << y << "," << x;
     EXPECT_GT(s(h - 1, w - 1), std::uint64_t{1} << 32);
+}
+
+// ------------------------------------- integral-histogram properties -------
+//
+// Multi-bin scaling invariants of the integral histogram (16-64 bins
+// through the bin-major batched plan, docs/streaming.md's tracking
+// consumer): masks must partition the image for EVERY bin count -- in
+// particular ragged ones where bin_width does not divide 256 -- region
+// queries must agree between the per-bin seed path and the batched wave
+// path, and the batched build's pooled footprint must stay within its
+// declared workspace_bytes.
+
+TEST(IntegralHistogramProperties, MasksPartitionImageForRaggedBinCounts)
+{
+    // The seed implementation required bins | 256 and silently dropped
+    // pixels whose v / bin_width reached `bins`.  Now the top bin clamps:
+    // per-pixel bin = min(v / bin_width, bins - 1), so summing every bin's
+    // count over the full frame must equal the pixel count for ANY bins.
+    simt::Engine eng({.record_history = false});
+    const std::int64_t h = 48, w = 75;
+    Matrix<satgpu::u8> img(h, w);
+    // Full value range, including the ragged tail [235, 255] that 48 bins
+    // would have dropped under the old precondition.
+    satgpu::fill_random(img, 99, satgpu::u8{0}, satgpu::u8{255});
+    for (const int bins : {1, 3, 16, 33, 48, 64}) {
+        const auto ih = sat::integral_histogram(eng, img, bins);
+        const auto counts = ih.region(0, 0, h - 1, w - 1);
+        std::uint64_t total = 0;
+        for (const auto c : counts)
+            total += c;
+        EXPECT_EQ(total, static_cast<std::uint64_t>(h * w)) << bins;
+    }
+}
+
+TEST(IntegralHistogramProperties, RaggedLastBinClampsInsteadOfDropping)
+{
+    // 48 bins -> bin_width 5: values 235..255 all land in bin 47 (the old
+    // code dropped 240..255 entirely).  Pin the exact per-bin counts for a
+    // crafted image covering the boundary values.
+    simt::Engine eng({.record_history = false});
+    Matrix<satgpu::u8> img(1, 6);
+    img(0, 0) = 234; // 234 / 5 = 46
+    img(0, 1) = 235; // 235 / 5 = 47, the first value in the last bin
+    img(0, 2) = 239; // 239 / 5 = 47, the last in-range quotient
+    img(0, 3) = 240; // 48 -> clamped to 47 (dropped by the seed code)
+    img(0, 4) = 250; // 50 -> clamped to 47
+    img(0, 5) = 255; // 51 -> clamped to 47
+    const auto ih = sat::integral_histogram(eng, img, 48);
+    EXPECT_EQ(ih.bin_width, 5);
+    const auto counts = ih.region(0, 0, 0, 5);
+    EXPECT_EQ(counts[46], 1u);
+    EXPECT_EQ(counts[47], 5u);
+    std::uint64_t total = 0;
+    for (const auto c : counts)
+        total += c;
+    EXPECT_EQ(total, 6u);
+}
+
+TEST(IntegralHistogramProperties, BatchedPlanMatchesSeedPathAcrossBinSweep)
+{
+    // The bin-major batched build (one fused grid.z = bins mask launch +
+    // one execute_wave) must produce bit-identical tables and region
+    // queries to the historical one-bin-at-a-time path.
+    simt::Engine eng({.record_history = false});
+    sat::Runtime rt;
+    const std::int64_t h = 37, w = 61;
+    Matrix<satgpu::u8> img(h, w);
+    satgpu::fill_random(img, 2027, satgpu::u8{0}, satgpu::u8{255});
+    for (const int bins : {1, 16, 33, 64}) {
+        const auto seed_path = sat::integral_histogram(eng, img, bins);
+        const auto batched = sat::integral_histogram_batched(rt, img, bins);
+        ASSERT_EQ(batched.bins(), seed_path.bins()) << bins;
+        EXPECT_EQ(batched.bin_width, seed_path.bin_width) << bins;
+        for (std::size_t b = 0; b < batched.bins(); ++b)
+            ASSERT_EQ(batched.tables[b], seed_path.tables[b])
+                << bins << " bin " << b;
+        // Region queries (the tracking consumer's operation) agree on a
+        // few rectangles including clamped/full ones.
+        EXPECT_EQ(batched.region(0, 0, h - 1, w - 1),
+                  seed_path.region(0, 0, h - 1, w - 1));
+        EXPECT_EQ(batched.region(5, 7, 20, 40),
+                  seed_path.region(5, 7, 20, 40));
+        EXPECT_EQ(batched.region(-3, -9, h + 5, w + 5),
+                  seed_path.region(-3, -9, h + 5, w + 5));
+    }
+}
+
+TEST(IntegralHistogramProperties, BatchedPoolHighWaterWithinWorkspaceBytes)
+{
+    // All leases (image staging, bin masks, the wave's workspaces) come
+    // from one partition; the partition's measured high-water must stay
+    // within the build's declared workspace_bytes bound.
+    sat::Runtime rt;
+    const std::int64_t h = 40, w = 50;
+    Matrix<satgpu::u8> img(h, w);
+    satgpu::fill_random(img, 7, satgpu::u8{0}, satgpu::u8{255});
+    for (const int bins : {16, 64}) {
+        const int partition = 100 + bins;
+        const auto ih =
+            sat::integral_histogram_batched(rt, img, bins, partition);
+        EXPECT_GT(ih.workspace_bytes, 0u) << bins;
+        EXPECT_LE(rt.pool().high_water_bytes(partition), ih.workspace_bytes)
+            << bins;
+    }
 }

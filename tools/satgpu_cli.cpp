@@ -10,8 +10,11 @@
 //              --gpu p100 --verify   (one command line)
 //   satgpu_cli --algo auto --dtype 64f64f -v   (cost-model selection)
 //   satgpu_cli --list
+#include "core/random_fill.hpp"
 #include "core/table_printer.hpp"
+#include "model/cost_model.hpp"
 #include "model/timing.hpp"
+#include "sat/integral_video.hpp"
 #include "sat/runtime.hpp"
 #include "simt/hazard_checker.hpp"
 #include "simt/profiler.hpp"
@@ -48,7 +51,22 @@ struct Args {
     sat::Backend backend = sat::Backend::kSim; // --backend: execution backend
     sat::QuerySpec query{}; // --query: fused SAT-consumer workload
     sat::QueryMode query_mode = sat::QueryMode::kAuto; // --query-mode
+    std::int64_t stream = 0; // --stream T: sliding-window streaming mode
+    std::int64_t frames = 0; // --frames N: frames to push (default 2*T)
+    sat::StreamUpdateMode stream_mode =
+        sat::StreamUpdateMode::kAuto; // --stream-mode
 };
+
+std::optional<sat::StreamUpdateMode> parse_stream_mode(std::string_view s)
+{
+    if (s == "auto")
+        return sat::StreamUpdateMode::kAuto;
+    if (s == "incremental")
+        return sat::StreamUpdateMode::kIncremental;
+    if (s == "recompute")
+        return sat::StreamUpdateMode::kRecompute;
+    return std::nullopt;
+}
 
 std::optional<sat::QueryMode> parse_query_mode(std::string_view s)
 {
@@ -122,6 +140,14 @@ void usage()
         "                fused path never materializes the global SAT\n"
         "  --query-mode M  auto | fused | materialize (default auto: the\n"
         "                traffic forecast picks the cheaper consumer path)\n"
+        "  --stream T    maintain a sliding-window aggregate SAT over the\n"
+        "                last T frames of a synthetic video instead of a\n"
+        "                single image; prints per-push device traffic and\n"
+        "                the incremental-vs-recompute forecast\n"
+        "  --frames N    frames to push in --stream mode (default 2*T)\n"
+        "  --stream-mode M  auto | incremental | recompute (default auto:\n"
+        "                the closed-form traffic forecast picks; see\n"
+        "                docs/streaming.md)\n"
         "  --check       run the warp-synchronous hazard checker\n"
         "                (racecheck/synccheck analog) on every launch and\n"
         "                report findings; exit 1 if any hazard is found\n"
@@ -240,6 +266,29 @@ std::optional<Args> parse(int argc, char** argv)
                 return std::nullopt;
             }
             a.query_mode = *m;
+        } else if (arg == "--stream") {
+            const char* v = next();
+            if (!v || std::sscanf(v, "%ld", &a.stream) != 1 ||
+                a.stream < 1) {
+                std::cerr << "bad --stream (want a positive window)\n";
+                return std::nullopt;
+            }
+        } else if (arg == "--frames") {
+            const char* v = next();
+            if (!v || std::sscanf(v, "%ld", &a.frames) != 1 ||
+                a.frames < 1) {
+                std::cerr << "bad --frames (want a positive count)\n";
+                return std::nullopt;
+            }
+        } else if (arg == "--stream-mode") {
+            const char* v = next();
+            auto m = v ? parse_stream_mode(v) : std::nullopt;
+            if (!m) {
+                std::cerr << "bad --stream-mode (want "
+                             "auto|incremental|recompute)\n";
+                return std::nullopt;
+            }
+            a.stream_mode = *m;
         } else if (arg == "--check") {
             a.check = true;
         } else if (arg == "--hazards") {
@@ -266,6 +315,124 @@ std::optional<Args> parse(int argc, char** argv)
     return a;
 }
 
+/// --stream T: push a synthetic video through SlidingWindowSat and report
+/// the resolved update mode, the closed-form traffic forecast, and the
+/// measured per-push device bytes (docs/streaming.md).
+int run_stream(const Args& args, DtypePair pair, const model::GpuSpec& gpu)
+{
+    const std::int64_t window = args.stream;
+    const std::int64_t frames =
+        args.frames > 0 ? args.frames : 2 * window;
+    const double area =
+        static_cast<double>(args.height) * static_cast<double>(args.width);
+
+    sat::Algorithm algo = args.algo;
+    if (algo == sat::Algorithm::kAuto) {
+        // Probe plan: let the cost model pick exactly as the one-shot path
+        // would, then drive the stream with the winner.
+        sat::Runtime rt({.record_history = false,
+                         .num_threads = args.threads});
+        const auto probe = rt.plan({.height = args.height,
+                                    .width = args.width,
+                                    .dtypes = pair,
+                                    .algorithm = sat::Algorithm::kAuto,
+                                    .gpu = &gpu,
+                                    .backend = args.backend});
+        algo = probe.algorithm();
+        std::cout << "auto selected: " << sat::to_string(algo)
+                  << " (cost model, " << gpu.name << ")\n";
+    }
+
+    const auto mode = sat::resolve_stream_mode(
+        args.stream_mode, pair, args.height, args.width, window);
+    const auto forecast = model::predict_stream_traffic(
+        pair, args.height, args.width, window);
+    std::cout << "stream: window=" << window << " frames=" << frames
+              << " mode=" << sat::to_string(mode);
+    if (args.stream_mode == sat::StreamUpdateMode::kAuto)
+        std::cout << " (auto: forecast "
+                  << TablePrinter::fmt(forecast.incremental_bytes / area, 1)
+                  << " B/px incremental vs "
+                  << TablePrinter::fmt(forecast.recompute_bytes / area, 1)
+                  << " B/px recompute)";
+    std::cout << '\n';
+
+    return visit_paper_pair(pair, [&](auto ti, auto to) -> int {
+        using Tin = typename decltype(ti)::type;
+        using Tout = typename decltype(to)::type;
+        simt::Engine::Options eo{.record_history = false};
+        eo.num_threads = args.threads;
+        simt::Engine eng(eo);
+        const sat::Options opt{
+            .algorithm = algo,
+            .warp_scan = args.lf_scan ? scan::WarpScanKind::kLadnerFischer
+                                      : scan::WarpScanKind::kKoggeStone,
+            .padded_smem = !args.unpadded,
+            .backend = args.backend};
+        sat::SlidingWindowSat<Tout, Tin> win(eng, window, args.height,
+                                             args.width, opt, args.tile,
+                                             mode);
+
+        std::vector<Matrix<Tin>> history;
+        TablePrinter t({"push", "launches", "device bytes", "B/px",
+                        "occupancy", "ring bytes"});
+        std::uint64_t steady_bytes = 0;
+        std::int64_t steady_pushes = 0;
+        for (std::int64_t f = 0; f < frames; ++f) {
+            Matrix<Tin> frame(args.height, args.width);
+            fill_random(frame, args.seed + static_cast<std::uint64_t>(f));
+            const auto& launches = win.push(frame);
+            const std::uint64_t bytes = sat::device_bytes(launches);
+            if (f >= window) { // ring full: steady-state pushes
+                steady_bytes += bytes;
+                ++steady_pushes;
+            }
+            t.add_row({std::to_string(f),
+                       std::to_string(launches.size()),
+                       TablePrinter::fmt_int(
+                           static_cast<std::int64_t>(bytes)),
+                       TablePrinter::fmt(static_cast<double>(bytes) / area,
+                                         2),
+                       std::to_string(win.occupancy()),
+                       TablePrinter::fmt_int(static_cast<std::int64_t>(
+                           win.ring_bytes()))});
+            if (args.verify) {
+                history.push_back(std::move(frame));
+                if (static_cast<std::int64_t>(history.size()) > window)
+                    history.erase(history.begin());
+            }
+        }
+        t.print(std::cout);
+        if (steady_pushes > 0) {
+            const double per_push = static_cast<double>(steady_bytes) /
+                                    static_cast<double>(steady_pushes);
+            std::cout << "\nsteady state: "
+                      << TablePrinter::fmt(per_push, 0)
+                      << " device bytes/push ("
+                      << TablePrinter::fmt(per_push / area, 2) << " B/px, "
+                      << steady_pushes << " full-window pushes)\n";
+            if (steady_bytes == 0)
+                std::cout << "(the native backend carries no byte "
+                             "counters; use --backend sim to meter "
+                             "traffic)\n";
+        }
+
+        if (args.verify) {
+            std::vector<const Matrix<Tin>*> ptrs;
+            ptrs.reserve(history.size());
+            for (const auto& h : history)
+                ptrs.push_back(&h);
+            const Matrix<Tout> want = sat::window_sat_serial<Tout, Tin>(
+                std::span<const Matrix<Tin>* const>(ptrs));
+            const bool ok = win.window_table() == want;
+            std::cout << "verification vs window_sat_serial: "
+                      << (ok ? "PASS" : "FAIL") << '\n';
+            return ok ? 0 : 1;
+        }
+        return 0;
+    });
+}
+
 int run(const Args& args)
 {
     const auto pair = parse_dtype_pair(args.dtype);
@@ -283,6 +450,14 @@ int run(const Args& args)
     else if (args.gpu != "p100") {
         std::cerr << "unknown gpu: " << args.gpu << '\n';
         return 2;
+    }
+
+    if (args.stream > 0) {
+        if (sat::query_enabled(args.query)) {
+            std::cerr << "--stream and --query are mutually exclusive\n";
+            return 2;
+        }
+        return run_stream(args, *pair, *gpu);
     }
 
     const bool profiling =

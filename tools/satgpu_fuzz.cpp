@@ -25,12 +25,19 @@
 //                             materialize-then-consume -- demanding each
 //                             output equal the serial query oracle bit for
 //                             bit
+//   satgpu_fuzz --stream-diff replay a random frame sequence (each frame a
+//                             random pixel-delta mutation of the last)
+//                             through an incremental SlidingWindowSat AND
+//                             its from-scratch recompute twin, demanding
+//                             both window aggregates equal the serial
+//                             window oracle bit for bit after EVERY push
 //
 // On mismatch the tool prints the failing seed plus the full sampled
 // configuration and exits 1; re-running `satgpu_fuzz --seed S` replays that
 // single case (sampling consumes the RNG in a fixed order, so one seed
 // always maps to the same configuration on every build).
 #include "core/random_fill.hpp"
+#include "sat/integral_video.hpp"
 #include "sat/runtime.hpp"
 #include "sat/service.hpp"
 
@@ -376,6 +383,115 @@ bool run_one_query_diff(const FuzzConfig& c, bool verbose)
     return true;
 }
 
+/// Streaming-shape knobs for --stream-diff, sampled from a SEPARATE rng
+/// stream like ServiceConfig (appending stream knobs to the base rng would
+/// re-mean every recorded failing seed of the other modes).
+struct StreamConfig {
+    std::int64_t window = 1; ///< sliding-window length T
+    int extra = 0;           ///< pushes beyond the first full window
+    int deltas = 0;          ///< random pixel mutations per successive frame
+};
+
+StreamConfig sample_stream(std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed ^ 0x57ead1ffc0de5ull);
+    StreamConfig s;
+    s.window = std::uniform_int_distribution<std::int64_t>(1, 8)(rng);
+    s.extra = std::uniform_int_distribution<int>(0, 4)(rng);
+    s.deltas = std::uniform_int_distribution<int>(1, 64)(rng);
+    return s;
+}
+
+/// --stream-diff analog of run_one: replay a sampled frame sequence (frame
+/// t is frame t-1 with `deltas` random pixel changes, the temporal
+/// coherence the incremental path exists for) through an incremental
+/// SlidingWindowSat and its from-scratch recompute twin, demanding both
+/// aggregates equal the serial window oracle bit for bit after every push
+/// -- including the warm-up pushes before the first wraparound and every
+/// ring slot reuse after it.
+bool run_one_stream_diff(const FuzzConfig& c, bool verbose)
+{
+    // The recompute twin and the serial oracle both rebuild T SATs per
+    // push; cap the sides so the sweep stays fast.  The fill cap was
+    // computed for the UNCLAMPED area, so window sums stay exactly
+    // representable: T * 256^2 * 15 < 2^24.
+    FuzzConfig sc = c;
+    sc.h = std::min<std::int64_t>(sc.h, 256);
+    sc.w = std::min<std::int64_t>(sc.w, 256);
+    // The streaming kernel layer takes a concrete algorithm (kAuto is a
+    // Runtime-level policy); remap the kAuto draw like histogram queries
+    // remap non-8u pairs.
+    if (sc.algo == sat::Algorithm::kAuto)
+        sc.algo = sat::Algorithm::kBrltScanRow;
+    const StreamConfig st = sample_stream(c.seed);
+    std::mt19937_64 delta_rng(c.seed ^ 0xde17a5eedf00d1ull);
+
+    return visit_paper_pair(sc.pair, [&](auto ti, auto to) {
+        using Tin = typename decltype(ti)::type;
+        using Tout = typename decltype(to)::type;
+        simt::Engine::Options eo{.record_history = false};
+        eo.num_threads = sc.threads;
+        simt::Engine eng(eo);
+        const sat::Options opt{.algorithm = sc.algo};
+        sat::SlidingWindowSat<Tout, Tin> inc(
+            eng, st.window, sc.h, sc.w, opt, sc.tile,
+            sat::StreamUpdateMode::kIncremental);
+        sat::SlidingWindowSat<Tout, Tin> rec(
+            eng, st.window, sc.h, sc.w, opt, sc.tile,
+            sat::StreamUpdateMode::kRecompute);
+
+        std::vector<Matrix<Tin>> frames;
+        Matrix<Tin> frame(sc.h, sc.w);
+        fill_random_ints(frame, sc.seed * 1000003u, sc.fill_hi);
+        const std::int64_t pushes = st.window + st.extra;
+        for (std::int64_t t = 0; t < pushes; ++t) {
+            if (t > 0)
+                for (int d = 0; d < st.deltas; ++d) {
+                    const auto y = std::uniform_int_distribution<
+                        std::int64_t>(0, sc.h - 1)(delta_rng);
+                    const auto x = std::uniform_int_distribution<
+                        std::int64_t>(0, sc.w - 1)(delta_rng);
+                    frame(y, x) = static_cast<Tin>(
+                        std::uniform_int_distribution<int>(
+                            0, sc.fill_hi)(delta_rng));
+                }
+            frames.push_back(frame);
+            inc.push(frame);
+            rec.push(frame);
+
+            std::vector<const Matrix<Tin>*> in_window;
+            for (std::int64_t u =
+                     std::max<std::int64_t>(0, t - st.window + 1);
+                 u <= t; ++u)
+                in_window.push_back(&frames[static_cast<std::size_t>(u)]);
+            const Matrix<Tout> want = sat::window_sat_serial<Tout, Tin>(
+                std::span<const Matrix<Tin>* const>(in_window));
+            const auto fail = [&](const char* which) {
+                std::cout << "FAIL seed " << sc.seed << " push " << t
+                          << ": " << which
+                          << " window differs from serial oracle: "
+                          << describe(sc) << " (" << sc.h << 'x' << sc.w
+                          << " after clamp) window " << st.window
+                          << " extra " << st.extra << " deltas "
+                          << st.deltas
+                          << "\n  reproduce: satgpu_fuzz --stream-diff "
+                          << "--seed " << sc.seed << '\n';
+                return false;
+            };
+            if (!(inc.window_table() == want))
+                return fail("incremental");
+            if (!(rec.window_table() == want))
+                return fail("recompute");
+        }
+        if (verbose)
+            std::cout << "seed " << sc.seed << ": " << describe(sc)
+                      << " window " << st.window << " extra " << st.extra
+                      << " deltas " << st.deltas << " -> " << pushes
+                      << " push(es), incremental and recompute bit-exact\n";
+        return true;
+    });
+}
+
 /// --backend-diff analog of run_one: plan the same sampled case twice --
 /// once pinned to the simulator, once requesting the native backend --
 /// and demand the two tables agree bit for bit (the simulator table is
@@ -476,6 +592,7 @@ int main(int argc, char** argv)
     bool service = false;
     bool backend_diff = false;
     bool query_diff = false;
+    bool stream_diff = false;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (arg == "--seeds" && i + 1 < argc) {
@@ -488,10 +605,12 @@ int main(int argc, char** argv)
             backend_diff = true;
         } else if (arg == "--query-diff") {
             query_diff = true;
+        } else if (arg == "--stream-diff") {
+            stream_diff = true;
         } else {
             std::cout
                 << "usage: satgpu_fuzz [--service | --backend-diff |\n"
-                   "                    --query-diff]\n"
+                   "                    --query-diff | --stream-diff]\n"
                    "                   [--seeds N] [--seed S]\n"
                    "  --seeds N: run seeds 0..N-1 (default 32); exit 1 on\n"
                    "             the first differential mismatch\n"
@@ -507,15 +626,20 @@ int main(int argc, char** argv)
                    "  --query-diff: attach a sampled SAT-consumer query to\n"
                    "             each case and run it both fused and\n"
                    "             materialized; demand each output equal\n"
-                   "             the serial query oracle bit for bit\n";
+                   "             the serial query oracle bit for bit\n"
+                   "  --stream-diff: replay a random frame-delta sequence\n"
+                   "             through an incremental sliding-window SAT\n"
+                   "             and its from-scratch recompute twin;\n"
+                   "             demand both equal the serial window\n"
+                   "             oracle bit for bit after every push\n";
             return arg == "--help" || arg == "-h" ? 0 : 2;
         }
     }
     if (static_cast<int>(service) + static_cast<int>(backend_diff) +
-            static_cast<int>(query_diff) >
+            static_cast<int>(query_diff) + static_cast<int>(stream_diff) >
         1) {
-        std::cerr << "--service, --backend-diff and --query-diff are "
-                     "mutually exclusive\n";
+        std::cerr << "--service, --backend-diff, --query-diff and "
+                     "--stream-diff are mutually exclusive\n";
         return 2;
     }
     const auto run = [&](const FuzzConfig& c, bool verbose) {
@@ -523,6 +647,8 @@ int main(int argc, char** argv)
             return run_one_backend_diff(c, verbose);
         if (query_diff)
             return run_one_query_diff(c, verbose);
+        if (stream_diff)
+            return run_one_stream_diff(c, verbose);
         return service ? run_one_service(c, verbose) : run_one(c, verbose);
     };
 
@@ -537,6 +663,9 @@ int main(int argc, char** argv)
                       ? "serial oracle (native vs simulator diff)\n"
                   : query_diff
                       ? "serial oracle (fused vs materialized query diff)\n"
+                  : stream_diff
+                      ? "serial oracle (incremental vs recompute stream "
+                        "diff)\n"
                       : (service ? "serial oracle (service mode)\n"
                                  : "serial oracle\n"));
     return 0;
